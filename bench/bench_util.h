@@ -1,0 +1,127 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every figure/table bench:
+//   * runs the scaled "smoke" configuration by default and the paper-scale
+//     configuration when REPRO_FULL=1 (see hfl::ExperimentConfig::preset);
+//   * averages over BENCH_SEEDS runs (default 2, paper uses 3);
+//   * prints the paper's rows/series as an aligned table and writes the raw
+//     numbers as CSV next to the binary.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/registry.h"
+#include "hfl/experiment.h"
+
+namespace mach::bench {
+
+inline std::vector<data::TaskKind> parse_tasks(const std::string& flag) {
+  if (flag == "all") {
+    return {data::TaskKind::MnistLike, data::TaskKind::FmnistLike,
+            data::TaskKind::CifarLike};
+  }
+  if (flag == "mnist") return {data::TaskKind::MnistLike};
+  if (flag == "fmnist") return {data::TaskKind::FmnistLike};
+  if (flag == "cifar10") return {data::TaskKind::CifarLike};
+  throw std::invalid_argument("unknown task filter: " + flag);
+}
+
+inline std::vector<std::uint64_t> bench_seeds() {
+  const long count = std::strtol(common::env_or("BENCH_SEEDS", "2").c_str(),
+                                 nullptr, 10);
+  std::vector<std::uint64_t> seeds;
+  for (long s = 0; s < std::max(count, 1L); ++s) {
+    seeds.push_back(1000 + static_cast<std::uint64_t>(s));
+  }
+  return seeds;
+}
+
+inline bool full_mode() { return common::env_flag("REPRO_FULL"); }
+
+inline void print_mode_banner(const std::string& experiment) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "mode: " << (full_mode() ? "FULL (paper scale, CNN models)"
+                                        : "smoke (scaled population, MLP models; "
+                                          "set REPRO_FULL=1 for paper scale)")
+            << ", seeds per point: " << bench_seeds().size() << "\n\n";
+}
+
+/// Steps-to-target for one (config, sampler) pair, averaged over seeds.
+inline hfl::AveragedTimeToTarget run_algo(const hfl::ExperimentConfig& config,
+                                          const std::string& sampler_name,
+                                          std::span<const std::uint64_t> seeds) {
+  return hfl::averaged_time_to_target(
+      config, [&] { return core::make_sampler(sampler_name); }, seeds);
+}
+
+/// Curve-averaged result: runs per-seed, averages the accuracy curves
+/// point-wise (the paper's "average for smoothing"), and reads the
+/// time-to-target off the mean curve. Far less sensitive to heavy-tailed
+/// single runs than averaging per-seed crossing times.
+struct CurveResult {
+  std::optional<std::size_t> steps_to_target;
+  double reach_rate = 0.0;   // fraction of individual runs reaching it
+  double final_accuracy = 0.0;
+  /// Mean steps with unreached runs counted as the horizon (secondary view).
+  double mean_steps = 0.0;
+};
+
+inline CurveResult run_algo_curve(const hfl::ExperimentConfig& config,
+                                  const std::string& sampler_name,
+                                  std::span<const std::uint64_t> seeds) {
+  CurveResult result;
+  std::vector<hfl::MetricsRecorder> runs;
+  double reached = 0.0, total_steps = 0.0;
+  for (const auto seed : seeds) {
+    auto sampler = core::make_sampler(sampler_name);
+    const auto run = hfl::run_experiment(config.with_seed(seed), *sampler);
+    if (run.time_to_target) {
+      reached += 1.0;
+      total_steps += static_cast<double>(*run.time_to_target);
+    } else {
+      total_steps += static_cast<double>(config.horizon);
+    }
+    runs.push_back(run.metrics);
+  }
+  const auto curve = hfl::average_curves(runs);
+  result.steps_to_target = hfl::curve_time_to_target(curve, config.target_accuracy);
+  result.reach_rate = seeds.empty() ? 0.0 : reached / static_cast<double>(seeds.size());
+  result.final_accuracy = curve.empty() ? 0.0 : curve.back().test_accuracy;
+  result.mean_steps =
+      seeds.empty() ? 0.0 : total_steps / static_cast<double>(seeds.size());
+  return result;
+}
+
+inline std::string steps_cell(const CurveResult& result, std::size_t horizon) {
+  if (!result.steps_to_target) return ">" + std::to_string(horizon);
+  return std::to_string(*result.steps_to_target);
+}
+
+/// "134.0" or ">240" when some run never reached the target.
+inline std::string steps_cell(const hfl::AveragedTimeToTarget& result,
+                              std::size_t horizon) {
+  if (result.reach_rate < 1.0) {
+    if (result.reach_rate == 0.0) return ">" + std::to_string(horizon);
+    return common::format_double(result.mean_steps, 1) + "*";
+  }
+  return common::format_double(result.mean_steps, 1);
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mach::bench

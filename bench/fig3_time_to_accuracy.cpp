@@ -1,0 +1,83 @@
+// Figure 3 reproduction: time-to-accuracy curves of all five sampling
+// algorithms on the three learning tasks (MNIST-like, FMNIST-like,
+// CIFAR10-like). Prints the averaged accuracy series per algorithm and the
+// steps-to-target summary, and writes one CSV per task.
+//
+//   ./fig3_time_to_accuracy [--task all|mnist|fmnist|cifar10]
+//   env: REPRO_FULL=1 (paper scale), BENCH_SEEDS=N (default 2)
+#include "bench_util.h"
+
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mach;
+
+  common::CliParser cli("Figure 3: time-to-accuracy over all learning tasks.");
+  cli.add_flag("task", std::string("all"), "task filter: all|mnist|fmnist|cifar10");
+  cli.add_flag("csv_prefix", std::string("fig3"), "CSV output prefix");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  bench::print_mode_banner("Figure 3: time-to-accuracy");
+  const auto seeds = bench::bench_seeds();
+
+  for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
+    const auto config = hfl::ExperimentConfig::preset(task);
+    std::cout << "--- " << data::task_name(task) << " (target "
+              << config.target_accuracy << ", T_g=" << config.hfl.cloud_interval
+              << ", horizon " << config.horizon << ") ---\n";
+
+    // Collect averaged accuracy curves per algorithm.
+    std::vector<std::vector<hfl::EvalPoint>> curves;
+    std::vector<std::string> names;
+    common::Table summary({"algorithm", "steps to target", "reach rate",
+                           "final acc", "wall s"});
+    for (const auto& name : core::paper_algorithms()) {
+      bench::Stopwatch watch;
+      std::vector<hfl::MetricsRecorder> runs;
+      for (const auto seed : seeds) {
+        auto sampler = core::make_sampler(name);
+        runs.push_back(
+            hfl::run_experiment(config.with_seed(seed), *sampler).metrics);
+      }
+      auto curve = hfl::average_curves(runs);
+      const auto target_t = hfl::curve_time_to_target(curve, config.target_accuracy);
+      double reached = 0.0;
+      for (const auto& run : runs) {
+        if (run.time_to_accuracy(config.target_accuracy)) reached += 1.0;
+      }
+      summary.row()
+          .cell(core::display_name(name))
+          .cell(target_t ? std::to_string(*target_t)
+                         : ">" + std::to_string(config.horizon))
+          .cell(reached / static_cast<double>(runs.size()), 2)
+          .cell(curve.empty() ? 0.0 : curve.back().test_accuracy, 4)
+          .cell(watch.seconds(), 1);
+      names.push_back(core::display_name(name));
+      curves.push_back(std::move(curve));
+      std::cout << "  " << core::display_name(name) << " done\n";
+    }
+
+    // Accuracy-vs-time series (the figure's curves).
+    std::vector<std::string> headers = {"t"};
+    for (const auto& n : names) headers.push_back(n);
+    common::Table series(headers);
+    if (!curves.empty()) {
+      for (std::size_t i = 0; i < curves.front().size(); ++i) {
+        auto& row = series.row().cell(curves.front()[i].t);
+        for (const auto& curve : curves) {
+          row.cell(i < curve.size() ? curve[i].test_accuracy : 0.0, 4);
+        }
+      }
+    }
+    std::cout << '\n';
+    series.print(std::cout);
+    std::cout << '\n';
+    summary.print(std::cout);
+    std::cout << '\n';
+
+    const std::string csv =
+        cli.get_string("csv_prefix") + "_" + data::task_name(task) + ".csv";
+    if (series.write_csv(csv)) std::cout << "curves written to " << csv << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5 reproduction: time steps to reach the target accuracy under
+// different device participation proportions (0.4 - 0.7). Remark 1 predicts
+// all methods speed up with more participation; the paper further observes
+// MACH's relative gain shrinking as participation grows.
+//
+//   ./fig5_participation [--task all|mnist|fmnist|cifar10]
+//                        [--participation 0.4,0.5,0.6,0.7]
+//   env: REPRO_FULL=1, BENCH_SEEDS=N
+#include "bench_util.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace {
+
+std::vector<double> parse_doubles(const std::string& flag) {
+  std::vector<double> out;
+  std::stringstream ss(flag);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mach;
+
+  common::CliParser cli(
+      "Figure 5: time-to-target under different participation proportions.");
+  cli.add_flag("task", std::string("all"), "task filter: all|mnist|fmnist|cifar10");
+  cli.add_flag("participation", std::string("0.4,0.5,0.6,0.7"),
+               "comma-separated participation proportions");
+  cli.add_flag("csv", std::string("fig5_participation.csv"), "CSV output path");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  bench::print_mode_banner("Figure 5: varying participation proportion");
+  const auto seeds = bench::bench_seeds();
+  const auto proportions = parse_doubles(cli.get_string("participation"));
+
+  common::Table table({"task", "participation", "MACH", "MACH-P", "US", "CS", "SS",
+                       "MACH vs best basic"});
+  for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
+    for (const double participation : proportions) {
+      auto config = hfl::ExperimentConfig::preset(task);
+      config.hfl.participation = participation;
+
+      auto& row =
+          table.row().cell(data::task_name(task)).cell(participation, 1);
+      double mach_steps = 0.0;
+      double best_basic = 1e300;
+      for (const auto& name : core::paper_algorithms()) {
+        const auto result = bench::run_algo_curve(config, name, seeds);
+        row.cell(bench::steps_cell(result, config.horizon));
+        const double curve_steps = result.steps_to_target
+                                   ? static_cast<double>(*result.steps_to_target)
+                                   : static_cast<double>(config.horizon);
+        if (name == "mach") mach_steps = curve_steps;
+        if (name == "uniform" || name == "class_balance" || name == "statistical") {
+          best_basic = std::min(best_basic, curve_steps);
+        }
+      }
+      const double saved = best_basic > 0.0
+                               ? (best_basic - mach_steps) / best_basic * 100.0
+                               : 0.0;
+      row.cell(common::format_double(saved, 2) + "%");
+      std::cout << data::task_name(task) << " participation=" << participation
+                << " done\n";
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  if (table.write_csv(cli.get_string("csv"))) {
+    std::cout << "\nwritten to " << cli.get_string("csv") << '\n';
+  }
+  return 0;
+}

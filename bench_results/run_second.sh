@@ -1,0 +1,8 @@
+#!/bin/bash
+set -x
+export BENCH_SEEDS=5
+../build/bench/fig4_edge_count > fig4.log 2>&1
+../build/bench/fig5_participation > fig5.log 2>&1
+../build/bench/ablation_mach --task fmnist > ablation.log 2>&1
+../build/bench/ablation_mobility --task mnist > ablation_mobility.log 2>&1
+echo DONE2

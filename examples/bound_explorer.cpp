@@ -1,0 +1,91 @@
+// Explore Theorem 1's convergence bound numerically: compare the bound term
+// sum G^2/q of the paper's Eq. (13) rule, the exact Lagrangian optimum
+// (q ∝ G), uniform sampling, and the MACH strategy (Eq. 16-18) over random
+// gradient-norm profiles.
+//
+// This demonstrates a reproduction finding: Eq. (13) (q ∝ G^2) *equalises*
+// the per-device contributions and attains exactly the uniform strategy's
+// bound value; the sqrt rule strictly improves it. MACH trades bound
+// optimality for bounded inverse-probability weights — the aggregation
+// variance channel the transfer function exists for.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/bound.h"
+#include "core/mach.h"
+#include "sampling/budget.h"
+
+int main(int argc, char** argv) {
+  using namespace mach;
+
+  common::CliParser cli("Numerical exploration of Theorem 1's bound term.");
+  cli.add_flag("devices", static_cast<std::int64_t>(10), "devices per edge");
+  cli.add_flag("capacity", 5.0, "edge channel capacity K_n");
+  cli.add_flag("trials", static_cast<std::int64_t>(1000),
+               "random gradient-norm profiles");
+  cli.add_flag("seed", static_cast<std::int64_t>(1), "random seed");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("devices"));
+  const double capacity = cli.get_double("capacity");
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+  common::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  core::TransferFunction transfer({.alpha = 1.0, .beta = 3.0, .warmup_rounds = 0});
+  common::RunningStats uniform_stats, eq13_stats, sqrt_stats, mach_stats;
+  common::RunningStats mach_weight_stats, sqrt_weight_stats;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::vector<double> g2(n);
+    for (auto& g : g2) g = rng.exponential(1.0) + 0.01;
+
+    const std::vector<double> uniform(n, capacity / static_cast<double>(n));
+    const auto eq13 = core::optimal_probabilities_eq13(g2, capacity);
+    const auto sqrt_rule = core::optimal_probabilities_sqrt(g2, capacity);
+    const auto mach = core::edge_sampling_probabilities(g2, capacity, &transfer);
+
+    uniform_stats.add(core::convergence_bound_term(g2, uniform));
+    eq13_stats.add(core::convergence_bound_term(g2, eq13));
+    sqrt_stats.add(core::convergence_bound_term(g2, sqrt_rule));
+    mach_stats.add(core::convergence_bound_term(g2, mach));
+
+    // Largest inverse-probability aggregation weight each strategy risks.
+    auto max_inverse = [](const std::vector<double>& q) {
+      double worst = 0.0;
+      for (double p : q) {
+        if (p > 1e-12) worst = std::max(worst, 1.0 / p);
+      }
+      return worst;
+    };
+    mach_weight_stats.add(max_inverse(mach));
+    sqrt_weight_stats.add(max_inverse(sqrt_rule));
+  }
+
+  std::cout << "Bound term sum G^2/q over " << trials << " random profiles ("
+            << n << " devices, K_n = " << capacity << "):\n\n";
+  common::Table table({"strategy", "mean bound term", "vs uniform"});
+  const double base = uniform_stats.mean();
+  auto add_row = [&](const char* name, const common::RunningStats& stats) {
+    table.row().cell(name).cell(stats.mean(), 2).cell(
+        common::format_double(stats.mean() / base * 100.0, 1) + "%");
+  };
+  add_row("uniform", uniform_stats);
+  add_row("Eq. (13): q ~ G^2", eq13_stats);
+  add_row("exact optimum: q ~ G", sqrt_stats);
+  add_row("MACH (Eq. 16-18)", mach_stats);
+  table.print(std::cout);
+
+  std::cout << "\nEq. (13) equalises the per-device terms, so its bound value"
+               " matches uniform\nexactly; q ~ G is the true minimiser of the"
+               " printed objective.\n\n";
+  std::cout << "Worst-case inverse-probability weight 1/q (aggregation "
+               "variance risk):\n"
+            << "  q ~ G strategy: " << common::format_double(sqrt_weight_stats.mean(), 1)
+            << " (mean over trials)\n"
+            << "  MACH          : " << common::format_double(mach_weight_stats.mean(), 1)
+            << "  <- the transfer function's bounded band\n";
+  return 0;
+}

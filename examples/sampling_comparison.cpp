@@ -1,0 +1,54 @@
+// Head-to-head comparison of all five sampling algorithms from the paper on
+// one learning task — a miniature version of Figure 3.
+//
+//   ./sampling_comparison [--task mnist|fmnist|cifar10] [--seeds N]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/registry.h"
+#include "hfl/experiment.h"
+
+namespace {
+
+mach::data::TaskKind parse_task(const std::string& name) {
+  if (name == "mnist") return mach::data::TaskKind::MnistLike;
+  if (name == "fmnist") return mach::data::TaskKind::FmnistLike;
+  if (name == "cifar10") return mach::data::TaskKind::CifarLike;
+  throw std::invalid_argument("unknown task: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mach;
+
+  common::CliParser cli("Compare MACH against the paper's baseline samplers.");
+  cli.add_flag("task", std::string("mnist"), "learning task: mnist|fmnist|cifar10");
+  cli.add_flag("seeds", static_cast<std::int64_t>(2), "number of averaged runs");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto config = hfl::ExperimentConfig::preset(parse_task(cli.get_string("task")));
+  std::vector<std::uint64_t> seeds;
+  for (std::int64_t s = 0; s < cli.get_int("seeds"); ++s) {
+    seeds.push_back(static_cast<std::uint64_t>(100 + s));
+  }
+
+  std::cout << "Task " << data::task_name(config.task) << ": target accuracy "
+            << config.target_accuracy << ", horizon " << config.horizon
+            << " steps, " << seeds.size() << " seed(s)\n\n";
+
+  common::Table table({"algorithm", "mean steps to target", "reach rate"});
+  for (const auto& name : core::paper_algorithms()) {
+    const auto result = hfl::averaged_time_to_target(
+        config, [&] { return core::make_sampler(name); }, seeds);
+    table.row()
+        .cell(core::display_name(name))
+        .cell(result.mean_steps, 1)
+        .cell(result.reach_rate, 2);
+    std::cout << core::display_name(name) << " done\n";
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  return 0;
+}

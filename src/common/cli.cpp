@@ -1,0 +1,124 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+namespace mach::common {
+
+CliParser::CliParser(std::string program_help) : program_help_(std::move(program_help)) {}
+
+void CliParser::add_flag(const std::string& name, std::string default_value,
+                         std::string help) {
+  Flag flag;
+  flag.default_value = std::move(default_value);
+  flag.value = flag.default_value;
+  flag.help = std::move(help);
+  if (flags_.emplace(name, std::move(flag)).second) order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, std::int64_t default_value,
+                         std::string help) {
+  add_flag(name, std::to_string(default_value), std::move(help));
+}
+
+void CliParser::add_flag(const std::string& name, double default_value, std::string help) {
+  add_flag(name, std::to_string(default_value), std::move(help));
+}
+
+void CliParser::add_flag(const std::string& name, bool default_value, std::string help) {
+  Flag flag;
+  flag.default_value = default_value ? "true" : "false";
+  flag.value = flag.default_value;
+  flag.help = std::move(help);
+  flag.is_bool = true;
+  if (flags_.emplace(name, std::move(flag)).second) order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::cout << program_help_ << "\n\nFlags:\n";
+      for (const auto& name : order_) {
+        const Flag& flag = flags_.at(name);
+        std::cout << "  --" << name << " (default: " << flag.default_value
+                  << ")\n      " << flag.help << '\n';
+      }
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected positional argument: " << arg << '\n';
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::cerr << "unknown flag: --" << name << '\n';
+      return false;
+    }
+    if (!has_value) {
+      if (it->second.is_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "flag --" << name << " expects a value\n";
+        return false;
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag* CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? nullptr : &it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Flag* flag = find(name);
+  return flag ? flag->value : std::string{};
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const Flag* flag = find(name);
+  return flag ? std::strtoll(flag->value.c_str(), nullptr, 10) : 0;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const Flag* flag = find(name);
+  return flag ? std::strtod(flag->value.c_str(), nullptr) : 0.0;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const Flag* flag = find(name);
+  if (!flag) return false;
+  std::string value = flag->value;
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  return (value != nullptr && *value != '\0') ? std::string(value) : fallback;
+}
+
+bool env_flag(const std::string& name) {
+  std::string value = env_or(name, "");
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+}  // namespace mach::common

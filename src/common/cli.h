@@ -1,0 +1,61 @@
+// Tiny command-line flag parser shared by examples and bench binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--name" forms; every
+// flag has a default so binaries run with no arguments. Unknown flags are an
+// error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mach::common {
+
+class CliParser {
+ public:
+  /// `program_help` is printed above the flag list for --help.
+  explicit CliParser(std::string program_help);
+
+  void add_flag(const std::string& name, std::string default_value,
+                std::string help);
+  void add_flag(const std::string& name, std::int64_t default_value,
+                std::string help);
+  void add_flag(const std::string& name, double default_value, std::string help);
+  void add_flag(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv. Returns false (after printing help or an error) if the
+  /// caller should exit; on "--help" the exit is benign.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True when "--help" was seen (parse() returned false without error).
+  bool help_requested() const noexcept { return help_requested_; }
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string value;
+    std::string help;
+    bool is_bool = false;
+  };
+
+  const Flag* find(const std::string& name) const;
+
+  std::string program_help_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+/// Reads an environment variable, returning `fallback` when unset/empty.
+std::string env_or(const std::string& name, const std::string& fallback);
+/// True when the environment variable is set to a truthy value (1/true/yes/on).
+bool env_flag(const std::string& name);
+
+}  // namespace mach::common

@@ -1,0 +1,52 @@
+// Minimal leveled logger. Benches and examples use it for progress lines;
+// tests set the level to Warn to keep ctest output quiet.
+//
+// The variadic helpers stream their arguments (anything with operator<<):
+//   log_info("round ", t, " accuracy=", acc);
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace mach::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level (only flipped at startup in practice).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one line "[LEVEL] message" to stderr if `level` passes the filter.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream ss;
+  (ss << ... << args);
+  log_line(level, ss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_at(LogLevel::Debug, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_at(LogLevel::Info, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_at(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_at(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+}  // namespace mach::common

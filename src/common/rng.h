@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for the whole simulator.
+//
+// Every stochastic component (mobility, data synthesis, device sampling,
+// SGD minibatching) draws from an explicitly-seeded Rng instance so that
+// experiments are reproducible bit-for-bit across runs and platforms.
+// The generator is xoshiro256++ (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mach::common {
+
+/// Counter-based seed derivation: expands one 64-bit seed into independent
+/// streams (e.g. one per device) without correlation between streams.
+std::uint64_t split_seed(std::uint64_t root_seed, std::uint64_t stream_id) noexcept;
+
+/// xoshiro256++ PRNG with distribution helpers used across the simulator.
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> adaptors.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double normal() noexcept;
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang. Requires shape > 0.
+  double gamma(double shape, double scale) noexcept;
+
+  /// Samples an index according to (unnormalised, non-negative) weights.
+  /// Returns weights.size() only if all weights are zero-or-less.
+  std::size_t categorical(std::span<const double> weights) noexcept;
+
+  /// Dirichlet(alpha, ..., alpha) over k categories.
+  std::vector<double> dirichlet(double alpha, std::size_t k);
+  /// Dirichlet with per-category concentration parameters.
+  std::vector<double> dirichlet(std::span<const double> alphas);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (reservoir-free, for count<=n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t count);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mach::common

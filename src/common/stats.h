@@ -1,0 +1,44 @@
+// Streaming statistics helpers used by the metrics recorder and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mach::common {
+
+/// Welford-style running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sequence (0 when empty).
+double mean(std::span<const double> xs) noexcept;
+/// Unbiased sample standard deviation (0 when fewer than two samples).
+double stddev(std::span<const double> xs) noexcept;
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+/// Exponential moving average over a series with smoothing factor in (0, 1].
+std::vector<double> ema(std::span<const double> xs, double smoothing);
+
+}  // namespace mach::common

@@ -1,0 +1,40 @@
+// Aligned ASCII table rendering plus CSV export, used by the benchmark
+// harnesses to print the paper's tables/figure series and persist raw data.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mach::common {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision so benchmark output lines up.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(std::size_t value);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and per-column padding.
+  void print(std::ostream& os) const;
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_double(double value, int precision);
+
+}  // namespace mach::common

@@ -1,0 +1,81 @@
+#include "core/bound.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mach::core {
+
+double convergence_bound_term(std::span<const double> g_squared,
+                              std::span<const double> probabilities) {
+  if (g_squared.size() != probabilities.size()) {
+    throw std::invalid_argument("convergence_bound_term: size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t m = 0; m < g_squared.size(); ++m) {
+    const double g2 = std::max(g_squared[m], 0.0);
+    if (g2 == 0.0) continue;
+    if (probabilities[m] <= 0.0) return std::numeric_limits<double>::infinity();
+    total += g2 / probabilities[m];
+  }
+  return total;
+}
+
+std::vector<double> optimal_probabilities_eq13(std::span<const double> g_squared,
+                                               double capacity) {
+  std::vector<double> q(g_squared.size(), 0.0);
+  if (g_squared.empty()) return q;
+  double total = 0.0;
+  for (double g2 : g_squared) total += std::max(g2, 0.0);
+  if (total <= 0.0) {
+    const double uniform = capacity / static_cast<double>(g_squared.size());
+    for (auto& p : q) p = uniform;
+    return q;
+  }
+  for (std::size_t m = 0; m < g_squared.size(); ++m) {
+    q[m] = capacity * std::max(g_squared[m], 0.0) / total;
+  }
+  return q;
+}
+
+std::vector<double> optimal_probabilities_sqrt(std::span<const double> g_squared,
+                                               double capacity) {
+  std::vector<double> q(g_squared.size(), 0.0);
+  if (g_squared.empty()) return q;
+  double total = 0.0;
+  for (double g2 : g_squared) total += std::sqrt(std::max(g2, 0.0));
+  if (total <= 0.0) {
+    const double uniform = capacity / static_cast<double>(g_squared.size());
+    for (auto& p : q) p = uniform;
+    return q;
+  }
+  for (std::size_t m = 0; m < g_squared.size(); ++m) {
+    q[m] = capacity * std::sqrt(std::max(g_squared[m], 0.0)) / total;
+  }
+  return q;
+}
+
+double theorem1_bound(const BoundParams& params, double mean_bound_term,
+                      std::size_t steps) {
+  if (steps == 0 || params.gamma <= 0.0 || params.local_epochs == 0 ||
+      params.num_devices == 0) {
+    throw std::invalid_argument("theorem1_bound: invalid parameters");
+  }
+  const double gamma = params.gamma;
+  const double big_l = params.lipschitz;
+  const auto i = static_cast<double>(params.local_epochs);
+  const auto tg = static_cast<double>(params.cloud_interval);
+  const auto m = static_cast<double>(params.num_devices);
+  const auto t = static_cast<double>(steps);
+
+  // First term of Eq. (9): 2(f0 - f*) / (gamma I T).
+  const double optimality_term = 2.0 * params.f0_minus_fstar / (gamma * i * t);
+  // Second term: the per-step coefficient multiplying sum G^2/q, averaged.
+  const double coefficient =
+      (gamma * big_l * i * (2.0 + gamma * big_l * i) +
+       4.0 * (1.0 + m) * tg * tg * big_l * big_l * gamma * gamma) /
+      (2.0 * m);
+  return optimality_term + coefficient * mean_bound_term;
+}
+
+}  // namespace mach::core

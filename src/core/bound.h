@@ -1,0 +1,53 @@
+// Theorem 1's convergence-bound machinery in executable form.
+//
+// The sampling-dependent part of the bound (Eq. 9) is, per edge and step,
+//     B(q) = sum_m G_m^2 / q_m,
+// minimised subject to sum_m q_m <= K_n (Eq. 11) by the closed-form optimum
+// of Remark 2 / Eq. (13):  q*_m = K_n G_m^2 / sum_{m'} G_{m'}^2.
+// These helpers let tests and examples evaluate strategies against the
+// theory directly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mach::core {
+
+/// The bound term sum_m G_m^2 / q_m. Probabilities must be positive where
+/// the corresponding G_m^2 is positive; violating entries contribute +inf.
+double convergence_bound_term(std::span<const double> g_squared,
+                              std::span<const double> probabilities);
+
+/// Eq. (13) as printed: q_m = K G_m^2 / sum G^2. May exceed 1 (the paper
+/// handles that with the transfer function); all-zero G^2 degenerates to a
+/// uniform split of the budget.
+///
+/// Reproduction note: plugging Eq. (13) into the bound term gives
+/// G_m^2/q_m = sum G^2 / K for every m — it *equalises* the per-device
+/// contributions and attains exactly the same bound value as uniform
+/// sampling. The exact Lagrangian minimiser of sum G^2/q s.t. sum q = K is
+/// q proportional to G (the square root), provided by
+/// optimal_probabilities_sqrt below. MACH follows Eq. (13) as published.
+std::vector<double> optimal_probabilities_eq13(std::span<const double> g_squared,
+                                               double capacity);
+
+/// The exact minimiser of sum_m G_m^2 / q_m subject to sum q = capacity
+/// (ignoring the [0,1] caps): q_m = capacity * G_m / sum G.
+std::vector<double> optimal_probabilities_sqrt(std::span<const double> g_squared,
+                                               double capacity);
+
+/// Full Theorem 1 right-hand side for a constant per-step bound term.
+/// Useful for examples that want to show the bound's shape in T.
+struct BoundParams {
+  double f0_minus_fstar = 1.0;  // f(w^0) - f*
+  double gamma = 0.01;          // learning rate
+  double lipschitz = 1.0;       // L
+  std::size_t local_epochs = 10;    // I
+  std::size_t cloud_interval = 5;   // T_g
+  std::size_t num_devices = 100;    // |M|
+};
+
+double theorem1_bound(const BoundParams& params, double mean_bound_term,
+                      std::size_t steps);
+
+}  // namespace mach::core

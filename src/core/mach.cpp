@@ -1,0 +1,87 @@
+#include "core/mach.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sampling/budget.h"
+
+namespace mach::core {
+
+std::vector<double> edge_sampling_probabilities(std::span<const double> g_squared,
+                                                double capacity,
+                                                const TransferFunction* transfer) {
+  const std::size_t n = g_squared.size();
+  if (n == 0) return {};
+  const double budget = std::clamp(capacity, 0.0, static_cast<double>(n));
+
+  double total = 0.0;
+  for (double g : g_squared) total += std::max(g, 0.0);
+
+  if (transfer == nullptr) {
+    // Ablation path: raw Eq. 16 scores through budget water-filling.
+    std::vector<double> weights(g_squared.begin(), g_squared.end());
+    return sampling::budgeted_probabilities(weights, budget);
+  }
+
+  // Eq. 16: virtual probabilities (may exceed 1, that is fine — the transfer
+  // function squashes them).
+  std::vector<double> smoothed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double virtual_q =
+        total > 0.0 ? budget * std::max(g_squared[i], 0.0) / total
+                    : budget / static_cast<double>(n);
+    // Eq. 17.
+    smoothed[i] = (*transfer)(virtual_q);
+  }
+  // Eq. 18: renormalise the smoothed scores onto the budget. S(.) >= 1 keeps
+  // every ratio near uniform, so the per-device cap of 1 rarely binds; the
+  // water-filling handles the corner cases (budget close to |M_n^t|).
+  return sampling::budgeted_probabilities(smoothed, budget);
+}
+
+MachSampler::MachSampler(MachOptions options)
+    : options_(options), transfer_(options.transfer) {}
+
+void MachSampler::bind(const hfl::FederationInfo& info) {
+  estimator_.emplace(info.num_devices, options_.ucb);
+  transfer_ = TransferFunction(options_.transfer);
+}
+
+std::vector<double> MachSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  if (!estimator_) throw std::logic_error("MachSampler: bind() not called");
+  std::vector<double> g_squared(ctx.devices.size());
+  for (std::size_t i = 0; i < ctx.devices.size(); ++i) {
+    g_squared[i] = estimator_->estimate(ctx.devices[i]);
+  }
+  return edge_sampling_probabilities(g_squared, ctx.capacity,
+                                     options_.use_transfer ? &transfer_ : nullptr);
+}
+
+void MachSampler::observe_training(const hfl::TrainingObservation& obs) {
+  if (!estimator_) return;
+  estimator_->record(obs.device, obs.local_grad_sq_norms);
+}
+
+void MachSampler::on_cloud_round(std::size_t t) {
+  if (estimator_) estimator_->on_cloud_round(t);
+  transfer_.advance_round();
+}
+
+MachOracleSampler::MachOracleSampler(MachOptions options)
+    : options_(options), transfer_(options.transfer) {}
+
+std::vector<double> MachOracleSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  if (ctx.oracle_grad_sq_norms.size() != ctx.devices.size()) {
+    throw std::logic_error("MachOracleSampler: oracle norms missing");
+  }
+  return edge_sampling_probabilities(ctx.oracle_grad_sq_norms, ctx.capacity,
+                                     options_.use_transfer ? &transfer_ : nullptr);
+}
+
+void MachOracleSampler::on_cloud_round(std::size_t /*t*/) {
+  transfer_.advance_round();
+}
+
+}  // namespace mach::core

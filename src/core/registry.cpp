@@ -1,0 +1,46 @@
+#include "core/registry.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/global_mach.h"
+#include "sampling/baselines.h"
+#include "sampling/extended.h"
+
+namespace mach::core {
+
+hfl::SamplerPtr make_sampler(const std::string& name, const MachOptions& mach_options) {
+  if (name == "uniform") return std::make_unique<sampling::UniformSampler>();
+  if (name == "class_balance") return std::make_unique<sampling::ClassBalanceSampler>();
+  if (name == "statistical") return std::make_unique<sampling::StatisticalSampler>();
+  if (name == "mach") return std::make_unique<MachSampler>(mach_options);
+  if (name == "mach_p") return std::make_unique<MachOracleSampler>(mach_options);
+  if (name == "mach_global") return std::make_unique<GlobalMachSampler>(mach_options);
+  if (name == "full") return std::make_unique<sampling::FullParticipationSampler>();
+  if (name == "power_of_choice") {
+    return std::make_unique<sampling::PowerOfChoiceSampler>();
+  }
+  if (name == "oort") return std::make_unique<sampling::OortSampler>();
+  throw std::invalid_argument("make_sampler: unknown sampler '" + name + "'");
+}
+
+const std::vector<std::string>& paper_algorithms() {
+  static const std::vector<std::string> algorithms = {
+      "mach", "mach_p", "uniform", "class_balance", "statistical"};
+  return algorithms;
+}
+
+std::string display_name(const std::string& sampler_name) {
+  if (sampler_name == "mach") return "MACH";
+  if (sampler_name == "mach_p") return "MACH-P";
+  if (sampler_name == "uniform") return "US";
+  if (sampler_name == "class_balance") return "CS";
+  if (sampler_name == "statistical") return "SS";
+  if (sampler_name == "full") return "FULL";
+  if (sampler_name == "mach_global") return "MACH-G";
+  if (sampler_name == "power_of_choice") return "PoC";
+  if (sampler_name == "oort") return "Oort";
+  return sampler_name;
+}
+
+}  // namespace mach::core

@@ -1,0 +1,25 @@
+// Name-based sampler construction shared by benches, examples and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mach.h"
+#include "hfl/sampler.h"
+
+namespace mach::core {
+
+/// Creates a sampler by its canonical name:
+///   "uniform" | "class_balance" | "statistical" | "mach" | "mach_p" | "full".
+/// Throws std::invalid_argument for unknown names.
+hfl::SamplerPtr make_sampler(const std::string& name,
+                             const MachOptions& mach_options = {});
+
+/// The five algorithms compared throughout the paper's evaluation, in the
+/// order the figures/tables list them.
+const std::vector<std::string>& paper_algorithms();
+
+/// Paper display label ("MACH", "MACH-P", "US", "CS", "SS").
+std::string display_name(const std::string& sampler_name);
+
+}  // namespace mach::core

@@ -1,0 +1,33 @@
+#include "core/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mach::core {
+
+TransferFunction::TransferFunction(TransferOptions options) : options_(options) {}
+
+double TransferFunction::effective_alpha() const {
+  if (options_.warmup_rounds == 0) return options_.alpha;
+  const double frac = std::min(
+      1.0, static_cast<double>(rounds_) / static_cast<double>(options_.warmup_rounds));
+  return options_.alpha * frac;
+}
+
+double TransferFunction::effective_beta() const {
+  if (options_.warmup_rounds == 0) return options_.beta;
+  const double frac = std::min(
+      1.0, static_cast<double>(rounds_) / static_cast<double>(options_.warmup_rounds));
+  return options_.beta * frac;
+}
+
+double TransferFunction::operator()(double virtual_probability) const {
+  const double alpha = effective_alpha();
+  const double beta = effective_beta();
+  const double sigmoid = 1.0 / (1.0 + std::exp(-beta * virtual_probability));
+  return 1.0 + alpha * (sigmoid - 0.5);
+}
+
+void TransferFunction::advance_round() { ++rounds_; }
+
+}  // namespace mach::core

@@ -1,0 +1,49 @@
+// Edge-sampling transfer function S(.) of Eq. (17).
+//
+// S squashes the virtual probability q^ = K_n G~^2 / sum G~^2 (Eq. 16) into a
+// narrow band around 1 so that the renormalised probabilities (Eq. 18) never
+// become extreme while the UCB estimates are still noisy. We implement
+//     S(q^) = 1 + alpha * (1 / (1 + exp(-beta * q^)) - 1/2),
+// i.e. the paper's form with the sign convention that makes S increasing in
+// q^ (the printed e^{beta q} would *invert* the ranking for beta > 0, which
+// contradicts Remark 2; equivalently the paper's beta is negative). With
+// alpha, beta >= 0, S maps [0, inf) into [1, 1 + alpha/2) and S(0) = 1.
+//
+// The paper notes alpha and beta "should be small" early in training; the
+// optional warmup linearly ramps both from 0 over the first `warmup_rounds`
+// cloud rounds.
+#pragma once
+
+#include <cstddef>
+
+namespace mach::core {
+
+struct TransferOptions {
+  double alpha = 1.0;
+  double beta = 3.0;
+  /// Cloud rounds over which alpha/beta ramp linearly from 0 to their
+  /// configured values (0 disables warmup).
+  std::size_t warmup_rounds = 2;
+};
+
+class TransferFunction {
+ public:
+  explicit TransferFunction(TransferOptions options = {});
+
+  /// S(q^) at the current warmup level.
+  double operator()(double virtual_probability) const;
+
+  /// Advances the warmup schedule (call once per cloud round).
+  void advance_round();
+
+  /// Effective (warmed-up) coefficients.
+  double effective_alpha() const;
+  double effective_beta() const;
+  std::size_t rounds_seen() const noexcept { return rounds_; }
+
+ private:
+  TransferOptions options_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace mach::core

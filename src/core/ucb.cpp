@@ -1,0 +1,58 @@
+#include "core/ucb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mach::core {
+
+UcbEstimator::UcbEstimator(std::size_t num_devices, UcbOptions options)
+    : options_(options),
+      buffers_(num_devices),
+      max_round_avg_(num_devices, 0.0),
+      has_estimate_(num_devices, false),
+      counts_(num_devices, 0) {}
+
+void UcbEstimator::record(std::uint32_t device,
+                          const std::vector<double>& grad_sq_norms) {
+  auto& buffer = buffers_.at(device);
+  buffer.insert(buffer.end(), grad_sq_norms.begin(), grad_sq_norms.end());
+  ++counts_[device];
+}
+
+void UcbEstimator::on_cloud_round(std::size_t t) {
+  last_cloud_t_ = t;
+  for (std::size_t m = 0; m < buffers_.size(); ++m) {
+    auto& buffer = buffers_[m];
+    if (!buffer.empty()) {
+      double mean = 0.0;
+      for (double g : buffer) mean += g;
+      mean /= static_cast<double>(buffer.size());
+      if (!has_estimate_[m] || mean > max_round_avg_[m]) max_round_avg_[m] = mean;
+      has_estimate_[m] = true;
+      population_max_ = std::max(population_max_, max_round_avg_[m]);
+    }
+    if (options_.clear_buffer_on_cloud_round) buffer.clear();
+  }
+}
+
+double UcbEstimator::exploitation(std::uint32_t device) const {
+  if (has_estimate_.at(device)) return max_round_avg_[device];
+  // Optimistic prior: an unexplored device is assumed at least as
+  // informative as the best seen so far.
+  return options_.optimistic_init ? population_max_ : 0.0;
+}
+
+double UcbEstimator::exploration(std::uint32_t device) const {
+  if (!options_.use_exploration) return 0.0;
+  const double count =
+      static_cast<double>(std::max<std::size_t>(counts_.at(device), 1));
+  const double numerator =
+      std::log(static_cast<double>(std::max<std::size_t>(last_cloud_t_, 2)));
+  return options_.exploration_weight * std::sqrt(numerator / count);
+}
+
+double UcbEstimator::estimate(std::uint32_t device) const {
+  return exploitation(device) + exploration(device);
+}
+
+}  // namespace mach::core

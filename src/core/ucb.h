@@ -1,0 +1,67 @@
+// Experience updating (Algorithm 2): online UCB estimation of each device's
+// maximum expected squared gradient norm G_m^2.
+//
+// Every device keeps a gradient-experience buffer of the ||g||^2 values it
+// produced between consecutive edge-to-cloud communications. At each cloud
+// round the estimate is refreshed as
+//     G~^2_m = max_{t'} 1_m^{t'} Avg(G_m^{t'})  +  sqrt(log t / sum_t' 1_m^{t'})
+// (Eq. 15: exploitation term A = best per-round mean seen so far,
+// exploration term B = confidence radius shrinking with participations),
+// and the buffer is cleared (Alg. 2 line 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mach::core {
+
+struct UcbOptions {
+  /// Scale on the exploration term (1.0 = paper's Eq. 15).
+  double exploration_weight = 1.0;
+  /// Ablation: drop term B entirely (pure greedy exploitation).
+  bool use_exploration = true;
+  /// Ablation: keep the buffer across cloud rounds instead of clearing it.
+  bool clear_buffer_on_cloud_round = true;
+  /// Optimistic prior for devices that have never participated: their
+  /// exploitation term borrows the current population maximum.
+  bool optimistic_init = true;
+};
+
+class UcbEstimator {
+ public:
+  UcbEstimator(std::size_t num_devices, UcbOptions options = {});
+
+  /// Records one participation of `device`: the ||g||^2 values of its I
+  /// local steps are appended to its experience buffer (Eq. 14).
+  void record(std::uint32_t device, const std::vector<double>& grad_sq_norms);
+
+  /// Cloud-round bookkeeping: folds buffers into the per-round maxima and
+  /// (by default) clears them. `t` is the current global time step used in
+  /// the log t exploration numerator.
+  void on_cloud_round(std::size_t t);
+
+  /// Current estimate G~^2_m (Eq. 15). Never-participated devices return an
+  /// optimistic value so they keep being explored.
+  double estimate(std::uint32_t device) const;
+
+  /// Exploitation term A only (tests / ablation introspection).
+  double exploitation(std::uint32_t device) const;
+  /// Exploration term B only.
+  double exploration(std::uint32_t device) const;
+
+  std::size_t participations(std::uint32_t device) const {
+    return counts_.at(device);
+  }
+  std::size_t num_devices() const noexcept { return counts_.size(); }
+
+ private:
+  UcbOptions options_;
+  std::vector<std::vector<double>> buffers_;  // G_m^t: current-round experiences
+  std::vector<double> max_round_avg_;         // max_{t'} Avg(G_m^{t'})
+  std::vector<bool> has_estimate_;
+  std::vector<std::size_t> counts_;           // sum_t' 1_m^{t'}
+  double population_max_ = 0.0;
+  std::size_t last_cloud_t_ = 0;
+};
+
+}  // namespace mach::core

@@ -1,0 +1,69 @@
+#include "data/dataset.h"
+
+#include <stdexcept>
+
+namespace mach::data {
+
+Dataset::Dataset(tensor::Tensor features, std::vector<int> labels,
+                 std::size_t num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  if (features_.rank() < 2) {
+    throw std::invalid_argument("Dataset: features must have rank >= 2");
+  }
+  if (features_.dim(0) != labels_.size()) {
+    throw std::invalid_argument("Dataset: feature/label count mismatch");
+  }
+  for (int label : labels_) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
+      throw std::invalid_argument("Dataset: label out of range");
+    }
+  }
+}
+
+std::vector<std::size_t> Dataset::example_shape() const {
+  const auto& shape = features_.shape();
+  return {shape.begin() + 1, shape.end()};
+}
+
+std::size_t Dataset::example_numel() const noexcept {
+  return size() == 0 ? 0 : features_.numel() / size();
+}
+
+Batch Dataset::gather(std::span<const std::size_t> indices) const {
+  const std::size_t stride = example_numel();
+  std::vector<std::size_t> shape = features_.shape();
+  shape[0] = indices.size();
+  Batch batch;
+  batch.features = tensor::Tensor(shape);
+  batch.labels.reserve(indices.size());
+  float* dst = batch.features.data();
+  const float* src = features_.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    if (idx >= size()) throw std::out_of_range("Dataset::gather: index out of range");
+    std::copy(src + idx * stride, src + (idx + 1) * stride, dst + i * stride);
+    batch.labels.push_back(labels_[idx]);
+  }
+  return batch;
+}
+
+Batch Dataset::sample_batch(std::span<const std::size_t> indices,
+                            std::size_t batch_size, common::Rng& rng) const {
+  if (indices.empty()) throw std::invalid_argument("sample_batch: empty index set");
+  std::vector<std::size_t> chosen(batch_size);
+  for (auto& c : chosen) c = indices[rng.uniform_index(indices.size())];
+  return gather(chosen);
+}
+
+std::vector<std::size_t> Dataset::class_histogram(
+    std::span<const std::size_t> indices) const {
+  std::vector<std::size_t> histogram(num_classes_, 0);
+  for (std::size_t idx : indices) {
+    ++histogram[static_cast<std::size_t>(labels_.at(idx))];
+  }
+  return histogram;
+}
+
+}  // namespace mach::data

@@ -1,0 +1,85 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mach::data {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44415441;  // "DATA"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+bool save_dataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const auto& shape = dataset.features().shape();
+  const auto rank = static_cast<std::uint32_t>(shape.size());
+  const auto classes = static_cast<std::uint32_t>(dataset.num_classes());
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&classes), sizeof(classes));
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (std::size_t d : shape) {
+    const auto dim = static_cast<std::uint64_t>(d);
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  for (int label : dataset.labels()) {
+    const auto value = static_cast<std::int32_t>(label);
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+  out.write(reinterpret_cast<const char*>(dataset.features().data()),
+            static_cast<std::streamsize>(dataset.features().numel() * sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+  std::uint32_t magic = 0, version = 0, classes = 0, rank = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&classes), sizeof(classes));
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_dataset: bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_dataset: unsupported version");
+  }
+  if (rank == 0 || rank > 8) {
+    throw std::runtime_error("load_dataset: implausible rank");
+  }
+  std::vector<std::size_t> shape(rank);
+  for (auto& d : shape) {
+    std::uint64_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    d = static_cast<std::size_t>(dim);
+  }
+  if (!in) throw std::runtime_error("load_dataset: truncated header");
+  const std::size_t count = shape.front();
+  std::vector<int> labels(count);
+  for (auto& label : labels) {
+    std::int32_t value = 0;
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    label = value;
+  }
+  tensor::Tensor features(shape);
+  in.read(reinterpret_cast<char*>(features.data()),
+          static_cast<std::streamsize>(features.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("load_dataset: truncated payload in " + path);
+  return Dataset(std::move(features), std::move(labels), classes);
+}
+
+bool export_labels_csv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "index,label\n";
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out << i << ',' << dataset.label(i) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace mach::data

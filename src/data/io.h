@@ -1,0 +1,23 @@
+// Dataset persistence: a small self-describing binary container for the
+// synthetic datasets (so expensive generations can be cached and examples
+// can ship fixed inputs), plus a CSV label export for external analysis.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mach::data {
+
+/// Writes the dataset (shape, labels, float32 features) to `path`.
+/// Returns false on I/O failure.
+bool save_dataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by save_dataset. Throws std::runtime_error on
+/// missing or corrupt files.
+Dataset load_dataset(const std::string& path);
+
+/// Writes "index,label" rows for every example (header included).
+bool export_labels_csv(const Dataset& dataset, const std::string& path);
+
+}  // namespace mach::data

@@ -1,0 +1,220 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mach::data {
+
+std::vector<double> long_tailed_weights(std::size_t classes, double ratio) {
+  if (ratio <= 0.0 || ratio > 1.0) {
+    throw std::invalid_argument("long_tailed_weights: ratio must be in (0, 1]");
+  }
+  std::vector<double> weights(classes);
+  double w = 1.0;
+  for (std::size_t k = 0; k < classes; ++k) {
+    weights[k] = w;
+    w *= ratio;
+  }
+  return weights;
+}
+
+namespace {
+
+/// Indices of the dataset grouped by label; order inside a pool randomised.
+std::vector<std::vector<std::size_t>> class_pools(const Dataset& dataset,
+                                                  common::Rng& rng) {
+  std::vector<std::vector<std::size_t>> pools(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    pools[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  }
+  for (auto& pool : pools) rng.shuffle(pool);
+  return pools;
+}
+
+std::size_t fullest_pool(const std::vector<std::vector<std::size_t>>& pools) {
+  std::size_t best = pools.size();
+  std::size_t best_size = 0;
+  for (std::size_t c = 0; c < pools.size(); ++c) {
+    if (pools[c].size() > best_size) {
+      best_size = pools[c].size();
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Draws one example of (preferably) class `wanted` from the pools, falling
+/// back to the fullest pool when that class is exhausted. Returns the index
+/// or dataset.size() when all pools are empty.
+std::size_t draw_from_pools(std::vector<std::vector<std::size_t>>& pools,
+                            std::size_t wanted) {
+  std::size_t cls = wanted;
+  if (cls >= pools.size() || pools[cls].empty()) cls = fullest_pool(pools);
+  if (cls >= pools.size()) return static_cast<std::size_t>(-1);
+  const std::size_t idx = pools[cls].back();
+  pools[cls].pop_back();
+  return idx;
+}
+
+}  // namespace
+
+Partition partition_long_tailed(const Dataset& dataset, std::size_t num_devices,
+                                double ratio, common::Rng& rng) {
+  if (num_devices == 0) throw std::invalid_argument("partition: zero devices");
+  if (dataset.size() < num_devices) {
+    throw std::invalid_argument("partition: fewer examples than devices");
+  }
+  auto pools = class_pools(dataset, rng);
+  const std::size_t classes = dataset.num_classes();
+  const std::vector<double> tail = long_tailed_weights(classes, ratio);
+
+  // Per-device preference ordering: a random rotation of the class ids, so
+  // the dominant class differs across devices while each device keeps the
+  // same long-tail *shape* over its own ranking.
+  std::vector<std::vector<double>> device_weights(num_devices,
+                                                  std::vector<double>(classes));
+  for (std::size_t m = 0; m < num_devices; ++m) {
+    const std::size_t rotation = rng.uniform_index(classes);
+    for (std::size_t rank = 0; rank < classes; ++rank) {
+      device_weights[m][(rotation + rank) % classes] = tail[rank];
+    }
+  }
+
+  Partition partition(num_devices);
+  const std::size_t base = dataset.size() / num_devices;
+  std::size_t remainder = dataset.size() % num_devices;
+  for (std::size_t m = 0; m < num_devices; ++m) {
+    std::size_t quota = base + (m < remainder ? 1 : 0);
+    partition[m].reserve(quota);
+    while (quota-- > 0) {
+      const std::size_t wanted = rng.categorical(device_weights[m]);
+      const std::size_t idx = draw_from_pools(pools, wanted);
+      if (idx == static_cast<std::size_t>(-1)) break;
+      partition[m].push_back(idx);
+    }
+  }
+  return partition;
+}
+
+Partition partition_dirichlet(const Dataset& dataset, std::size_t num_devices,
+                              double alpha, common::Rng& rng) {
+  if (num_devices == 0) throw std::invalid_argument("partition: zero devices");
+  auto pools = class_pools(dataset, rng);
+  const std::size_t classes = dataset.num_classes();
+
+  // For each class, split its pool across devices by a Dirichlet draw.
+  Partition partition(num_devices);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto& pool = pools[c];
+    if (pool.empty()) continue;
+    const std::vector<double> shares = rng.dirichlet(alpha, num_devices);
+    // Largest-remainder apportionment of pool.size() across devices.
+    std::vector<std::size_t> counts(num_devices, 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t assigned = 0;
+    for (std::size_t m = 0; m < num_devices; ++m) {
+      const double exact = shares[m] * static_cast<double>(pool.size());
+      counts[m] = static_cast<std::size_t>(exact);
+      assigned += counts[m];
+      remainders.emplace_back(exact - std::floor(exact), m);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (std::size_t i = 0; assigned < pool.size(); ++i, ++assigned) {
+      ++counts[remainders[i % num_devices].second];
+    }
+    std::size_t cursor = 0;
+    for (std::size_t m = 0; m < num_devices; ++m) {
+      for (std::size_t k = 0; k < counts[m]; ++k) {
+        partition[m].push_back(pool[cursor++]);
+      }
+    }
+  }
+
+  // Guarantee non-empty devices: steal one example from the largest part.
+  for (std::size_t m = 0; m < num_devices; ++m) {
+    if (!partition[m].empty()) continue;
+    auto largest = std::max_element(
+        partition.begin(), partition.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (largest->size() > 1) {
+      partition[m].push_back(largest->back());
+      largest->pop_back();
+    }
+  }
+  return partition;
+}
+
+Partition partition_shards(const Dataset& dataset, std::size_t num_devices,
+                           std::size_t shards_per_device, common::Rng& rng) {
+  if (num_devices == 0 || shards_per_device == 0) {
+    throw std::invalid_argument("partition_shards: zero devices/shards");
+  }
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dataset.label(a) < dataset.label(b);
+  });
+  const std::size_t total_shards = num_devices * shards_per_device;
+  std::vector<std::size_t> shard_ids(total_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), 0);
+  rng.shuffle(shard_ids);
+
+  Partition partition(num_devices);
+  const std::size_t shard_size = dataset.size() / total_shards;
+  for (std::size_t s = 0; s < total_shards; ++s) {
+    const std::size_t device = s / shards_per_device;
+    const std::size_t shard = shard_ids[s];
+    const std::size_t begin = shard * shard_size;
+    // Last shard absorbs the remainder.
+    const std::size_t end =
+        (shard == total_shards - 1) ? dataset.size() : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i) partition[device].push_back(order[i]);
+  }
+  return partition;
+}
+
+Partition partition_iid(const Dataset& dataset, std::size_t num_devices,
+                        common::Rng& rng) {
+  if (num_devices == 0) throw std::invalid_argument("partition: zero devices");
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Partition partition(num_devices);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    partition[i % num_devices].push_back(order[i]);
+  }
+  return partition;
+}
+
+void apply_redundancy(Partition& partition, double fraction, double keep,
+                      common::Rng& rng) {
+  if (keep <= 0.0 || keep > 1.0) {
+    throw std::invalid_argument("apply_redundancy: keep must be in (0, 1]");
+  }
+  for (auto& shard : partition) {
+    if (shard.empty() || !rng.bernoulli(fraction)) continue;
+    const auto unique = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(keep * static_cast<double>(shard.size()))));
+    for (std::size_t i = unique; i < shard.size(); ++i) {
+      shard[i] = shard[i % unique];
+    }
+  }
+}
+
+bool is_exact_partition(const Partition& partition, std::size_t dataset_size) {
+  std::vector<bool> seen(dataset_size, false);
+  std::size_t total = 0;
+  for (const auto& part : partition) {
+    if (part.empty()) return false;
+    for (std::size_t idx : part) {
+      if (idx >= dataset_size || seen[idx]) return false;
+      seen[idx] = true;
+      ++total;
+    }
+  }
+  return total == dataset_size;
+}
+
+}  // namespace mach::data

@@ -1,0 +1,61 @@
+// Non-IID partitioning of a dataset across devices.
+//
+// The paper sets both the global label marginal and every device's label
+// marginal to long-tailed distributions, with random (unassumed) initial
+// placement. `partition_long_tailed` reproduces that; Dirichlet, shard and
+// IID partitioners are provided for ablations and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace mach::data {
+
+/// Unnormalised long-tailed class weights: weight of the k-th ranked class
+/// is ratio^k. ratio in (0, 1]; ratio == 1 gives a uniform distribution.
+std::vector<double> long_tailed_weights(std::size_t classes, double ratio);
+
+/// device → list of example indices into the source dataset.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Every device receives a long-tailed label marginal whose class ranking is
+/// a random rotation (each device has a random dominant class). Examples are
+/// drawn from per-class pools; when a device's preferred pool is exhausted it
+/// falls back to the fullest remaining pool, so all examples are assigned
+/// exactly once and devices end up with (almost) equal |D_m|.
+Partition partition_long_tailed(const Dataset& dataset, std::size_t num_devices,
+                                double ratio, common::Rng& rng);
+
+/// Classic Dirichlet(alpha) label-skew partition (Hsu et al.).
+Partition partition_dirichlet(const Dataset& dataset, std::size_t num_devices,
+                              double alpha, common::Rng& rng);
+
+/// Sorted-shard partition (McMahan et al.): examples sorted by label, split
+/// into num_devices * shards_per_device shards, each device gets
+/// shards_per_device random shards.
+Partition partition_shards(const Dataset& dataset, std::size_t num_devices,
+                           std::size_t shards_per_device, common::Rng& rng);
+
+/// IID: a random equal split.
+Partition partition_iid(const Dataset& dataset, std::size_t num_devices,
+                        common::Rng& rng);
+
+/// Sanity helper for tests: true iff the partition covers every example
+/// exactly once and has `num_devices` non-empty parts.
+bool is_exact_partition(const Partition& partition, std::size_t dataset_size);
+
+/// Sample-diversity heterogeneity: each device becomes "redundant" with
+/// probability `fraction`, collapsing its shard to the first
+/// ceil(keep * |shard|) unique examples repeated cyclically. Redundant
+/// devices model users whose local data is large but low-information (near-
+/// duplicate samples); their gradients vanish once the model fits the few
+/// unique examples, giving the persistent per-device gradient-norm
+/// heterogeneity (Assumption 3's G_m^2 spread) that statistical device
+/// sampling exploits. `keep` in (0, 1].
+void apply_redundancy(Partition& partition, double fraction, double keep,
+                      common::Rng& rng);
+
+}  // namespace mach::data

@@ -1,0 +1,186 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mach::data {
+
+std::string task_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::MnistLike: return "mnist";
+    case TaskKind::FmnistLike: return "fmnist";
+    case TaskKind::CifarLike: return "cifar10";
+  }
+  return "unknown";
+}
+
+SyntheticSpec SyntheticSpec::mnist_like() {
+  SyntheticSpec spec;
+  spec.kind = TaskKind::MnistLike;
+  spec.channels = 1;
+  spec.height = 12;
+  spec.width = 12;
+  spec.modes_per_class = 2;
+  spec.distractor_mix = 0.15;
+  spec.noise_stddev = 0.35;
+  spec.smoothing_passes = 2;
+  return spec;
+}
+
+SyntheticSpec SyntheticSpec::fmnist_like() {
+  SyntheticSpec spec;
+  spec.kind = TaskKind::FmnistLike;
+  spec.channels = 1;
+  spec.height = 12;
+  spec.width = 12;
+  spec.modes_per_class = 3;
+  spec.distractor_mix = 0.35;
+  spec.noise_stddev = 0.55;
+  spec.smoothing_passes = 2;
+  return spec;
+}
+
+SyntheticSpec SyntheticSpec::cifar_like() {
+  SyntheticSpec spec;
+  spec.kind = TaskKind::CifarLike;
+  spec.channels = 3;
+  spec.height = 16;
+  spec.width = 16;
+  spec.modes_per_class = 4;
+  spec.distractor_mix = 0.45;
+  spec.noise_stddev = 0.9;
+  spec.smoothing_passes = 1;
+  return spec;
+}
+
+SyntheticSpec SyntheticSpec::preset(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::MnistLike: return mnist_like();
+    case TaskKind::FmnistLike: return fmnist_like();
+    case TaskKind::CifarLike: return cifar_like();
+  }
+  throw std::invalid_argument("SyntheticSpec::preset: unknown kind");
+}
+
+namespace {
+
+/// One in-place 3x3 box-blur pass per channel (reflecting borders).
+void box_blur(std::vector<float>& image, std::size_t channels, std::size_t h,
+              std::size_t w) {
+  std::vector<float> source = image;
+  auto reflect = [](std::ptrdiff_t i, std::ptrdiff_t n) {
+    if (i < 0) return static_cast<std::size_t>(-i - 1);
+    if (i >= n) return static_cast<std::size_t>(2 * n - i - 1);
+    return static_cast<std::size_t>(i);
+  };
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* src = source.data() + c * h * w;
+    float* dst = image.data() + c * h * w;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+          for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+            const std::size_t yy = reflect(static_cast<std::ptrdiff_t>(y) + dy,
+                                           static_cast<std::ptrdiff_t>(h));
+            const std::size_t xx = reflect(static_cast<std::ptrdiff_t>(x) + dx,
+                                           static_cast<std::ptrdiff_t>(w));
+            acc += src[yy * w + xx];
+          }
+        }
+        dst[y * w + x] = acc / 9.0f;
+      }
+    }
+  }
+}
+
+/// Standardises to zero mean / unit variance so tiers only differ through
+/// the spec's mix and noise knobs.
+void standardize(std::vector<float>& image) {
+  double mean = 0.0;
+  for (float v : image) mean += v;
+  mean /= static_cast<double>(image.size());
+  double var = 0.0;
+  for (float v : image) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(image.size());
+  const double inv = 1.0 / std::sqrt(std::max(var, 1e-12));
+  for (auto& v : image) v = static_cast<float>((v - mean) * inv);
+}
+
+}  // namespace
+
+SyntheticGenerator::SyntheticGenerator(SyntheticSpec spec, std::uint64_t seed)
+    : spec_(spec) {
+  if (spec_.classes == 0 || spec_.modes_per_class == 0) {
+    throw std::invalid_argument("SyntheticGenerator: empty class/mode config");
+  }
+  common::Rng proto_rng(common::split_seed(seed, 0xda7a));
+  const std::size_t pixels = spec_.channels * spec_.height * spec_.width;
+  prototypes_.reserve(spec_.classes * spec_.modes_per_class);
+  for (std::size_t c = 0; c < spec_.classes; ++c) {
+    for (std::size_t mode = 0; mode < spec_.modes_per_class; ++mode) {
+      std::vector<float> image(pixels);
+      for (auto& v : image) v = static_cast<float>(proto_rng.normal());
+      for (std::size_t pass = 0; pass < spec_.smoothing_passes; ++pass) {
+        box_blur(image, spec_.channels, spec_.height, spec_.width);
+      }
+      standardize(image);
+      prototypes_.push_back(std::move(image));
+    }
+  }
+}
+
+tensor::Tensor SyntheticGenerator::render_example(int label, common::Rng& rng) const {
+  if (label < 0 || static_cast<std::size_t>(label) >= spec_.classes) {
+    throw std::out_of_range("render_example: bad label");
+  }
+  const std::size_t pixels = spec_.channels * spec_.height * spec_.width;
+  const std::size_t mode = rng.uniform_index(spec_.modes_per_class);
+  const auto& proto =
+      prototypes_[static_cast<std::size_t>(label) * spec_.modes_per_class + mode];
+
+  // Distractor: a prototype from a different class, blended in with the
+  // spec's mix weight — this is what makes harder tiers harder.
+  std::size_t other_class = rng.uniform_index(spec_.classes - 1);
+  if (other_class >= static_cast<std::size_t>(label)) ++other_class;
+  const std::size_t other_mode = rng.uniform_index(spec_.modes_per_class);
+  const auto& distractor =
+      prototypes_[other_class * spec_.modes_per_class + other_mode];
+
+  const auto mix = static_cast<float>(spec_.distractor_mix);
+  const auto noise = static_cast<float>(spec_.noise_stddev);
+  tensor::Tensor out({1, spec_.channels, spec_.height, spec_.width});
+  float* dst = out.data();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    dst[i] = (1.0f - mix) * proto[i] + mix * distractor[i] +
+             noise * static_cast<float>(rng.normal());
+  }
+  return out;
+}
+
+Dataset SyntheticGenerator::generate(std::size_t count,
+                                     std::span<const double> label_weights,
+                                     common::Rng& rng) const {
+  if (label_weights.size() != spec_.classes) {
+    throw std::invalid_argument("generate: label_weights size mismatch");
+  }
+  const std::size_t pixels = spec_.channels * spec_.height * spec_.width;
+  tensor::Tensor features({count, spec_.channels, spec_.height, spec_.width});
+  std::vector<int> labels(count);
+  float* dst = features.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t label = rng.categorical(label_weights);
+    if (label >= spec_.classes) label = 0;  // all-zero weights: degenerate fallback
+    labels[i] = static_cast<int>(label);
+    const tensor::Tensor image = render_example(labels[i], rng);
+    std::copy(image.flat().begin(), image.flat().end(), dst + i * pixels);
+  }
+  return Dataset(std::move(features), std::move(labels), spec_.classes);
+}
+
+Dataset SyntheticGenerator::generate_uniform(std::size_t count, common::Rng& rng) const {
+  const std::vector<double> weights(spec_.classes, 1.0);
+  return generate(count, weights, rng);
+}
+
+}  // namespace mach::data

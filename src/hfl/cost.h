@@ -1,0 +1,55 @@
+// Communication-cost accounting for the hierarchical wireless network.
+//
+// The paper frames device sampling as minimising convergence error under
+// *time-averaged cost constraints* (the per-edge channel budget K_n). This
+// module counts the messages the simulated system actually exchanges so
+// experiments can report cost alongside time-to-accuracy:
+//   * device <-> edge: one model download per sampled device per step
+//     (Eq. 4's starting point) and one model upload after local updating;
+//   * oracle probes (MACH-P only): one extra model download per probed
+//     device per step;
+//   * edge <-> cloud: per cloud round (Eq. 6), each edge uploads its model
+//     and receives the new global model.
+#pragma once
+
+#include <cstddef>
+
+namespace mach::hfl {
+
+struct CommunicationCost {
+  std::size_t device_downloads = 0;   // edge model -> device
+  std::size_t device_uploads = 0;     // local model -> edge
+  std::size_t probe_downloads = 0;    // oracle probes (MACH-P)
+  std::size_t edge_uploads = 0;       // edge model -> cloud
+  std::size_t cloud_broadcasts = 0;   // global model -> edge
+  /// Scalar parameters per model message (for byte conversion).
+  std::size_t model_parameters = 0;
+
+  std::size_t total_model_messages() const noexcept {
+    return device_downloads + device_uploads + probe_downloads + edge_uploads +
+           cloud_broadcasts;
+  }
+
+  /// Total bytes moved assuming float32 parameters.
+  std::size_t total_bytes() const noexcept {
+    return total_model_messages() * model_parameters * sizeof(float);
+  }
+
+  /// Device-edge messages per time step (the channel-budget view, Eq. 3).
+  double device_messages_per_step(std::size_t steps) const noexcept {
+    if (steps == 0) return 0.0;
+    return static_cast<double>(device_downloads + device_uploads) /
+           static_cast<double>(steps);
+  }
+
+  CommunicationCost& operator+=(const CommunicationCost& other) noexcept {
+    device_downloads += other.device_downloads;
+    device_uploads += other.device_uploads;
+    probe_downloads += other.probe_downloads;
+    edge_uploads += other.edge_uploads;
+    cloud_broadcasts += other.cloud_broadcasts;
+    return *this;
+  }
+};
+
+}  // namespace mach::hfl

@@ -1,0 +1,125 @@
+// End-to-end experiment assembly: synthesises the dataset, the Non-IID
+// partition and the mobility schedule for one of the paper's three learning
+// tasks, then runs the HFL simulator under a given sampler.
+//
+// Two preset scales exist for every task:
+//   * smoke — MLP models and reduced populations sized for a single-core CI
+//     box (the default for benches and tests);
+//   * full  — the paper's population (100 devices / 10 edges) and CNN
+//     architectures (2conv+2fc / 3conv+2fc), enabled with REPRO_FULL=1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "hfl/simulator.h"
+
+namespace mach::hfl {
+
+enum class ModelKind { Mlp, PaperCnn };
+
+struct ExperimentConfig {
+  data::TaskKind task = data::TaskKind::MnistLike;
+  data::SyntheticSpec data_spec = data::SyntheticSpec::mnist_like();
+
+  std::size_t num_devices = 50;
+  std::size_t num_edges = 10;
+  std::size_t train_per_device = 80;
+  std::size_t test_examples = 1000;
+
+  /// Long-tail ratio shared by the global and per-device label marginals.
+  double long_tail_ratio = 0.65;
+  /// Sample-diversity heterogeneity (see data::apply_redundancy): fraction
+  /// of devices whose shard collapses to `redundant_keep` unique examples.
+  /// This supplies the persistent gradient-norm spread across devices that
+  /// real federated datasets exhibit; 0 disables it.
+  double redundant_fraction = 0.6;
+  double redundant_keep = 0.08;
+
+  ModelKind model = ModelKind::Mlp;
+  std::size_t mlp_hidden = 32;
+
+  HflOptions hfl;                 // local epochs, T_g, lr, participation, ...
+  std::size_t horizon = 120;      // time steps per run
+  double target_accuracy = 0.75;  // the task's time-to-accuracy target
+
+  /// Mobility: telecom-style layout replayed through the Markov model.
+  std::size_t num_stations = 60;
+  std::size_t num_hotspots = 6;
+  double stay_prob = 0.8;
+  double move_range = 25.0;
+
+  /// Run seed: model init, Bernoulli device sampling, local minibatches.
+  /// Varied across the averaged repetitions (the paper repeats each
+  /// experiment three times over the same data and trace).
+  std::uint64_t seed = 1;
+  /// Data seed: synthetic concept, Non-IID partition, redundancy draw,
+  /// station layout and mobility trace. Fixed across repetitions, exactly as
+  /// the paper's MNIST/FMNIST/CIFAR10 datasets and replayed Telecom traces
+  /// are fixed.
+  std::uint64_t data_seed = 42;
+
+  /// Paper-scaled presets per task (see file comment).
+  static ExperimentConfig smoke(data::TaskKind task);
+  static ExperimentConfig full(data::TaskKind task);
+  /// smoke() unless the REPRO_FULL env flag is set.
+  static ExperimentConfig preset(data::TaskKind task);
+
+  /// Applies a new run seed (model init / sampling / minibatches). The data
+  /// seed is left untouched; set `data_seed` directly to change the world.
+  ExperimentConfig with_seed(std::uint64_t seed) const;
+};
+
+/// The generated inputs of one experiment instance.
+struct ExperimentArtifacts {
+  data::Dataset train;
+  data::Dataset test;
+  data::Partition partition;
+  mobility::MobilitySchedule schedule;
+};
+
+/// Deterministically synthesises data + partition + mobility for the config.
+ExperimentArtifacts build_experiment(const ExperimentConfig& config);
+
+/// Model builder matching the config's task/model kind.
+ModelFactory make_model_factory(const ExperimentConfig& config);
+
+struct RunResult {
+  MetricsRecorder metrics;
+  /// First step reaching target_accuracy; nullopt if never within horizon.
+  std::optional<std::size_t> time_to_target;
+  std::string sampler_name;
+};
+
+/// Builds everything from the config and runs one full simulation.
+RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler);
+
+/// Time-to-target averaged over seeds (paper averages three runs). Runs that
+/// never reach the target count as the horizon, and `reach_rate` reports the
+/// fraction that did.
+struct AveragedTimeToTarget {
+  double mean_steps = 0.0;
+  double reach_rate = 0.0;
+  std::vector<std::optional<std::size_t>> per_seed;
+};
+
+/// Sampler factory: fresh sampler per seed (experience must not leak).
+using SamplerFactory = std::function<SamplerPtr()>;
+
+AveragedTimeToTarget averaged_time_to_target(const ExperimentConfig& config,
+                                             const SamplerFactory& make_sampler,
+                                             std::span<const std::uint64_t> seeds);
+
+/// Point-wise mean accuracy curve across runs (eval grids must align, which
+/// holds for runs sharing a config).
+std::vector<EvalPoint> average_curves(const std::vector<MetricsRecorder>& runs);
+
+/// Mean time-to-target over already-averaged curves with target smoothing:
+/// first eval step where the mean curve reaches `target`.
+std::optional<std::size_t> curve_time_to_target(const std::vector<EvalPoint>& curve,
+                                                double target);
+
+}  // namespace mach::hfl

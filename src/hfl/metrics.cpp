@@ -1,0 +1,92 @@
+#include "hfl/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace mach::hfl {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: zero classes");
+  }
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  if (true_label < 0 || predicted_label < 0 ||
+      static_cast<std::size_t>(true_label) >= classes_ ||
+      static_cast<std::size_t>(predicted_label) >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++counts_[static_cast<std::size_t>(true_label) * classes_ +
+            static_cast<std::size_t>(predicted_label)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t true_class,
+                                   std::size_t predicted) const {
+  if (true_class >= classes_ || predicted >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::count");
+  }
+  return counts_[true_class * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) correct += counts_[c * classes_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t true_class) const {
+  std::size_t row_total = 0;
+  for (std::size_t p = 0; p < classes_; ++p) row_total += count(true_class, p);
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(true_class, true_class)) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(std::size_t predicted_class) const {
+  std::size_t col_total = 0;
+  for (std::size_t t = 0; t < classes_; ++t) col_total += count(t, predicted_class);
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(count(predicted_class, predicted_class)) /
+         static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double total = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) total += recall(c);
+  return total / static_cast<double>(classes_);
+}
+
+std::optional<std::size_t> MetricsRecorder::time_to_accuracy(double target) const {
+  for (const auto& p : points_) {
+    if (p.test_accuracy >= target) return p.t;
+  }
+  return std::nullopt;
+}
+
+double MetricsRecorder::best_accuracy() const noexcept {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.test_accuracy);
+  return best;
+}
+
+double MetricsRecorder::final_accuracy() const noexcept {
+  return points_.empty() ? 0.0 : points_.back().test_accuracy;
+}
+
+bool MetricsRecorder::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t,test_accuracy,test_loss,train_loss,participants\n";
+  for (const auto& p : points_) {
+    out << p.t << ',' << p.test_accuracy << ',' << p.test_loss << ','
+        << p.train_loss << ',' << p.participants << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace mach::hfl

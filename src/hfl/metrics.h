@@ -1,0 +1,76 @@
+// Per-run metric recording: accuracy trajectory of the global model and the
+// paper's headline metric, time-steps-to-target-accuracy.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mach::hfl {
+
+/// Square confusion matrix over class labels: rows = true class, columns =
+/// predicted class. Used to analyse how tail classes are learned under the
+/// long-tailed Non-IID partitions.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int true_label, int predicted_label);
+
+  std::size_t num_classes() const noexcept { return classes_; }
+  std::size_t count(std::size_t true_class, std::size_t predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// Overall accuracy (0 when empty).
+  double accuracy() const noexcept;
+  /// Recall of one class (0 when the class has no examples).
+  double recall(std::size_t true_class) const;
+  /// Precision of one class (0 when nothing was predicted as it).
+  double precision(std::size_t predicted_class) const;
+  /// Mean per-class recall — the balanced accuracy the long-tail literature
+  /// reports (insensitive to the label marginal).
+  double balanced_accuracy() const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // classes_ x classes_, row-major
+};
+
+struct EvalPoint {
+  std::size_t t = 0;            // time step at which the global model was evaluated
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+  double train_loss = 0.0;      // mean loss over participating devices since last eval
+  std::size_t participants = 0; // devices sampled since the previous eval point
+  /// ||∇f(w^t)||² over a training-data sample — the quantity Theorem 1
+  /// bounds. Only populated when HflOptions::track_global_grad_norm is set.
+  double global_grad_sq_norm = 0.0;
+};
+
+class MetricsRecorder {
+ public:
+  void record(EvalPoint point) { points_.push_back(point); }
+
+  const std::vector<EvalPoint>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// First time step whose evaluation accuracy reaches `target`.
+  /// std::nullopt when never reached.
+  std::optional<std::size_t> time_to_accuracy(double target) const;
+
+  /// Highest accuracy seen.
+  double best_accuracy() const noexcept;
+
+  /// Accuracy at the final evaluation (0 when empty).
+  double final_accuracy() const noexcept;
+
+  /// Writes "t,accuracy,loss,train_loss,participants" rows.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<EvalPoint> points_;
+};
+
+}  // namespace mach::hfl

@@ -1,0 +1,309 @@
+#include "hfl/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/sgd.h"
+
+namespace mach::hfl {
+
+HflSimulator::HflSimulator(const data::Dataset& train, const data::Dataset& test,
+                           data::Partition partition,
+                           const mobility::MobilitySchedule& schedule,
+                           ModelFactory model_factory, HflOptions options)
+    : train_(train),
+      test_(test),
+      partition_(std::move(partition)),
+      schedule_(schedule),
+      options_(options),
+      model_(model_factory()),
+      engine_rng_(common::split_seed(
+          options.sampling_seed != 0 ? options.sampling_seed : options.seed,
+          0xe791)) {
+  if (partition_.size() != schedule_.num_devices()) {
+    throw std::invalid_argument("HflSimulator: partition/schedule device mismatch");
+  }
+  if (!options_.edge_capacities.empty() &&
+      options_.edge_capacities.size() != schedule_.num_edges()) {
+    throw std::invalid_argument("HflSimulator: edge_capacities size mismatch");
+  }
+  if (options_.local_epochs == 0 || options_.cloud_interval == 0 ||
+      options_.batch_size == 0) {
+    throw std::invalid_argument("HflSimulator: zero local_epochs/cloud_interval/batch");
+  }
+  for (const auto& part : partition_) {
+    if (part.empty()) throw std::invalid_argument("HflSimulator: empty device shard");
+  }
+  common::Rng init_rng(common::split_seed(options_.seed, 0x1417));
+  model_.init_params(init_rng);
+  global_ = model_.get_parameters();
+  param_count_ = global_.size();
+  edge_models_.assign(schedule_.num_edges(), global_);
+  device_rngs_.reserve(partition_.size());
+  for (std::size_t m = 0; m < partition_.size(); ++m) {
+    device_rngs_.emplace_back(common::split_seed(options_.seed, 0xd00 + m));
+  }
+}
+
+double HflSimulator::edge_capacity(std::size_t edge) const {
+  if (!options_.edge_capacities.empty()) return options_.edge_capacities.at(edge);
+  return options_.participation * static_cast<double>(num_devices()) /
+         static_cast<double>(num_edges());
+}
+
+FederationInfo HflSimulator::federation_info() const {
+  FederationInfo info;
+  info.num_devices = num_devices();
+  info.num_edges = num_edges();
+  info.num_classes = train_.num_classes();
+  info.cloud_interval = options_.cloud_interval;
+  info.class_histograms.reserve(partition_.size());
+  for (const auto& part : partition_) {
+    info.class_histograms.push_back(train_.class_histogram(part));
+  }
+  return info;
+}
+
+double HflSimulator::learning_rate_at(std::size_t t) const {
+  return options_.learning_rate / (1.0 + options_.lr_decay * static_cast<double>(t));
+}
+
+TrainingObservation HflSimulator::train_device(std::size_t t, std::uint32_t device,
+                                               std::size_t edge,
+                                               const std::vector<float>& edge_model,
+                                               double learning_rate) {
+  model_.set_parameters(edge_model);
+  nn::Sgd sgd({.learning_rate = learning_rate, .momentum = 0.0, .weight_decay = 0.0});
+  TrainingObservation obs;
+  obs.t = t;
+  obs.device = device;
+  obs.edge = edge;
+  obs.local_grad_sq_norms.reserve(options_.local_epochs);
+  double loss_total = 0.0;
+  auto& rng = device_rngs_[device];
+  for (std::size_t tau = 0; tau < options_.local_epochs; ++tau) {
+    const data::Batch batch =
+        train_.sample_batch(partition_[device], options_.batch_size, rng);
+    const nn::StepStats stats = model_.forward_backward(batch.features, batch.labels);
+    sgd.step(model_);
+    obs.local_grad_sq_norms.push_back(stats.grad_squared_norm);
+    loss_total += stats.loss;
+  }
+  obs.mean_loss = loss_total / static_cast<double>(options_.local_epochs);
+  scratch_params_ = model_.get_parameters();
+  return obs;
+}
+
+double HflSimulator::probe_gradient_norm(std::uint32_t device,
+                                         const std::vector<float>& params) {
+  // Oracle probe (MACH-P): the true gradient norm at the current edge model,
+  // computed over a fixed prefix of the device's shard (capped for cost).
+  // Deterministic so the oracle baseline is noise-free, as the paper assumes
+  // ("training experiences for each device in every time step are known").
+  model_.set_parameters(params);
+  constexpr std::size_t kProbeCap = 16;
+  const auto& shard = partition_[device];
+  const std::size_t count = std::min(shard.size(), kProbeCap);
+  const data::Batch batch =
+      train_.gather(std::span<const std::size_t>(shard.data(), count));
+  return model_.forward_backward(batch.features, batch.labels).grad_squared_norm;
+}
+
+EvalPoint HflSimulator::evaluate_global(std::size_t t) {
+  model_.set_parameters(global_);
+  EvalPoint point;
+  point.t = t;
+  std::size_t total = test_.size();
+  if (options_.eval_max_examples != 0) {
+    total = std::min(total, options_.eval_max_examples);
+  }
+  constexpr std::size_t kChunk = 256;
+  std::size_t correct = 0;
+  double loss = 0.0;
+  std::size_t seen = 0;
+  std::vector<std::size_t> indices;
+  for (std::size_t begin = 0; begin < total; begin += kChunk) {
+    const std::size_t end = std::min(begin + kChunk, total);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    const data::Batch batch = test_.gather(indices);
+    const nn::StepStats stats = model_.evaluate(batch.features, batch.labels);
+    correct += stats.correct;
+    loss += stats.loss * static_cast<double>(stats.batch_size);
+    seen += stats.batch_size;
+  }
+  if (seen > 0) {
+    point.test_accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+    point.test_loss = loss / static_cast<double>(seen);
+  }
+  if (options_.track_global_grad_norm_examples > 0) {
+    // Theorem 1's LHS: gradient of the population objective f (Eq. 2) at the
+    // current global model, over a fixed prefix of the training data.
+    const std::size_t count =
+        std::min(train_.size(), options_.track_global_grad_norm_examples);
+    std::vector<std::size_t> sample(count);
+    for (std::size_t i = 0; i < count; ++i) sample[i] = i;
+    const data::Batch batch = train_.gather(sample);
+    model_.set_parameters(global_);
+    point.global_grad_sq_norm =
+        model_.forward_backward(batch.features, batch.labels).grad_squared_norm;
+  }
+  return point;
+}
+
+ConfusionMatrix HflSimulator::evaluate_confusion() {
+  model_.set_parameters(global_);
+  ConfusionMatrix confusion(test_.num_classes());
+  constexpr std::size_t kChunk = 256;
+  std::vector<std::size_t> indices;
+  for (std::size_t begin = 0; begin < test_.size(); begin += kChunk) {
+    const std::size_t end = std::min(begin + kChunk, test_.size());
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+    const data::Batch batch = test_.gather(indices);
+    const tensor::Tensor& logits = model_.forward(batch.features);
+    const std::size_t classes = logits.dim(1);
+    for (std::size_t row = 0; row < batch.size(); ++row) {
+      const float* values = logits.data() + row * classes;
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < classes; ++c) {
+        if (values[c] > values[best]) best = c;
+      }
+      confusion.add(batch.labels[row], static_cast<int>(best));
+    }
+  }
+  return confusion;
+}
+
+MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
+  sampler.bind(federation_info());
+  MetricsRecorder metrics;
+  cost_ = CommunicationCost{};
+  cost_.model_parameters = param_count_;
+
+  // Baseline point: the untrained global model.
+  metrics.record(evaluate_global(0));
+
+  double window_train_loss = 0.0;
+  std::size_t window_participants = 0;
+  std::size_t cloud_rounds = 0;
+
+  std::vector<float> aggregate(param_count_);
+  std::vector<double> probs;
+  std::vector<double> oracle_norms;
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double lr = learning_rate_at(t);
+    const auto per_edge = schedule_.devices_per_edge(t);
+    for (std::size_t n = 0; n < per_edge.size(); ++n) {
+      const auto& devices = per_edge[n];
+      if (devices.empty()) continue;
+      std::vector<float>& edge_model = edge_models_[n];
+
+      EdgeSamplingContext ctx;
+      ctx.t = t;
+      ctx.edge = n;
+      ctx.capacity = edge_capacity(n);
+      ctx.devices = devices;
+      if (sampler.needs_oracle()) {
+        oracle_norms.resize(devices.size());
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+          oracle_norms[i] = probe_gradient_norm(devices[i], edge_model);
+        }
+        cost_.probe_downloads += devices.size();
+        ctx.oracle_grad_sq_norms = oracle_norms;
+      }
+      probs = sampler.edge_probabilities(ctx);
+      if (probs.size() != devices.size()) {
+        throw std::logic_error("sampler returned wrong probability count");
+      }
+      for (auto& q : probs) q = std::clamp(q, options_.min_probability, 1.0);
+
+      // Device sampling (independent Bernoulli trials) + local updating.
+      std::fill(aggregate.begin(), aggregate.end(), 0.0f);
+      const double inv_edge_size = 1.0 / static_cast<double>(devices.size());
+      double weight_total = 0.0;
+      bool any_sampled = false;
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        if (!engine_rng_.bernoulli(probs[i])) continue;
+        any_sampled = true;
+        ++cost_.device_downloads;  // device fetches w_n^t (Eq. 4 start)
+        ++cost_.device_uploads;    // device returns w_m^{t+1}
+        TrainingObservation obs = train_device(t, devices[i], n, edge_model, lr);
+        window_train_loss += obs.mean_loss;
+        ++window_participants;
+        sampler.observe_training(obs);
+        const double ht_weight = inv_edge_size / probs[i];
+        weight_total += ht_weight;
+        const auto weight = static_cast<float>(ht_weight);
+        if (options_.aggregation == AggregationForm::UpdateForm) {
+          // HT-weighted deltas (the form the paper's proof analyses).
+          for (std::size_t j = 0; j < param_count_; ++j) {
+            aggregate[j] += weight * (scratch_params_[j] - edge_model[j]);
+          }
+        } else {
+          // HT-weighted parameters (Eq. 5).
+          for (std::size_t j = 0; j < param_count_; ++j) {
+            aggregate[j] += weight * scratch_params_[j];
+          }
+        }
+      }
+      // Edge aggregation (Eq. 5). With no participant the edge model is
+      // carried over unchanged in every form.
+      if (any_sampled) {
+        switch (options_.aggregation) {
+          case AggregationForm::Literal:
+            edge_model.assign(aggregate.begin(), aggregate.end());
+            break;
+          case AggregationForm::SelfNormalized: {
+            const auto inv = static_cast<float>(1.0 / weight_total);
+            for (std::size_t j = 0; j < param_count_; ++j) {
+              edge_model[j] = aggregate[j] * inv;
+            }
+            break;
+          }
+          case AggregationForm::UpdateForm:
+            for (std::size_t j = 0; j < param_count_; ++j) {
+              edge_model[j] += aggregate[j];
+            }
+            break;
+        }
+      }
+    }
+
+    // Edge-to-cloud communication (Eq. 6) on the paper's t mod T_g schedule.
+    if (t % options_.cloud_interval == 0) {
+      std::fill(global_.begin(), global_.end(), 0.0f);
+      const double inv_all = 1.0 / static_cast<double>(num_devices());
+      for (std::size_t n = 0; n < num_edges(); ++n) {
+        const double weight = static_cast<double>(per_edge[n].size()) * inv_all;
+        if (weight == 0.0) continue;
+        const auto w = static_cast<float>(weight);
+        const auto& edge_model = edge_models_[n];
+        for (std::size_t j = 0; j < param_count_; ++j) {
+          global_[j] += w * edge_model[j];
+        }
+      }
+      for (auto& edge_model : edge_models_) edge_model = global_;
+      cost_.edge_uploads += num_edges();
+      cost_.cloud_broadcasts += num_edges();
+      sampler.on_cloud_round(t);
+      ++cloud_rounds;
+      if (cloud_rounds % options_.eval_every_cloud_rounds == 0) {
+        EvalPoint point = evaluate_global(t + 1);
+        point.train_loss = window_participants > 0
+                               ? window_train_loss /
+                                     static_cast<double>(window_participants)
+                               : 0.0;
+        point.participants = window_participants;
+        metrics.record(point);
+        window_train_loss = 0.0;
+        window_participants = 0;
+      }
+    }
+  }
+  return metrics;
+}
+
+}  // namespace mach::hfl

@@ -1,0 +1,154 @@
+// The hierarchical federated learning engine (Algorithm 1's skeleton).
+//
+// One simulator instance runs the full device → edge → cloud loop over a
+// mobility schedule:
+//   1. device sampling with the pluggable Sampler (q^t_{m,n}, Eq. 3),
+//   2. local updating — I SGD steps per sampled device (Eq. 4),
+//   3. edge aggregation with inverse-probability weights (Eq. 5),
+//   4. cloud aggregation every T_g steps (Eq. 6) + evaluation.
+//
+// Aggregation form. Eq. (5) weighs the sampled devices' parameters by
+// 1[m]/q[m] (Horvitz-Thompson): unbiased (Lemma 1) but highly sensitive to
+// small sampling probabilities — exactly the gradient-explosion behaviour
+// §III-B.2 describes and that MACH's transfer function S(.) is designed to
+// tame. Three variants are provided (AggregationForm): the literal Eq. (5)
+// (default — matches the paper's system and reproduces the instability that
+// separates MACH from unclipped baselines), the self-normalised form most
+// practical FedAvg implementations use (keeps the 1/q composition weighting
+// but drops the pure scale noise), and the update form the paper's proof
+// (Eq. 19) analyses (lowest variance; ablation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "hfl/cost.h"
+#include "hfl/metrics.h"
+#include "hfl/sampler.h"
+#include "mobility/schedule.h"
+#include "nn/model.h"
+
+namespace mach::hfl {
+
+/// Edge aggregation rule (all Horvitz-Thompson-weighted; see file comment).
+enum class AggregationForm {
+  /// Eq. (5) verbatim: w_n = sum (1/|M_n|)(1/q_m) w_m over sampled devices.
+  /// Unbiased but carries both scale noise (sum of weights != 1) and
+  /// composition noise (small-q devices dominate when sampled).
+  Literal,
+  /// Self-normalised HT: w_n = sum (1/q_m) w_m / sum (1/q_m). The standard
+  /// FedAvg-style implementation of Eq. (5): removes the pure scale noise
+  /// while keeping the 1/q composition weighting (and thus the instability
+  /// that extreme sampling probabilities cause — the effect MACH's transfer
+  /// function defends against).
+  SelfNormalized,
+  /// HT weighting applied to local updates (w_m - w_n), non-sampled devices
+  /// implicitly contribute the unchanged edge model — the form the paper's
+  /// proof (Eq. 19) analyses. Lowest variance; ablation.
+  UpdateForm,
+};
+
+struct HflOptions {
+  std::size_t local_epochs = 10;       // I in Eq. (4)
+  std::size_t cloud_interval = 5;      // T_g
+  std::size_t batch_size = 16;         // |xi| per local step
+  double learning_rate = 0.01;         // gamma
+  double lr_decay = 0.0;               // gamma_t = gamma / (1 + decay * t)
+  double participation = 0.5;          // sets K_n = participation * |M| / |N|
+  /// Optional per-edge capacity override (size == num_edges); empty means
+  /// the uniform capacity derived from `participation`.
+  std::vector<double> edge_capacities;
+  /// Floor applied to sampling probabilities to keep inverse weights finite.
+  double min_probability = 1e-3;
+  /// Edge aggregation rule (see AggregationForm).
+  AggregationForm aggregation = AggregationForm::Literal;
+  /// Evaluate the global model every `eval_every` cloud rounds (1 = every).
+  std::size_t eval_every_cloud_rounds = 1;
+  /// Cap on test examples per evaluation (0 = all).
+  std::size_t eval_max_examples = 0;
+  /// Also measure ||∇f(w^t)||² (Theorem 1's left-hand side) at every
+  /// evaluation, over a fixed training-data sample of this many examples
+  /// (0 disables the measurement).
+  std::size_t track_global_grad_norm_examples = 0;
+  std::uint64_t seed = 1;
+  /// Optional separate seed for the Bernoulli device-sampling draws; 0 means
+  /// derive from `seed`. Lets tests vary the sampling realisation while
+  /// keeping model init and minibatch draws fixed (Lemma 1 Monte-Carlo).
+  std::uint64_t sampling_seed = 0;
+};
+
+/// Builds a fresh untrained model; invoked once (the simulator reuses one
+/// model object for every device, swapping flat parameter vectors).
+using ModelFactory = std::function<nn::Sequential()>;
+
+class HflSimulator {
+ public:
+  /// `train`/`test` must outlive the simulator. The partition maps device ->
+  /// indices into `train`. The schedule supplies B[t][n,m]; its horizon may
+  /// be shorter than the requested run (it repeats cyclically).
+  HflSimulator(const data::Dataset& train, const data::Dataset& test,
+               data::Partition partition, const mobility::MobilitySchedule& schedule,
+               ModelFactory model_factory, HflOptions options);
+
+  /// Runs `steps` time steps with the given sampler; returns the metrics.
+  /// The sampler's lifetime spans the run (experience carries across steps).
+  MetricsRecorder run(Sampler& sampler, std::size_t steps);
+
+  /// Evaluates the current global model on the test split.
+  EvalPoint evaluate_global(std::size_t t);
+
+  /// Full confusion matrix of the current global model on the test split
+  /// (per-class view of the long-tail learning progress).
+  ConfusionMatrix evaluate_confusion();
+
+  /// Communication counters accumulated by the most recent run().
+  const CommunicationCost& last_run_cost() const noexcept { return cost_; }
+
+  std::size_t num_devices() const noexcept { return partition_.size(); }
+  std::size_t num_edges() const noexcept { return schedule_.num_edges(); }
+  /// K_n for edge n (Eq. 3).
+  double edge_capacity(std::size_t edge) const;
+
+  /// Flat parameters of the current global model (for tests/examples).
+  const std::vector<float>& global_parameters() const noexcept { return global_; }
+
+  /// FederationInfo handed to samplers at bind() time.
+  FederationInfo federation_info() const;
+
+ private:
+  struct StepAccumulator;
+
+  /// One local-update phase for a device (Eq. 4); returns its observation
+  /// and leaves the trained parameters in `scratch_params_`.
+  TrainingObservation train_device(std::size_t t, std::uint32_t device,
+                                   std::size_t edge,
+                                   const std::vector<float>& edge_model,
+                                   double learning_rate);
+
+  /// ||g||^2 probe used for samplers with needs_oracle() (MACH-P).
+  double probe_gradient_norm(std::uint32_t device, const std::vector<float>& params);
+
+  double learning_rate_at(std::size_t t) const;
+
+  const data::Dataset& train_;
+  const data::Dataset& test_;
+  data::Partition partition_;
+  const mobility::MobilitySchedule& schedule_;
+  HflOptions options_;
+
+  nn::Sequential model_;            // shared scratch model
+  std::size_t param_count_ = 0;
+  std::vector<float> global_;       // w^t
+  std::vector<std::vector<float>> edge_models_;  // w_n^t
+  std::vector<float> scratch_params_;
+  CommunicationCost cost_;
+  common::Rng engine_rng_;
+  std::vector<common::Rng> device_rngs_;  // local minibatch randomness
+};
+
+}  // namespace mach::hfl

@@ -1,0 +1,18 @@
+#include "mobility/geo.h"
+
+namespace mach::mobility {
+
+std::size_t nearest_point(const std::vector<Point>& points, const Point& p) noexcept {
+  std::size_t best = 0;
+  double best_d = squared_distance(points[0], p);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double d = squared_distance(points[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mach::mobility

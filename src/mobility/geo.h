@@ -1,0 +1,28 @@
+// Planar geometry primitives for the synthetic metro area.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mach::mobility {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double squared_distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) noexcept {
+  return std::sqrt(squared_distance(a, b));
+}
+
+/// Index of the nearest point in `points` to `p` (points must be non-empty).
+std::size_t nearest_point(const std::vector<Point>& points, const Point& p) noexcept;
+
+}  // namespace mach::mobility

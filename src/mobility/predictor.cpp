@@ -1,0 +1,107 @@
+#include "mobility/predictor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mach::mobility {
+
+MarkovPredictor::MarkovPredictor(std::size_t num_edges, std::size_t num_devices,
+                                 bool shared)
+    : num_edges_(num_edges),
+      shared_(shared),
+      pooled_(num_edges * num_edges, 0) {
+  if (num_edges_ == 0) throw std::invalid_argument("MarkovPredictor: zero edges");
+  if (!shared_) {
+    per_device_.assign(num_devices,
+                       std::vector<std::size_t>(num_edges * num_edges, 0));
+  }
+}
+
+const std::vector<std::size_t>& MarkovPredictor::counts_for(
+    std::uint32_t device) const {
+  if (shared_) return pooled_;
+  return per_device_.at(device);
+}
+
+std::vector<std::size_t>& MarkovPredictor::counts_for(std::uint32_t device) {
+  if (shared_) return pooled_;
+  return per_device_.at(device);
+}
+
+void MarkovPredictor::observe(std::uint32_t device, std::uint32_t from_edge,
+                              std::uint32_t to_edge) {
+  if (from_edge >= num_edges_ || to_edge >= num_edges_) {
+    throw std::out_of_range("MarkovPredictor::observe: edge id out of range");
+  }
+  ++pooled_[from_edge * num_edges_ + to_edge];
+  if (!shared_) {
+    ++per_device_.at(device)[from_edge * num_edges_ + to_edge];
+  }
+}
+
+void MarkovPredictor::fit(const MobilitySchedule& schedule, std::size_t from,
+                          std::size_t to) {
+  if (from >= to) return;
+  for (std::size_t t = from + 1; t < to; ++t) {
+    for (std::size_t m = 0; m < schedule.num_devices(); ++m) {
+      observe(static_cast<std::uint32_t>(m), schedule.edge_of(t - 1, m),
+              schedule.edge_of(t, m));
+    }
+  }
+}
+
+std::vector<double> MarkovPredictor::next_edge_distribution(
+    std::uint32_t device, std::uint32_t current_edge) const {
+  if (current_edge >= num_edges_) {
+    throw std::out_of_range("MarkovPredictor: edge id out of range");
+  }
+  std::vector<double> distribution(num_edges_, 0.0);
+  const auto& personal = counts_for(device);
+  // Personal counts with smoothing toward the pooled matrix: the pooled row
+  // acts as a prior with unit pseudo-count mass when personalised.
+  double total = 0.0;
+  std::size_t pooled_row_total = 0;
+  for (std::size_t n = 0; n < num_edges_; ++n) {
+    pooled_row_total += pooled_[current_edge * num_edges_ + n];
+  }
+  for (std::size_t n = 0; n < num_edges_; ++n) {
+    double value = static_cast<double>(personal[current_edge * num_edges_ + n]);
+    if (!shared_ && pooled_row_total > 0) {
+      value += static_cast<double>(pooled_[current_edge * num_edges_ + n]) /
+               static_cast<double>(pooled_row_total);
+    }
+    distribution[n] = value;
+    total += value;
+  }
+  if (total <= 0.0) {
+    distribution.assign(num_edges_, 0.0);
+    distribution[current_edge] = 1.0;  // never seen: predict "stay"
+    return distribution;
+  }
+  for (auto& p : distribution) p /= total;
+  return distribution;
+}
+
+std::uint32_t MarkovPredictor::predict(std::uint32_t device,
+                                       std::uint32_t current_edge) const {
+  const auto distribution = next_edge_distribution(device, current_edge);
+  return static_cast<std::uint32_t>(
+      std::max_element(distribution.begin(), distribution.end()) -
+      distribution.begin());
+}
+
+double MarkovPredictor::evaluate(const MobilitySchedule& schedule, std::size_t from,
+                                 std::size_t to) const {
+  std::size_t correct = 0, total = 0;
+  for (std::size_t t = std::max<std::size_t>(from, 1) ; t < to; ++t) {
+    for (std::size_t m = 0; m < schedule.num_devices(); ++m) {
+      const auto predicted = predict(static_cast<std::uint32_t>(m),
+                                     schedule.edge_of(t - 1, m));
+      correct += predicted == schedule.edge_of(t, m) ? 1 : 0;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace mach::mobility

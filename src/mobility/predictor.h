@@ -1,0 +1,57 @@
+// First-order Markov mobility prediction (§II-A): when future device
+// locations are uncertain, the paper models P^t_{n,m} — the probability that
+// device m accesses edge n at step t — with a classical Markov mobility
+// model fitted to observed trajectories. This module learns per-device (or
+// population-shared) transition matrices over edges from a schedule prefix
+// and predicts the next-edge distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/schedule.h"
+
+namespace mach::mobility {
+
+class MarkovPredictor {
+ public:
+  /// `shared` pools every device's transitions into one matrix (more data,
+  /// less personalisation); otherwise one matrix per device with add-one
+  /// smoothing toward the pooled matrix.
+  MarkovPredictor(std::size_t num_edges, std::size_t num_devices, bool shared);
+
+  /// Accumulates all transitions of `schedule` in steps [from, to).
+  void fit(const MobilitySchedule& schedule, std::size_t from, std::size_t to);
+
+  /// Records a single observed transition.
+  void observe(std::uint32_t device, std::uint32_t from_edge, std::uint32_t to_edge);
+
+  /// P(next edge | current edge) for a device; rows sum to 1. Unobserved
+  /// rows fall back to "stay put" mass 1.
+  std::vector<double> next_edge_distribution(std::uint32_t device,
+                                             std::uint32_t current_edge) const;
+
+  /// Most likely next edge.
+  std::uint32_t predict(std::uint32_t device, std::uint32_t current_edge) const;
+
+  /// Fraction of transitions in [from, to) predicted correctly (one-step-
+  /// ahead evaluation over a held-out range of the schedule).
+  double evaluate(const MobilitySchedule& schedule, std::size_t from,
+                  std::size_t to) const;
+
+  std::size_t num_edges() const noexcept { return num_edges_; }
+  bool shared() const noexcept { return shared_; }
+
+ private:
+  const std::vector<std::size_t>& counts_for(std::uint32_t device) const;
+  std::vector<std::size_t>& counts_for(std::uint32_t device);
+
+  std::size_t num_edges_;
+  bool shared_;
+  /// Transition counts: pooled matrix plus (if personalised) one per device;
+  /// each matrix is num_edges x num_edges row-major.
+  std::vector<std::size_t> pooled_;
+  std::vector<std::vector<std::size_t>> per_device_;
+};
+
+}  // namespace mach::mobility

@@ -1,0 +1,130 @@
+#include "mobility/stations.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mach::mobility {
+
+std::vector<Point> generate_stations(const StationLayoutSpec& spec, std::uint64_t seed) {
+  if (spec.num_stations == 0 || spec.num_hotspots == 0) {
+    throw std::invalid_argument("generate_stations: empty spec");
+  }
+  common::Rng rng(common::split_seed(seed, 0x57a7));
+  std::vector<Point> hotspots(spec.num_hotspots);
+  // Keep hotspots away from the border so scatter stays mostly inside.
+  const double margin = spec.area_size * 0.15;
+  for (auto& h : hotspots) {
+    h.x = rng.uniform(margin, spec.area_size - margin);
+    h.y = rng.uniform(margin, spec.area_size - margin);
+  }
+  std::vector<Point> stations;
+  stations.reserve(spec.num_stations);
+  for (std::size_t i = 0; i < spec.num_stations; ++i) {
+    Point p;
+    if (rng.uniform() < spec.background_fraction) {
+      p.x = rng.uniform(0.0, spec.area_size);
+      p.y = rng.uniform(0.0, spec.area_size);
+    } else {
+      const Point& h = hotspots[rng.uniform_index(hotspots.size())];
+      p.x = std::clamp(h.x + rng.normal(0.0, spec.hotspot_stddev), 0.0, spec.area_size);
+      p.y = std::clamp(h.y + rng.normal(0.0, spec.hotspot_stddev), 0.0, spec.area_size);
+    }
+    stations.push_back(p);
+  }
+  return stations;
+}
+
+Clustering cluster_stations(const std::vector<Point>& stations, std::size_t k,
+                            std::uint64_t seed, std::size_t max_iters) {
+  if (k == 0 || k > stations.size()) {
+    throw std::invalid_argument("cluster_stations: bad k");
+  }
+  common::Rng rng(common::split_seed(seed, 0xc1057e2));
+
+  // k-means++ seeding.
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  centroids.push_back(stations[rng.uniform_index(stations.size())]);
+  std::vector<double> d2(stations.size());
+  while (centroids.size() < k) {
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Point& c : centroids) {
+        best = std::min(best, squared_distance(stations[i], c));
+      }
+      d2[i] = best;
+    }
+    std::size_t chosen = rng.categorical(d2);
+    if (chosen >= stations.size()) chosen = rng.uniform_index(stations.size());
+    centroids.push_back(stations[chosen]);
+  }
+
+  Clustering result;
+  result.assignment.assign(stations.size(), 0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      const auto nearest = static_cast<std::uint32_t>(nearest_point(centroids, stations[i]));
+      if (nearest != result.assignment[i]) {
+        result.assignment[i] = nearest;
+        changed = true;
+      }
+    }
+    // Recompute centroids; re-seed empty clusters from the farthest station.
+    std::vector<Point> sums(k);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      sums[result.assignment[i]].x += stations[i].x;
+      sums[result.assignment[i]].y += stations[i].y;
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Move the empty centroid onto the station farthest from its centroid.
+        std::size_t farthest = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < stations.size(); ++i) {
+          const double d = squared_distance(stations[i], centroids[result.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            farthest = i;
+          }
+        }
+        centroids[c] = stations[farthest];
+        changed = true;
+      } else {
+        centroids[c].x = sums[c].x / static_cast<double>(counts[c]);
+        centroids[c].y = sums[c].y / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+  // Final assignment against the converged centroids.
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    result.assignment[i] = static_cast<std::uint32_t>(nearest_point(centroids, stations[i]));
+  }
+  result.centroids = std::move(centroids);
+
+  // Guarantee non-empty clusters (k <= stations.size()): give any empty
+  // cluster the station whose current cluster is largest.
+  std::vector<std::size_t> counts(k, 0);
+  for (auto a : result.assignment) ++counts[a];
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] != 0) continue;
+    std::size_t donor_cluster =
+        static_cast<std::size_t>(std::max_element(counts.begin(), counts.end()) -
+                                 counts.begin());
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      if (result.assignment[i] == donor_cluster) {
+        result.assignment[i] = static_cast<std::uint32_t>(c);
+        ++counts[c];
+        --counts[donor_cluster];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mach::mobility

@@ -1,0 +1,47 @@
+// Synthetic base-station layout and clustering into "main" edges.
+//
+// The Shanghai Telecom dataset contains thousands of base stations which the
+// paper clusters into a handful of main base stations (edges). We reproduce
+// this pipeline: stations are scattered around urban hotspot centres, then
+// k-means clusters them into the requested number of edges; a device's edge
+// is the cluster of its currently-accessed station.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mobility/geo.h"
+
+namespace mach::mobility {
+
+struct StationLayoutSpec {
+  std::size_t num_stations = 60;
+  /// Number of urban hotspot centres stations concentrate around.
+  std::size_t num_hotspots = 6;
+  /// Side length of the square service area (arbitrary distance units).
+  double area_size = 100.0;
+  /// Standard deviation of station scatter around each hotspot.
+  double hotspot_stddev = 8.0;
+  /// Fraction of stations placed uniformly (suburban background).
+  double background_fraction = 0.25;
+};
+
+/// Generates station positions (deterministic in the seed).
+std::vector<Point> generate_stations(const StationLayoutSpec& spec, std::uint64_t seed);
+
+struct Clustering {
+  /// station -> cluster (edge) id, in [0, num_clusters).
+  std::vector<std::uint32_t> assignment;
+  /// Cluster centroids.
+  std::vector<Point> centroids;
+
+  std::size_t num_clusters() const noexcept { return centroids.size(); }
+};
+
+/// Lloyd's k-means with k-means++-style seeding. `k` must satisfy
+/// 1 <= k <= stations.size(); every cluster is guaranteed non-empty.
+Clustering cluster_stations(const std::vector<Point>& stations, std::size_t k,
+                            std::uint64_t seed, std::size_t max_iters = 50);
+
+}  // namespace mach::mobility

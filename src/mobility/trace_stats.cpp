@@ -1,0 +1,75 @@
+#include "mobility/trace_stats.h"
+
+#include <cmath>
+#include <map>
+
+namespace mach::mobility {
+
+std::vector<DeviceMobilityStats> device_mobility_stats(
+    const TraceReplay& replay, const std::vector<Point>& stations) {
+  const std::size_t horizon = replay.horizon();
+  std::vector<DeviceMobilityStats> all;
+  all.reserve(replay.num_devices());
+  for (std::size_t m = 0; m < replay.num_devices(); ++m) {
+    DeviceMobilityStats stats;
+    std::map<std::uint32_t, std::size_t> visits;
+    std::size_t runs = 1;
+    for (std::size_t t = 0; t < horizon; ++t) {
+      ++visits[replay.station_of(t, m)];
+      if (t > 0 && replay.station_of(t, m) != replay.station_of(t - 1, m)) ++runs;
+    }
+    stats.distinct_stations = visits.size();
+    stats.mean_dwell = static_cast<double>(horizon) / static_cast<double>(runs);
+
+    std::size_t top = 0;
+    for (const auto& [station, count] : visits) {
+      top = std::max(top, count);
+      const double p = static_cast<double>(count) / static_cast<double>(horizon);
+      stats.visit_entropy -= p * std::log(p);
+    }
+    stats.top_station_share =
+        static_cast<double>(top) / static_cast<double>(horizon);
+
+    if (!stations.empty()) {
+      Point centroid{0.0, 0.0};
+      for (const auto& [station, count] : visits) {
+        centroid.x += stations.at(station).x * static_cast<double>(count);
+        centroid.y += stations.at(station).y * static_cast<double>(count);
+      }
+      centroid.x /= static_cast<double>(horizon);
+      centroid.y /= static_cast<double>(horizon);
+      double m2 = 0.0;
+      for (const auto& [station, count] : visits) {
+        m2 += static_cast<double>(count) *
+              squared_distance(stations.at(station), centroid);
+      }
+      stats.radius_of_gyration = std::sqrt(m2 / static_cast<double>(horizon));
+    }
+    all.push_back(stats);
+  }
+  return all;
+}
+
+TraceStatsSummary summarize_trace(const TraceReplay& replay,
+                                  const std::vector<Point>& stations) {
+  const auto per_device = device_mobility_stats(replay, stations);
+  TraceStatsSummary summary;
+  if (per_device.empty()) return summary;
+  for (const auto& stats : per_device) {
+    summary.mean_distinct_stations += static_cast<double>(stats.distinct_stations);
+    summary.mean_visit_entropy += stats.visit_entropy;
+    summary.mean_top_station_share += stats.top_station_share;
+    summary.mean_radius_of_gyration += stats.radius_of_gyration;
+    summary.mean_dwell += stats.mean_dwell;
+  }
+  const auto n = static_cast<double>(per_device.size());
+  summary.mean_distinct_stations /= n;
+  summary.mean_visit_entropy /= n;
+  summary.mean_top_station_share /= n;
+  summary.mean_radius_of_gyration /= n;
+  summary.mean_dwell /= n;
+  summary.station_churn = replay.churn_rate();
+  return summary;
+}
+
+}  // namespace mach::mobility

@@ -1,0 +1,46 @@
+// Standard human-mobility statistics computed over a replayed trace, used to
+// characterise synthetic traces against the properties reported for real
+// telecom datasets (dwell-time distribution, visit entropy, radius of
+// gyration, returner behaviour).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mobility/geo.h"
+#include "mobility/trace.h"
+
+namespace mach::mobility {
+
+struct DeviceMobilityStats {
+  /// Number of distinct stations the device visited.
+  std::size_t distinct_stations = 0;
+  /// Shannon entropy (nats) of the station-visit distribution.
+  double visit_entropy = 0.0;
+  /// Fraction of steps spent at the most-visited station.
+  double top_station_share = 0.0;
+  /// Radius of gyration around the visit centroid (needs station positions).
+  double radius_of_gyration = 0.0;
+  /// Mean dwell: average length of constant-station runs, in steps.
+  double mean_dwell = 0.0;
+};
+
+struct TraceStatsSummary {
+  double mean_distinct_stations = 0.0;
+  double mean_visit_entropy = 0.0;
+  double mean_top_station_share = 0.0;
+  double mean_radius_of_gyration = 0.0;
+  double mean_dwell = 0.0;
+  double station_churn = 0.0;  // replay.churn_rate()
+};
+
+/// Per-device statistics. `stations` supplies positions for the radius of
+/// gyration; pass an empty vector to skip the spatial metrics (they stay 0).
+std::vector<DeviceMobilityStats> device_mobility_stats(
+    const TraceReplay& replay, const std::vector<Point>& stations);
+
+/// Population means of the per-device statistics.
+TraceStatsSummary summarize_trace(const TraceReplay& replay,
+                                  const std::vector<Point>& stations);
+
+}  // namespace mach::mobility

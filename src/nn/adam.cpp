@@ -1,0 +1,48 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace mach::nn {
+
+void Adam::step(Sequential& model) {
+  auto refs = model.params();
+  if (first_moments_.size() != refs.size()) {
+    first_moments_.assign(refs.size(), {});
+    second_moments_.assign(refs.size(), {});
+  }
+  ++step_count_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double correction1 = 1.0 - std::pow(b1, static_cast<double>(step_count_));
+  const double correction2 = 1.0 - std::pow(b2, static_cast<double>(step_count_));
+  const double lr = options_.learning_rate;
+  const double eps = options_.epsilon;
+  const auto wd = static_cast<float>(options_.weight_decay);
+
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    auto values = refs[i].value->flat();
+    auto grads = refs[i].grad->flat();
+    auto& m = first_moments_[i];
+    auto& v = second_moments_[i];
+    if (m.size() != values.size()) {
+      m.assign(values.size(), 0.0f);
+      v.assign(values.size(), 0.0f);
+    }
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const float g = grads[j] + wd * values[j];
+      m[j] = static_cast<float>(b1 * m[j] + (1.0 - b1) * g);
+      v[j] = static_cast<float>(b2 * v[j] + (1.0 - b2) * g * g);
+      const double m_hat = m[j] / correction1;
+      const double v_hat = v[j] / correction2;
+      values[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+    }
+  }
+}
+
+void Adam::reset() {
+  first_moments_.clear();
+  second_moments_.clear();
+  step_count_ = 0;
+}
+
+}  // namespace mach::nn

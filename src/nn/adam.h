@@ -1,0 +1,42 @@
+// Adam optimiser (Kingma & Ba) with bias-corrected first/second moments.
+// Provided as an alternative local optimiser for extension experiments; the
+// paper's local updating rule (Eq. 4) is plain SGD.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace mach::nn {
+
+struct AdamOptions {
+  double learning_rate = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamOptions options) : options_(options) {}
+
+  /// Applies one update using the gradients currently in the layers. Must
+  /// stay paired with one model whose layer structure does not change.
+  void step(Sequential& model);
+
+  /// Drops moment estimates and the step counter.
+  void reset();
+
+  double learning_rate() const noexcept { return options_.learning_rate; }
+  void set_learning_rate(double lr) noexcept { options_.learning_rate = lr; }
+  std::size_t steps_taken() const noexcept { return step_count_; }
+
+ private:
+  AdamOptions options_;
+  std::size_t step_count_ = 0;
+  std::vector<std::vector<float>> first_moments_;
+  std::vector<std::vector<float>> second_moments_;
+};
+
+}  // namespace mach::nn

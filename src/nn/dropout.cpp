@@ -1,0 +1,44 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace mach::nn {
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate_ < 0.0 || rate_ >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+const tensor::Tensor& Dropout::forward(const tensor::Tensor& input) {
+  if (!output_.same_shape(input)) output_ = tensor::Tensor(input.shape());
+  if (!training_ || rate_ == 0.0) {
+    std::copy(input.flat().begin(), input.flat().end(), output_.flat().begin());
+    mask_.assign(input.numel(), 1.0f);
+    return output_;
+  }
+  const auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_.resize(input.numel());
+  const float* in = input.data();
+  float* out = output_.data();
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    mask_[i] = rng_.bernoulli(rate_) ? 0.0f : keep_scale;
+    out[i] = in[i] * mask_[i];
+  }
+  return output_;
+}
+
+const tensor::Tensor& Dropout::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.numel() != mask_.size()) {
+    throw std::invalid_argument("Dropout::backward: no matching forward");
+  }
+  if (!grad_input_.same_shape(grad_output)) {
+    grad_input_ = tensor::Tensor(grad_output.shape());
+  }
+  const float* gout = grad_output.data();
+  float* gin = grad_input_.data();
+  for (std::size_t i = 0; i < mask_.size(); ++i) gin[i] = gout[i] * mask_[i];
+  return grad_input_;
+}
+
+}  // namespace mach::nn

@@ -1,0 +1,32 @@
+// Inverted dropout: during training each activation is zeroed with
+// probability `rate` and the survivors are scaled by 1/(1-rate), so
+// evaluation mode is a pass-through. Deterministic given its seed.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace mach::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `rate` in [0, 1): probability of dropping an activation.
+  explicit Dropout(double rate, std::uint64_t seed = 0xd120);
+
+  const tensor::Tensor& forward(const tensor::Tensor& input) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
+  void set_training(bool training) override { training_ = training; }
+  std::string name() const override { return "Dropout"; }
+
+  double rate() const noexcept { return rate_; }
+  bool training() const noexcept { return training_; }
+
+ private:
+  double rate_;
+  bool training_ = true;
+  common::Rng rng_;
+  std::vector<float> mask_;  // 0 or 1/(1-rate) per element of the last forward
+  tensor::Tensor output_;
+  tensor::Tensor grad_input_;
+};
+
+}  // namespace mach::nn

@@ -1,0 +1,107 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mach::nn {
+
+LayerNorm::LayerNorm(std::size_t features, double epsilon)
+    : features_(features),
+      epsilon_(epsilon),
+      gain_({features}),
+      bias_({features}),
+      grad_gain_({features}),
+      grad_bias_({features}) {
+  if (features_ == 0) throw std::invalid_argument("LayerNorm: zero features");
+  gain_.fill(1.0f);
+  bias_.zero();
+}
+
+void LayerNorm::init_params(common::Rng& /*rng*/) {
+  gain_.fill(1.0f);
+  bias_.zero();
+}
+
+const tensor::Tensor& LayerNorm::forward(const tensor::Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != features_) {
+    throw std::invalid_argument("LayerNorm::forward: expected [batch, " +
+                                std::to_string(features_) + "]");
+  }
+  const std::size_t batch = input.dim(0);
+  if (!normalized_.same_shape(input)) {
+    normalized_ = tensor::Tensor(input.shape());
+    output_ = tensor::Tensor(input.shape());
+  }
+  inv_std_.resize(batch);
+  const float* in = input.data();
+  float* xhat = normalized_.data();
+  float* out = output_.data();
+  const float* g = gain_.data();
+  const float* b = bias_.data();
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* row = in + r * features_;
+    double mean = 0.0;
+    for (std::size_t c = 0; c < features_; ++c) mean += row[c];
+    mean /= static_cast<double>(features_);
+    double var = 0.0;
+    for (std::size_t c = 0; c < features_; ++c) {
+      var += (row[c] - mean) * (row[c] - mean);
+    }
+    var /= static_cast<double>(features_);
+    const auto inv = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+    inv_std_[r] = inv;
+    for (std::size_t c = 0; c < features_; ++c) {
+      const float value = (row[c] - static_cast<float>(mean)) * inv;
+      xhat[r * features_ + c] = value;
+      out[r * features_ + c] = value * g[c] + b[c];
+    }
+  }
+  return output_;
+}
+
+const tensor::Tensor& LayerNorm::backward(const tensor::Tensor& grad_output) {
+  if (!grad_output.same_shape(normalized_)) {
+    throw std::invalid_argument("LayerNorm::backward: bad grad shape");
+  }
+  const std::size_t batch = grad_output.dim(0);
+  if (!grad_input_.same_shape(grad_output)) {
+    grad_input_ = tensor::Tensor(grad_output.shape());
+  }
+  grad_gain_.zero();
+  grad_bias_.zero();
+  const float* gout = grad_output.data();
+  const float* xhat = normalized_.data();
+  const float* g = gain_.data();
+  float* gg = grad_gain_.data();
+  float* gb = grad_bias_.data();
+  float* gin = grad_input_.data();
+  const auto n = static_cast<float>(features_);
+  for (std::size_t r = 0; r < batch; ++r) {
+    // dgain/dbias accumulate across the batch.
+    float sum_dy = 0.0f;       // sum of gain-scaled upstream grads
+    float sum_dy_xhat = 0.0f;  // and their correlation with x_hat
+    for (std::size_t c = 0; c < features_; ++c) {
+      const float dy = gout[r * features_ + c];
+      const float xh = xhat[r * features_ + c];
+      gg[c] += dy * xh;
+      gb[c] += dy;
+      const float dyg = dy * g[c];
+      sum_dy += dyg;
+      sum_dy_xhat += dyg * xh;
+    }
+    // dx = inv_std/n * (n*dy*g - sum(dy*g) - x_hat * sum(dy*g*x_hat)).
+    for (std::size_t c = 0; c < features_; ++c) {
+      const float dyg = gout[r * features_ + c] * g[c];
+      const float xh = xhat[r * features_ + c];
+      gin[r * features_ + c] =
+          inv_std_[r] / n * (n * dyg - sum_dy - xh * sum_dy_xhat);
+    }
+  }
+  return grad_input_;
+}
+
+std::vector<ParamRef> LayerNorm::params() {
+  return {{&gain_, &grad_gain_, "gain"}, {&bias_, &grad_bias_, "bias"}};
+}
+
+}  // namespace mach::nn

@@ -1,0 +1,37 @@
+// Layer normalisation (Ba et al.): per-sample standardisation over the
+// feature dimension with learned gain/bias. Unlike BatchNorm it carries no
+// cross-device running statistics, which makes it the normalisation of
+// choice in federated settings (no stats to aggregate).
+// Operates on [batch, features] inputs.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace mach::nn {
+
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, double epsilon = 1e-5);
+
+  const tensor::Tensor& forward(const tensor::Tensor& input) override;
+  const tensor::Tensor& backward(const tensor::Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  void init_params(common::Rng& rng) override;
+  std::string name() const override { return "LayerNorm"; }
+
+  std::size_t features() const noexcept { return features_; }
+
+ private:
+  std::size_t features_;
+  double epsilon_;
+  tensor::Tensor gain_;       // [features]
+  tensor::Tensor bias_;       // [features]
+  tensor::Tensor grad_gain_;
+  tensor::Tensor grad_bias_;
+  tensor::Tensor normalized_;  // cached x_hat
+  std::vector<float> inv_std_; // per-row 1/sigma
+  tensor::Tensor output_;
+  tensor::Tensor grad_input_;
+};
+
+}  // namespace mach::nn

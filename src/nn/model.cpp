@@ -1,0 +1,114 @@
+#include "nn/model.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace mach::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Sequential::init_params(common::Rng& rng) {
+  for (auto& layer : layers_) layer->init_params(rng);
+}
+
+void Sequential::set_training(bool training) {
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+const tensor::Tensor& Sequential::forward(const tensor::Tensor& input) {
+  if (layers_.empty()) throw std::logic_error("Sequential::forward: empty model");
+  const tensor::Tensor* current = &input;
+  for (auto& layer : layers_) current = &layer->forward(*current);
+  return *current;
+}
+
+StepStats Sequential::forward_backward(const tensor::Tensor& input,
+                                       std::span<const int> labels) {
+  set_training(true);
+  const tensor::Tensor& logits = forward(input);
+  if (!probs_.same_shape(logits)) probs_ = tensor::Tensor(logits.shape());
+  tensor::softmax(logits, probs_);
+
+  StepStats stats;
+  stats.batch_size = labels.size();
+  stats.loss = tensor::cross_entropy_loss(probs_, labels);
+  stats.correct = tensor::count_correct(logits, labels);
+
+  if (!grad_logits_.same_shape(logits)) grad_logits_ = tensor::Tensor(logits.shape());
+  tensor::softmax_cross_entropy_backward(probs_, labels, grad_logits_);
+
+  const tensor::Tensor* grad = &grad_logits_;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = &(*it)->backward(*grad);
+  }
+
+  for (ParamRef ref : params()) stats.grad_squared_norm += ref.grad->squared_norm();
+  return stats;
+}
+
+StepStats Sequential::evaluate(const tensor::Tensor& input, std::span<const int> labels) {
+  set_training(false);
+  const tensor::Tensor& logits = forward(input);
+  if (!probs_.same_shape(logits)) probs_ = tensor::Tensor(logits.shape());
+  tensor::softmax(logits, probs_);
+  StepStats stats;
+  stats.batch_size = labels.size();
+  stats.loss = tensor::cross_entropy_loss(probs_, labels);
+  stats.correct = tensor::count_correct(logits, labels);
+  return stats;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> refs;
+  for (auto& layer : layers_) {
+    for (ParamRef ref : layer->params()) refs.push_back(ref);
+  }
+  return refs;
+}
+
+std::size_t Sequential::num_parameters() {
+  std::size_t total = 0;
+  for (ParamRef ref : params()) total += ref.value->numel();
+  return total;
+}
+
+std::vector<float> Sequential::get_parameters() {
+  std::vector<float> flat;
+  flat.reserve(num_parameters());
+  for (ParamRef ref : params()) {
+    flat.insert(flat.end(), ref.value->flat().begin(), ref.value->flat().end());
+  }
+  return flat;
+}
+
+void Sequential::set_parameters(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (ParamRef ref : params()) {
+    const std::size_t count = ref.value->numel();
+    if (offset + count > flat.size()) {
+      throw std::invalid_argument("Sequential::set_parameters: vector too short");
+    }
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+              flat.begin() + static_cast<std::ptrdiff_t>(offset + count),
+              ref.value->flat().begin());
+    offset += count;
+  }
+  if (offset != flat.size()) {
+    throw std::invalid_argument("Sequential::set_parameters: vector too long");
+  }
+}
+
+std::vector<float> Sequential::get_gradients() {
+  std::vector<float> flat;
+  flat.reserve(num_parameters());
+  for (ParamRef ref : params()) {
+    flat.insert(flat.end(), ref.grad->flat().begin(), ref.grad->flat().end());
+  }
+  return flat;
+}
+
+}  // namespace mach::nn

@@ -1,0 +1,51 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mach::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d414348;  // "MACH"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+bool save_parameters(Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::vector<float> flat = model.get_parameters();
+  const auto count = static_cast<std::uint64_t>(flat.size());
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+void load_parameters(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version");
+  }
+  if (count != model.num_parameters()) {
+    throw std::invalid_argument("load_parameters: parameter count mismatch");
+  }
+  std::vector<float> flat(count);
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) throw std::runtime_error("load_parameters: truncated file " + path);
+  model.set_parameters(flat);
+}
+
+}  // namespace mach::nn

@@ -1,0 +1,21 @@
+// Flat-weight checkpointing: save/load a model's parameter vector to a
+// small self-describing binary file (magic + count + float32 payload).
+// Architecture is not serialised — loading requires a model with the same
+// parameter count, which is how the simulator moves weights around anyway.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace mach::nn {
+
+/// Writes all parameters of `model` to `path`. Returns false on I/O error.
+bool save_parameters(Sequential& model, const std::string& path);
+
+/// Restores parameters saved by save_parameters. Throws std::runtime_error
+/// on missing/corrupt files and std::invalid_argument on a parameter-count
+/// mismatch with `model`.
+void load_parameters(Sequential& model, const std::string& path);
+
+}  // namespace mach::nn

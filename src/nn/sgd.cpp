@@ -1,0 +1,32 @@
+#include "nn/sgd.h"
+
+namespace mach::nn {
+
+void Sgd::step(Sequential& model) {
+  auto refs = model.params();
+  if (options_.momentum != 0.0 && velocities_.size() != refs.size()) {
+    velocities_.assign(refs.size(), {});
+  }
+  const auto lr = static_cast<float>(options_.learning_rate);
+  const auto mu = static_cast<float>(options_.momentum);
+  const auto wd = static_cast<float>(options_.weight_decay);
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    auto values = refs[i].value->flat();
+    auto grads = refs[i].grad->flat();
+    if (mu != 0.0f) {
+      auto& velocity = velocities_[i];
+      if (velocity.size() != values.size()) velocity.assign(values.size(), 0.0f);
+      for (std::size_t j = 0; j < values.size(); ++j) {
+        const float g = grads[j] + wd * values[j];
+        velocity[j] = mu * velocity[j] + g;
+        values[j] -= lr * velocity[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < values.size(); ++j) {
+        values[j] -= lr * (grads[j] + wd * values[j]);
+      }
+    }
+  }
+}
+
+}  // namespace mach::nn

@@ -1,0 +1,108 @@
+#include "sampling/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/budget.h"
+
+namespace mach::sampling {
+
+void clip_weight_spread(std::vector<double>& weights, double ratio) {
+  if (ratio <= 1.0 || weights.empty()) return;
+  double max_weight = 0.0;
+  for (double w : weights) max_weight = std::max(max_weight, w);
+  if (max_weight <= 0.0) return;
+  const double floor = max_weight / ratio;
+  for (auto& w : weights) w = std::max(w, floor);
+}
+
+std::vector<double> UniformSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  const std::vector<double> weights(ctx.devices.size(), 1.0);
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+void ClassBalanceSampler::bind(const hfl::FederationInfo& info) {
+  // Global class frequencies across all devices.
+  std::vector<double> class_totals(info.num_classes, 0.0);
+  double total = 0.0;
+  for (const auto& histogram : info.class_histograms) {
+    for (std::size_t c = 0; c < info.num_classes; ++c) {
+      class_totals[c] += static_cast<double>(histogram[c]);
+      total += static_cast<double>(histogram[c]);
+    }
+  }
+  // Inverse-frequency score: a device scores high when its data mass sits in
+  // globally under-represented classes, so sampled cohorts skew balanced.
+  weights_.assign(info.num_devices, 0.0);
+  for (std::size_t m = 0; m < info.num_devices; ++m) {
+    const auto& histogram = info.class_histograms[m];
+    double device_total = 0.0;
+    for (std::size_t c = 0; c < info.num_classes; ++c) {
+      device_total += static_cast<double>(histogram[c]);
+    }
+    if (device_total <= 0.0 || total <= 0.0) {
+      weights_[m] = 1.0;
+      continue;
+    }
+    double score = 0.0;
+    for (std::size_t c = 0; c < info.num_classes; ++c) {
+      if (class_totals[c] <= 0.0) continue;
+      const double device_share = static_cast<double>(histogram[c]) / device_total;
+      const double global_share = class_totals[c] / total;
+      score += device_share / global_share;
+    }
+    weights_[m] = score;
+  }
+}
+
+std::vector<double> ClassBalanceSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  std::vector<double> weights(ctx.devices.size(), 1.0);
+  if (!weights_.empty()) {
+    for (std::size_t i = 0; i < ctx.devices.size(); ++i) {
+      weights[i] = weights_[ctx.devices[i]];
+    }
+  }
+  clip_weight_spread(weights, max_weight_ratio_);
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+void StatisticalSampler::bind(const hfl::FederationInfo& info) {
+  loss_ema_.assign(info.num_devices, 0.0);
+  observed_.assign(info.num_devices, false);
+  running_mean_ = 0.0;
+  observations_ = 0;
+}
+
+void StatisticalSampler::observe_training(const hfl::TrainingObservation& obs) {
+  if (obs.device >= loss_ema_.size()) return;
+  if (observed_[obs.device]) {
+    loss_ema_[obs.device] =
+        smoothing_ * obs.mean_loss + (1.0 - smoothing_) * loss_ema_[obs.device];
+  } else {
+    loss_ema_[obs.device] = obs.mean_loss;
+    observed_[obs.device] = true;
+  }
+  ++observations_;
+  running_mean_ += (obs.mean_loss - running_mean_) / static_cast<double>(observations_);
+}
+
+double StatisticalSampler::loss_estimate(std::uint32_t device) const {
+  if (device < observed_.size() && observed_[device]) return loss_ema_[device];
+  // Unobserved devices inherit the population mean (mildly optimistic: they
+  // compete equally until first sampled).
+  return observations_ > 0 ? running_mean_ : 1.0;
+}
+
+std::vector<double> StatisticalSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  std::vector<double> weights(ctx.devices.size(), 1.0);
+  for (std::size_t i = 0; i < ctx.devices.size(); ++i) {
+    weights[i] = std::max(loss_estimate(ctx.devices[i]), 1e-6);
+  }
+  clip_weight_spread(weights, max_weight_ratio_);
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+}  // namespace mach::sampling

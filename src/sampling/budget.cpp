@@ -1,0 +1,64 @@
+#include "sampling/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mach::sampling {
+
+std::vector<double> budgeted_probabilities(std::span<const double> weights,
+                                           double capacity) {
+  const std::size_t n = weights.size();
+  std::vector<double> q(n, 0.0);
+  if (n == 0) return q;
+  double budget = std::clamp(capacity, 0.0, static_cast<double>(n));
+
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = std::max(weights[i], 0.0);
+
+  std::vector<bool> pinned(n, false);
+  // Each round either pins at least one probability at 1 (shrinking the
+  // problem) or finalises the proportional split, so <= n rounds suffice.
+  for (std::size_t round = 0; round < n; ++round) {
+    double free_weight = 0.0;
+    std::size_t free_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pinned[i]) {
+        free_weight += w[i];
+        ++free_count;
+      }
+    }
+    if (free_count == 0 || budget <= 0.0) break;
+    if (free_weight <= 0.0) {
+      // Remaining weights are all zero: split the leftover budget uniformly.
+      const double uniform = std::min(budget / static_cast<double>(free_count), 1.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!pinned[i]) q[i] = uniform;
+      }
+      break;
+    }
+    // Candidates computed against a frozen (budget, free_weight) snapshot.
+    bool newly_pinned = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      if (budget * w[i] / free_weight >= 1.0) {
+        q[i] = 1.0;
+        pinned[i] = true;
+        newly_pinned = true;
+      }
+    }
+    if (newly_pinned) {
+      budget = std::clamp(capacity, 0.0, static_cast<double>(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (pinned[i]) budget -= 1.0;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pinned[i]) q[i] = budget * w[i] / free_weight;
+    }
+    break;
+  }
+  return q;
+}
+
+}  // namespace mach::sampling

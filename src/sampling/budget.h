@@ -1,0 +1,18 @@
+// Shared helper for turning per-device weights into inclusion probabilities
+// that respect an edge's expected-participation budget (Eq. 3/11/12).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mach::sampling {
+
+/// Water-filling allocation: returns q with q[i] in [0, 1],
+/// sum(q) == min(capacity, n), and q proportional to weights[i] except where
+/// the per-device cap of 1 binds (the excess is redistributed to the rest).
+/// Non-positive weights are treated as 0; if all weights are 0, the budget is
+/// split uniformly.
+std::vector<double> budgeted_probabilities(std::span<const double> weights,
+                                           double capacity);
+
+}  // namespace mach::sampling

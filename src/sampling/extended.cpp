@@ -1,0 +1,119 @@
+#include "sampling/extended.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sampling/baselines.h"
+#include "sampling/budget.h"
+
+namespace mach::sampling {
+
+PowerOfChoiceSampler::PowerOfChoiceSampler(double candidate_fraction,
+                                           std::uint64_t seed)
+    : candidate_fraction_(std::clamp(candidate_fraction, 0.0, 1.0)), rng_(seed) {}
+
+void PowerOfChoiceSampler::bind(const hfl::FederationInfo& info) {
+  last_loss_.assign(info.num_devices, 0.0);
+  observed_.assign(info.num_devices, false);
+}
+
+void PowerOfChoiceSampler::observe_training(const hfl::TrainingObservation& obs) {
+  if (obs.device >= last_loss_.size()) return;
+  last_loss_[obs.device] = obs.mean_loss;
+  observed_[obs.device] = true;
+}
+
+std::vector<double> PowerOfChoiceSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  const std::size_t n = ctx.devices.size();
+  // Candidate set: at least ceil(capacity) devices, at most all of them.
+  const auto min_candidates = static_cast<std::size_t>(std::ceil(ctx.capacity));
+  std::size_t d = std::max<std::size_t>(
+      min_candidates,
+      static_cast<std::size_t>(std::ceil(candidate_fraction_ * static_cast<double>(n))));
+  d = std::min(d, n);
+  const auto chosen = rng_.sample_without_replacement(n, d);
+
+  // Within the candidate set, weight by last observed loss (unseen devices
+  // rank as if they had the maximum loss, encouraging first contact).
+  double max_loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (observed_[ctx.devices[i]]) {
+      max_loss = std::max(max_loss, last_loss_[ctx.devices[i]]);
+    }
+  }
+  if (max_loss <= 0.0) max_loss = 1.0;
+  std::vector<double> weights(n, 0.0);
+  for (std::size_t idx : chosen) {
+    const std::uint32_t device = ctx.devices[idx];
+    weights[idx] = observed_[device] ? std::max(last_loss_[device], 1e-6) : max_loss;
+  }
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+OortSampler::OortSampler() : OortSampler(Options{}) {}
+
+OortSampler::OortSampler(Options options) : options_(options) {}
+
+void OortSampler::bind(const hfl::FederationInfo& info) {
+  utility_ema_.assign(info.num_devices, 0.0);
+  last_seen_.assign(info.num_devices, 0);
+  observed_.assign(info.num_devices, false);
+}
+
+void OortSampler::observe_training(const hfl::TrainingObservation& obs) {
+  if (obs.device >= utility_ema_.size()) return;
+  // Oort's statistical utility: |B| sqrt(1/|B| sum loss^2). Our observation
+  // carries the mean loss over I local steps; the per-step losses are close
+  // enough within a round that mean_loss is the right plug-in.
+  const double utility = std::abs(obs.mean_loss);
+  if (observed_[obs.device]) {
+    utility_ema_[obs.device] = options_.smoothing * utility +
+                               (1.0 - options_.smoothing) * utility_ema_[obs.device];
+  } else {
+    utility_ema_[obs.device] = utility;
+    observed_[obs.device] = true;
+  }
+  last_seen_[obs.device] = obs.t;
+}
+
+double OortSampler::utility(std::uint32_t device, std::size_t now) const {
+  if (device >= utility_ema_.size()) return 0.0;
+  // Median of observed utilities for the clipping threshold.
+  std::vector<double> seen;
+  for (std::size_t m = 0; m < utility_ema_.size(); ++m) {
+    if (observed_[m]) seen.push_back(utility_ema_[m]);
+  }
+  double base;
+  if (observed_[device]) {
+    base = utility_ema_[device];
+  } else if (!seen.empty()) {
+    base = *std::max_element(seen.begin(), seen.end());  // optimistic first contact
+  } else {
+    base = 1.0;
+  }
+  if (!seen.empty()) {
+    std::nth_element(seen.begin(), seen.begin() + static_cast<std::ptrdiff_t>(seen.size() / 2),
+                     seen.end());
+    const double median = seen[seen.size() / 2];
+    if (median > 0.0) base = std::min(base, options_.clip_multiple * median);
+  }
+  // Temporal staleness bonus: devices unseen for long regain priority.
+  const double staleness =
+      static_cast<double>(now - std::min(now, last_seen_[device]));
+  return base + options_.exploration_weight * std::sqrt(staleness /
+                                                        (staleness + 16.0));
+}
+
+std::vector<double> OortSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  std::vector<double> weights(ctx.devices.size());
+  for (std::size_t i = 0; i < ctx.devices.size(); ++i) {
+    weights[i] = std::max(utility(ctx.devices[i], ctx.t), 1e-6);
+  }
+  clip_weight_spread(weights, 3.5);
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+}  // namespace mach::sampling

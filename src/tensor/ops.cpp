@@ -1,0 +1,405 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mach::tensor {
+
+namespace {
+
+void check_rank2(const Tensor& t, const char* what) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(what) + ": rank must be 2");
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_rank2(a, "gemm A");
+  check_rank2(b, "gemm B");
+  check_rank2(c, "gemm C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  if (!accumulate) c.zero();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  // ikj loop order: streams B and C rows, keeps a[i*k+p] in register.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aval = ad[i * k + p];
+      if (aval == 0.0f) continue;
+      const float* brow = bd + p * n;
+      float* crow = cd + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_rank2(a, "gemm_at_b A");
+  check_rank2(b, "gemm_at_b B");
+  check_rank2(c, "gemm_at_b C");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_at_b: shape mismatch");
+  }
+  if (!accumulate) c.zero();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = ad + p * m;
+    const float* brow = bd + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = cd + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  check_rank2(a, "gemm_a_bt A");
+  check_rank2(b, "gemm_a_bt B");
+  check_rank2(c, "gemm_a_bt C");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_a_bt: shape mismatch");
+  }
+  if (!accumulate) c.zero();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void add_row_bias(Tensor& x, const Tensor& bias) {
+  check_rank2(x, "add_row_bias x");
+  const std::size_t m = x.dim(0), n = x.dim(1);
+  if (bias.numel() != n) throw std::invalid_argument("add_row_bias: bias size mismatch");
+  float* xd = x.data();
+  const float* bd = bias.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = xd + i * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += bd[j];
+  }
+}
+
+void sum_rows(const Tensor& grad, Tensor& bias_grad, bool accumulate) {
+  check_rank2(grad, "sum_rows grad");
+  const std::size_t m = grad.dim(0), n = grad.dim(1);
+  if (bias_grad.numel() != n) throw std::invalid_argument("sum_rows: size mismatch");
+  if (!accumulate) bias_grad.zero();
+  const float* gd = grad.data();
+  float* bd = bias_grad.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = gd + i * n;
+    for (std::size_t j = 0; j < n; ++j) bd[j] += row[j];
+  }
+}
+
+void im2col(const Tensor& input, std::size_t image_index, const ConvSpec& spec,
+            Tensor& columns) {
+  const std::size_t c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t kh = spec.kernel, kw = spec.kernel;
+  const std::size_t rows = c * kh * kw;
+  const std::size_t cols = oh * ow;
+  if (columns.rank() != 2 || columns.dim(0) != rows || columns.dim(1) != cols) {
+    columns = Tensor({rows, cols});
+  }
+  const float* in = input.data() + image_index * c * h * w;
+  float* out = columns.data();
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        float* dst = out + ((ch * kh + ky) * kw + kx) * cols;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.pad);
+            float value = 0.0f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) && ix >= 0 &&
+                ix < static_cast<std::ptrdiff_t>(w)) {
+              value = in[(ch * h + static_cast<std::size_t>(iy)) * w +
+                         static_cast<std::size_t>(ix)];
+            }
+            dst[oy * ow + ox] = value;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& columns, std::size_t image_index, const ConvSpec& spec,
+            Tensor& grad_input) {
+  const std::size_t c = grad_input.dim(1), h = grad_input.dim(2), w = grad_input.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t kh = spec.kernel, kw = spec.kernel;
+  const std::size_t cols = oh * ow;
+  float* out = grad_input.data() + image_index * c * h * w;
+  const float* in = columns.data();
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        const float* src = in + ((ch * kh + ky) * kw + kx) * cols;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+            out[(ch * h + static_cast<std::size_t>(iy)) * w +
+                static_cast<std::size_t>(ix)] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    const ConvSpec& spec, Tensor& output, Tensor& scratch) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t out_c = spec.out_channels;
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  if (input.dim(1) != spec.in_channels) {
+    throw std::invalid_argument("conv2d_forward: channel mismatch");
+  }
+  if (output.rank() != 4 || output.dim(0) != batch || output.dim(1) != out_c ||
+      output.dim(2) != oh || output.dim(3) != ow) {
+    throw std::invalid_argument("conv2d_forward: bad output shape");
+  }
+  // weight viewed as [out_c, patch]; columns as [patch, oh*ow].
+  Tensor weight2d({out_c, patch}, std::vector<float>(weight.flat().begin(),
+                                                     weight.flat().end()));
+  for (std::size_t img = 0; img < batch; ++img) {
+    im2col(input, img, spec, scratch);
+    Tensor out2d({out_c, oh * ow});
+    gemm(weight2d, scratch, out2d);
+    float* dst = output.data() + img * out_c * oh * ow;
+    const float* src = out2d.data();
+    const float* bd = bias.data();
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      const float b = bd[oc];
+      for (std::size_t i = 0; i < oh * ow; ++i) dst[oc * oh * ow + i] = src[oc * oh * ow + i] + b;
+    }
+  }
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, const ConvSpec& spec,
+                     Tensor& grad_input, Tensor& grad_weight, Tensor& grad_bias,
+                     Tensor& scratch_cols, Tensor& scratch_grad_cols) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t out_c = spec.out_channels;
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  grad_input.zero();
+  grad_weight.zero();
+  grad_bias.zero();
+  Tensor weight2d({out_c, patch}, std::vector<float>(weight.flat().begin(),
+                                                     weight.flat().end()));
+  Tensor grad_weight2d({out_c, patch});
+  for (std::size_t img = 0; img < batch; ++img) {
+    im2col(input, img, spec, scratch_cols);
+    // View this image's grad_output as [out_c, oh*ow].
+    Tensor gout2d({out_c, oh * ow},
+                  std::vector<float>(grad_output.data() + img * out_c * oh * ow,
+                                     grad_output.data() + (img + 1) * out_c * oh * ow));
+    // dW += gout2d * cols^T
+    gemm_a_bt(gout2d, scratch_cols, grad_weight2d, /*accumulate=*/true);
+    // dcols = W^T * gout2d
+    if (scratch_grad_cols.rank() != 2 || scratch_grad_cols.dim(0) != patch ||
+        scratch_grad_cols.dim(1) != oh * ow) {
+      scratch_grad_cols = Tensor({patch, oh * ow});
+    }
+    gemm_at_b(weight2d, gout2d, scratch_grad_cols);
+    col2im(scratch_grad_cols, img, spec, grad_input);
+    // dbias
+    const float* gd = gout2d.data();
+    float* bg = grad_bias.data();
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < oh * ow; ++i) acc += gd[oc * oh * ow + i];
+      bg[oc] += acc;
+    }
+  }
+  std::copy(grad_weight2d.flat().begin(), grad_weight2d.flat().end(),
+            grad_weight.flat().begin());
+}
+
+void maxpool2x2_forward(const Tensor& input, Tensor& output,
+                        std::vector<std::uint32_t>& argmax) {
+  const std::size_t batch = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  if (h % 2 != 0 || w % 2 != 0) {
+    throw std::invalid_argument("maxpool2x2: odd input dimensions");
+  }
+  const std::size_t oh = h / 2, ow = w / 2;
+  if (output.rank() != 4 || output.dim(0) != batch || output.dim(1) != c ||
+      output.dim(2) != oh || output.dim(3) != ow) {
+    throw std::invalid_argument("maxpool2x2: bad output shape");
+  }
+  argmax.assign(batch * c * oh * ow, 0);
+  const float* in = input.data();
+  float* out = output.data();
+  std::size_t oidx = 0;
+  for (std::size_t img = 0; img < batch; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (img * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const std::size_t base = (2 * oy) * w + 2 * ox;
+          float best = plane[base];
+          std::uint32_t best_idx = static_cast<std::uint32_t>(base);
+          const std::size_t candidates[3] = {base + 1, base + w, base + w + 1};
+          for (std::size_t cand : candidates) {
+            if (plane[cand] > best) {
+              best = plane[cand];
+              best_idx = static_cast<std::uint32_t>(cand);
+            }
+          }
+          out[oidx] = best;
+          argmax[oidx] = best_idx;
+          ++oidx;
+        }
+      }
+    }
+  }
+}
+
+void maxpool2x2_backward(const Tensor& grad_output,
+                         const std::vector<std::uint32_t>& argmax,
+                         Tensor& grad_input) {
+  const std::size_t batch = grad_input.dim(0), c = grad_input.dim(1),
+                    h = grad_input.dim(2), w = grad_input.dim(3);
+  const std::size_t oh = h / 2, ow = w / 2;
+  grad_input.zero();
+  const float* gout = grad_output.data();
+  float* gin = grad_input.data();
+  std::size_t oidx = 0;
+  for (std::size_t img = 0; img < batch; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* plane = gin + (img * c + ch) * h * w;
+      for (std::size_t i = 0; i < oh * ow; ++i, ++oidx) {
+        plane[argmax[oidx]] += gout[oidx];
+      }
+    }
+  }
+}
+
+void relu_forward(const Tensor& input, Tensor& output) {
+  if (!input.same_shape(output)) throw std::invalid_argument("relu: shape mismatch");
+  const float* in = input.data();
+  float* out = output.data();
+  for (std::size_t i = 0; i < input.numel(); ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
+void relu_backward(const Tensor& input, const Tensor& grad_output, Tensor& grad_input) {
+  if (!input.same_shape(grad_output) || !input.same_shape(grad_input)) {
+    throw std::invalid_argument("relu_backward: shape mismatch");
+  }
+  const float* in = input.data();
+  const float* gout = grad_output.data();
+  float* gin = grad_input.data();
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    gin[i] = in[i] > 0.0f ? gout[i] : 0.0f;
+  }
+}
+
+void softmax(const Tensor& logits, Tensor& probs) {
+  if (logits.rank() != 2 || !logits.same_shape(probs)) {
+    throw std::invalid_argument("softmax: bad shapes");
+  }
+  const std::size_t m = logits.dim(0), n = logits.dim(1);
+  const float* in = logits.data();
+  float* out = probs.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = in + i * n;
+    float* prow = out + i * n;
+    float maxv = row[0];
+    for (std::size_t j = 1; j < n; ++j) maxv = std::max(maxv, row[j]);
+    float total = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      prow[j] = std::exp(row[j] - maxv);
+      total += prow[j];
+    }
+    const float inv = 1.0f / total;
+    for (std::size_t j = 0; j < n; ++j) prow[j] *= inv;
+  }
+}
+
+double cross_entropy_loss(const Tensor& probs, std::span<const int> labels) {
+  const std::size_t m = probs.dim(0), n = probs.dim(1);
+  if (labels.size() != m) throw std::invalid_argument("cross_entropy: label count");
+  double total = 0.0;
+  const float* pd = probs.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const int label = labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= n) {
+      throw std::out_of_range("cross_entropy: label out of range");
+    }
+    const double p = std::max<double>(pd[i * n + static_cast<std::size_t>(label)], 1e-12);
+    total -= std::log(p);
+  }
+  return total / static_cast<double>(m);
+}
+
+void softmax_cross_entropy_backward(const Tensor& probs, std::span<const int> labels,
+                                    Tensor& grad_logits) {
+  const std::size_t m = probs.dim(0), n = probs.dim(1);
+  if (!probs.same_shape(grad_logits)) {
+    throw std::invalid_argument("softmax_xent_backward: shape mismatch");
+  }
+  const float inv_batch = 1.0f / static_cast<float>(m);
+  const float* pd = probs.data();
+  float* gd = grad_logits.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) gd[i * n + j] = pd[i * n + j] * inv_batch;
+    gd[i * n + static_cast<std::size_t>(labels[i])] -= inv_batch;
+  }
+}
+
+std::size_t count_correct(const Tensor& logits, std::span<const int> labels) {
+  const std::size_t m = logits.dim(0), n = logits.dim(1);
+  std::size_t correct = 0;
+  const float* ld = logits.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = ld + i * n;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (static_cast<int>(best) == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace mach::tensor

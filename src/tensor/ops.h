@@ -1,0 +1,91 @@
+// Dense kernels backing the neural-network layers: GEMM variants, im2col
+// convolution, pooling, activations and the softmax cross-entropy head.
+//
+// All kernels are single-threaded (the simulator runs many small models, not
+// one big one) and written for cache-friendly row-major access.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace mach::tensor {
+
+// ---------------------------------------------------------------------------
+// GEMM: C = A * B (+ C if accumulate). Shapes: A[m,k], B[k,n], C[m,n].
+// ---------------------------------------------------------------------------
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+/// C = A^T * B. Shapes: A[k,m], B[k,n], C[m,n].
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+/// C = A * B^T. Shapes: A[m,k], B[n,k], C[m,n].
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// Adds a row vector bias[n] to every row of x[m,n].
+void add_row_bias(Tensor& x, const Tensor& bias);
+/// Accumulates column sums of grad[m,n] into bias_grad[n].
+void sum_rows(const Tensor& grad, Tensor& bias_grad, bool accumulate = false);
+
+// ---------------------------------------------------------------------------
+// Convolution via im2col. Input NCHW, kernel [out_c, in_c, kh, kw], stride 1,
+// symmetric zero padding `pad`.
+// ---------------------------------------------------------------------------
+struct ConvSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;    // square kernels only
+  std::size_t pad = 1;       // symmetric zero padding
+  std::size_t stride = 1;
+
+  std::size_t out_dim(std::size_t in_dim) const noexcept {
+    return (in_dim + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// Unfolds input[n,c,h,w] into columns[c*kh*kw, out_h*out_w] for image n.
+void im2col(const Tensor& input, std::size_t image_index, const ConvSpec& spec,
+            Tensor& columns);
+/// Accumulates columns[c*kh*kw, out_h*out_w] back into grad_input image n.
+void col2im(const Tensor& columns, std::size_t image_index, const ConvSpec& spec,
+            Tensor& grad_input);
+
+/// Forward convolution. output must be [n, out_c, out_h, out_w].
+/// `scratch` holds the im2col buffer and is resized as needed.
+void conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    const ConvSpec& spec, Tensor& output, Tensor& scratch);
+/// Backward convolution: fills grad_input / accumulates grad_weight, grad_bias.
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, const ConvSpec& spec,
+                     Tensor& grad_input, Tensor& grad_weight, Tensor& grad_bias,
+                     Tensor& scratch_cols, Tensor& scratch_grad_cols);
+
+// ---------------------------------------------------------------------------
+// 2x2 max pooling, stride 2 (dimensions must be even).
+// ---------------------------------------------------------------------------
+void maxpool2x2_forward(const Tensor& input, Tensor& output,
+                        std::vector<std::uint32_t>& argmax);
+void maxpool2x2_backward(const Tensor& grad_output,
+                         const std::vector<std::uint32_t>& argmax,
+                         Tensor& grad_input);
+
+// ---------------------------------------------------------------------------
+// Activations.
+// ---------------------------------------------------------------------------
+void relu_forward(const Tensor& input, Tensor& output);
+/// grad_input = grad_output where input > 0 else 0.
+void relu_backward(const Tensor& input, const Tensor& grad_output, Tensor& grad_input);
+
+// ---------------------------------------------------------------------------
+// Softmax cross-entropy head.
+// ---------------------------------------------------------------------------
+/// Computes row-wise softmax of logits[m,n] into probs[m,n] (numerically stable).
+void softmax(const Tensor& logits, Tensor& probs);
+/// Mean cross-entropy loss over the batch given integer labels.
+double cross_entropy_loss(const Tensor& probs, std::span<const int> labels);
+/// grad_logits = (probs - onehot(labels)) / batch.
+void softmax_cross_entropy_backward(const Tensor& probs, std::span<const int> labels,
+                                    Tensor& grad_logits);
+/// Number of rows whose argmax equals the label.
+std::size_t count_correct(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace mach::tensor

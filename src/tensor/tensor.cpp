@@ -1,0 +1,92 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mach::tensor {
+
+std::size_t Tensor::shape_numel(std::span<const std::size_t> shape) noexcept {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  }
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) throw std::out_of_range("Tensor::dim: bad axis");
+  return shape_[axis];
+}
+
+float& Tensor::at2(std::size_t r, std::size_t c) {
+  if (rank() != 2 || r >= shape_[0] || c >= shape_[1]) {
+    throw std::out_of_range("Tensor::at2");
+  }
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at2(std::size_t r, std::size_t c) const {
+  return const_cast<Tensor*>(this)->at2(r, c);
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  if (rank() != 4 || n >= shape_[0] || c >= shape_[1] || h >= shape_[2] ||
+      w >= shape_[3]) {
+    throw std::out_of_range("Tensor::at4");
+  }
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale(float alpha) noexcept {
+  for (auto& x : data_) x *= alpha;
+}
+
+double Tensor::squared_norm() const noexcept {
+  double total = 0.0;
+  for (float x : data_) total += static_cast<double>(x) * static_cast<double>(x);
+  return total;
+}
+
+std::string Tensor::shape_string() const {
+  std::string out = "Tensor[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mach::tensor

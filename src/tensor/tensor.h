@@ -1,0 +1,72 @@
+// Dense row-major float tensor used by the neural-network substrate.
+//
+// The simulator trains small CNNs/MLPs on-device, so the tensor type is kept
+// deliberately simple: contiguous float32 storage plus shape metadata. All
+// layout is row-major (last dimension fastest); images use NCHW.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mach::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+  /// Adopts existing data; `data.size()` must equal the shape's element count.
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t dim(std::size_t axis) const;
+  std::size_t numel() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> flat() noexcept { return data_; }
+  std::span<const float> flat() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Bounds-checked 2-D accessors (rank must be 2).
+  float& at2(std::size_t r, std::size_t c);
+  float at2(std::size_t r, std::size_t c) const;
+  /// Bounds-checked 4-D accessors (rank must be 4, NCHW).
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Reinterprets the shape without moving data; element count must match.
+  void reshape(std::vector<std::size_t> new_shape);
+
+  /// In-place scaled add: this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+  /// In-place scale: this *= alpha.
+  void scale(float alpha) noexcept;
+
+  /// Squared Euclidean norm of all elements.
+  double squared_norm() const noexcept;
+
+  bool same_shape(const Tensor& other) const noexcept { return shape_ == other.shape_; }
+
+  /// "Tensor[2, 3]" style debug string.
+  std::string shape_string() const;
+
+  static std::size_t shape_numel(std::span<const std::size_t> shape) noexcept;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mach::tensor

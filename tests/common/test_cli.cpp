@@ -1,0 +1,110 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mach::common {
+namespace {
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  CliParser cli("test");
+  cli.add_flag("name", std::string("default"), "a string");
+  cli.add_flag("count", static_cast<std::int64_t>(5), "an int");
+  cli.add_flag("rate", 0.5, "a double");
+  cli.add_flag("verbose", false, "a bool");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_string("name"), "default");
+  EXPECT_EQ(cli.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  CliParser cli("test");
+  cli.add_flag("count", static_cast<std::int64_t>(0), "");
+  const char* argv[] = {"prog", "--count", "42"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  CliParser cli("test");
+  cli.add_flag("rate", 0.0, "");
+  const char* argv[] = {"prog", "--rate=2.25"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.25);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  CliParser cli("test");
+  cli.add_flag("verbose", false, "");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, BooleanAcceptsExplicitValues) {
+  CliParser cli("test");
+  cli.add_flag("a", true, "");
+  cli.add_flag("b", false, "");
+  const char* argv[] = {"prog", "--a=off", "--b=YES"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_FALSE(cli.get_bool("a"));
+  EXPECT_TRUE(cli.get_bool("b"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_FALSE(cli.help_requested());
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("test");
+  cli.add_flag("count", static_cast<std::int64_t>(0), "");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, PositionalArgumentFails) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalseAndSetsFlag) {
+  CliParser cli("test");
+  cli.add_flag("x", std::string("v"), "help text");
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(cli.parse(2, argv));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(out.find("--x"), std::string::npos);
+  EXPECT_NE(out.find("help text"), std::string::npos);
+}
+
+TEST(Env, EnvOrFallback) {
+  ::unsetenv("MACH_TEST_ENV_VAR");
+  EXPECT_EQ(env_or("MACH_TEST_ENV_VAR", "fb"), "fb");
+  ::setenv("MACH_TEST_ENV_VAR", "value", 1);
+  EXPECT_EQ(env_or("MACH_TEST_ENV_VAR", "fb"), "value");
+  ::unsetenv("MACH_TEST_ENV_VAR");
+}
+
+TEST(Env, EnvFlagTruthiness) {
+  ::setenv("MACH_TEST_ENV_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("MACH_TEST_ENV_FLAG"));
+  ::setenv("MACH_TEST_ENV_FLAG", "TRUE", 1);
+  EXPECT_TRUE(env_flag("MACH_TEST_ENV_FLAG"));
+  ::setenv("MACH_TEST_ENV_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("MACH_TEST_ENV_FLAG"));
+  ::unsetenv("MACH_TEST_ENV_FLAG");
+  EXPECT_FALSE(env_flag("MACH_TEST_ENV_FLAG"));
+}
+
+}  // namespace
+}  // namespace mach::common

@@ -1,0 +1,57 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mach::common {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : previous_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, FilteredMessagesAreSuppressed) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  log_info("should not appear");
+  log_warn("also filtered");
+  log_error("visible ", 42);
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("should not appear"), std::string::npos);
+  EXPECT_EQ(output.find("also filtered"), std::string::npos);
+  EXPECT_NE(output.find("[ERROR] visible 42"), std::string::npos);
+}
+
+TEST(Log, StreamsMixedArguments) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  log_debug("acc=", 0.5, " round ", 7);
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[DEBUG] acc=0.5 round 7"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  log_error("even errors");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace mach::common

@@ -1,0 +1,231 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mach::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitSeedProducesDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    seeds.insert(split_seed(7, id));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversFullRangeUniformly) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  const int n = 200000;
+  double mean = 0.0, m2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    mean += x;
+    m2 += x * x;
+  }
+  mean /= n;
+  m2 /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(m2 - mean * mean, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(8);
+  const int n = 100000;
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) mean += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));  // clamped
+    EXPECT_TRUE(rng.bernoulli(1.5));    // clamped
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  const int n = 100000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += rng.exponential(2.0);
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+  Rng rng(12);
+  const double shape = 3.0, scale = 2.0;
+  const int n = 100000;
+  double mean = 0.0, m2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    mean += x;
+    m2 += x * x;
+  }
+  mean /= n;
+  m2 /= n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(m2 - mean * mean, shape * scale * scale, 0.5);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(13);
+  const int n = 50000;
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(0.3, 1.0);
+    ASSERT_GE(x, 0.0);
+    mean += x;
+  }
+  EXPECT_NEAR(mean / n, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(14);
+  const std::vector<double> weights = {1.0, 2.0, 0.0, 1.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0], n / 4.0, n * 0.02);
+  EXPECT_NEAR(counts[1], n / 2.0, n * 0.02);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3], n / 4.0, n * 0.02);
+}
+
+TEST(Rng, CategoricalAllZeroReturnsSize) {
+  Rng rng(15);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.categorical(weights), weights.size());
+}
+
+TEST(Rng, CategoricalNegativeTreatedAsZero) {
+  Rng rng(16);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const auto draw = rng.dirichlet(0.5, 6);
+    ASSERT_EQ(draw.size(), 6u);
+    double total = 0.0;
+    for (double d : draw) {
+      EXPECT_GE(d, 0.0);
+      total += d;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletConcentrationControlsSpread) {
+  Rng rng(18);
+  // Small alpha -> concentrated draws (high max component), large alpha ->
+  // near-uniform draws.
+  double max_small = 0.0, max_large = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const auto small = rng.dirichlet(0.05, 5);
+    const auto large = rng.dirichlet(50.0, 5);
+    max_small += *std::max_element(small.begin(), small.end());
+    max_large += *std::max_element(large.begin(), large.end());
+  }
+  EXPECT_GT(max_small / trials, 0.8);
+  EXPECT_LT(max_large / trials, 0.35);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(20);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (auto s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementClampsCount) {
+  Rng rng(21);
+  const auto sample = rng.sample_without_replacement(5, 99);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mach::common

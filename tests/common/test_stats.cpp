@@ -1,0 +1,118 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mach::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 4.0, 2.0, 8.0, 5.0, 7.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(stats.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  const std::vector<double> xs = {2.0, -1.0, 4.5, 0.0, 9.0, 3.3, -2.7};
+  RunningStats all, a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats stats;
+  stats.add(5.0);
+  stats.reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev of this classic example is sqrt(32/7).
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(percentile(xs, 0.0), 10.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 100.0), 40.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 50.0), 25.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 25.0), 17.5, 1e-12);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_NEAR(percentile(xs, 50.0), 25.0, 1e-12);
+}
+
+TEST(Stats, PercentileEmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+}
+
+TEST(Stats, EmaFirstValuePassthrough) {
+  const std::vector<double> xs = {4.0, 0.0, 0.0};
+  const auto smoothed = ema(xs, 0.5);
+  ASSERT_EQ(smoothed.size(), 3u);
+  EXPECT_DOUBLE_EQ(smoothed[0], 4.0);
+  EXPECT_DOUBLE_EQ(smoothed[1], 2.0);
+  EXPECT_DOUBLE_EQ(smoothed[2], 1.0);
+}
+
+TEST(Stats, EmaFullSmoothingTracksInput) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const auto smoothed = ema(xs, 1.0);
+  EXPECT_EQ(smoothed, xs);
+}
+
+}  // namespace
+}  // namespace mach::common

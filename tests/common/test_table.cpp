@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mach::common {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.row().cell("alpha").cell(1.5, 1);
+  table.row().cell("b").cell(static_cast<std::int64_t>(42));
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1.5   |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 42    |"), std::string::npos);
+}
+
+TEST(Table, NumRows) {
+  Table table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.row().cell("x");
+  table.row().cell("y");
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table table({"a"});
+  table.cell("implicit");
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "note"});
+  table.row().cell("a,b").cell("say \"hi\"");
+  const std::string path = testing::TempDir() + "table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::ifstream in(path);
+  std::string header, line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(header, "name,note");
+  EXPECT_EQ(line, "\"a,b\",\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvWriteFailsForBadPath) {
+  Table table({"a"});
+  EXPECT_FALSE(table.write_csv("/nonexistent_dir_zz/file.csv"));
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace mach::common

@@ -1,0 +1,135 @@
+#include "core/bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/mach.h"
+#include "sampling/budget.h"
+
+namespace mach::core {
+namespace {
+
+TEST(Bound, TermMatchesHandComputation) {
+  const std::vector<double> g2 = {4.0, 1.0};
+  const std::vector<double> q = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(convergence_bound_term(g2, q), 4.0 / 0.5 + 1.0 / 0.25);
+}
+
+TEST(Bound, ZeroNormDevicesIgnoreProbability) {
+  const std::vector<double> g2 = {0.0, 1.0};
+  const std::vector<double> q = {0.0, 0.5};
+  EXPECT_DOUBLE_EQ(convergence_bound_term(g2, q), 2.0);
+}
+
+TEST(Bound, ZeroProbabilityWithMassIsInfinite) {
+  const std::vector<double> g2 = {1.0};
+  const std::vector<double> q = {0.0};
+  EXPECT_TRUE(std::isinf(convergence_bound_term(g2, q)));
+}
+
+TEST(Bound, SizeMismatchThrows) {
+  const std::vector<double> g2 = {1.0, 2.0};
+  const std::vector<double> q = {0.5};
+  EXPECT_THROW(convergence_bound_term(g2, q), std::invalid_argument);
+}
+
+TEST(Bound, Eq13ClosedForm) {
+  const std::vector<double> g2 = {1.0, 3.0};
+  const auto q = optimal_probabilities_eq13(g2, 2.0);
+  EXPECT_DOUBLE_EQ(q[0], 0.5);
+  EXPECT_DOUBLE_EQ(q[1], 1.5);  // may exceed 1; Eq. 17 handles that
+}
+
+TEST(Bound, Eq13AllZeroFallsBackToUniform)
+{
+  const std::vector<double> g2 = {0.0, 0.0, 0.0, 0.0};
+  const auto q = optimal_probabilities_eq13(g2, 2.0);
+  for (double p : q) EXPECT_DOUBLE_EQ(p, 0.5);
+}
+
+/// Reproduction finding (see bound.h): Eq. (13)'s q ∝ G^2 equalises the
+/// per-device terms, attaining exactly the uniform strategy's bound value.
+TEST(Bound, Eq13EqualisesBoundTermWithUniform) {
+  common::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 3 + rng.uniform_index(6);
+    std::vector<double> g2(n);
+    for (auto& g : g2) g = rng.exponential(1.0) + 0.05;
+    const double capacity = 1.0 + rng.uniform() * (static_cast<double>(n) - 1.5);
+
+    const auto eq13 = optimal_probabilities_eq13(g2, capacity);
+    const std::vector<double> uniform(n, capacity / static_cast<double>(n));
+    EXPECT_NEAR(convergence_bound_term(g2, eq13),
+                convergence_bound_term(g2, uniform),
+                1e-6 * convergence_bound_term(g2, uniform));
+  }
+}
+
+/// The true Lagrangian optimum q ∝ G must minimise the bound term against
+/// uniform, Eq. (13) and random feasible competitors.
+TEST(Bound, SqrtRuleMinimisesBoundTerm) {
+  common::Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 3 + rng.uniform_index(6);
+    std::vector<double> g2(n);
+    for (auto& g : g2) g = rng.exponential(1.0) + 0.05;
+    const double capacity = 1.0 + rng.uniform() * (static_cast<double>(n) - 1.5);
+
+    const auto sqrt_rule = optimal_probabilities_sqrt(g2, capacity);
+    bool feasible = true;
+    for (double p : sqrt_rule) feasible &= p <= 1.0;
+    if (!feasible) continue;  // caps outside the closed form's domain
+    const double best = convergence_bound_term(g2, sqrt_rule);
+
+    const std::vector<double> uniform(n, capacity / static_cast<double>(n));
+    EXPECT_LE(best, convergence_bound_term(g2, uniform) + 1e-9);
+    EXPECT_LE(best,
+              convergence_bound_term(g2, optimal_probabilities_eq13(g2, capacity)) +
+                  1e-9);
+
+    std::vector<double> weights(n);
+    for (auto& w : weights) w = rng.exponential(1.0) + 0.01;
+    const auto competitor = sampling::budgeted_probabilities(weights, capacity);
+    EXPECT_LE(best, convergence_bound_term(g2, competitor) + 1e-9);
+  }
+}
+
+TEST(Bound, MachTransferTradesBoundForBoundedWeights) {
+  // The smoothed MACH strategy is deliberately sub-optimal in the bound term
+  // (it trades it for bounded inverse weights); it must still be no worse
+  // than uniform-flipped ordering, i.e. better than anti-proportional.
+  TransferFunction transfer({.alpha = 1.0, .beta = 3.0, .warmup_rounds = 0});
+  const std::vector<double> g2 = {0.5, 1.0, 4.0, 2.0};
+  const auto mach = edge_sampling_probabilities(g2, 2.0, &transfer);
+  std::vector<double> anti(4);
+  const double total = 0.5 + 1.0 + 4.0 + 2.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    anti[i] = 2.0 * (total - g2[i]) / (3.0 * total);
+  }
+  EXPECT_LT(convergence_bound_term(g2, mach), convergence_bound_term(g2, anti));
+}
+
+TEST(Bound, Theorem1ShrinksWithHorizon) {
+  BoundParams params;
+  const double term = 50.0;
+  const double at100 = theorem1_bound(params, term, 100);
+  const double at1000 = theorem1_bound(params, term, 1000);
+  EXPECT_GT(at100, at1000);  // the 1/T optimality term decays
+}
+
+TEST(Bound, Theorem1GrowsWithBoundTerm) {
+  BoundParams params;
+  EXPECT_LT(theorem1_bound(params, 10.0, 100), theorem1_bound(params, 100.0, 100));
+}
+
+TEST(Bound, Theorem1ValidatesInputs) {
+  BoundParams params;
+  EXPECT_THROW(theorem1_bound(params, 1.0, 0), std::invalid_argument);
+  params.gamma = 0.0;
+  EXPECT_THROW(theorem1_bound(params, 1.0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mach::core

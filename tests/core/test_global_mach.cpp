@@ -1,0 +1,112 @@
+#include "core/global_mach.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mach::core {
+namespace {
+
+hfl::FederationInfo make_info(std::size_t devices, std::size_t edges) {
+  hfl::FederationInfo info;
+  info.num_devices = devices;
+  info.num_edges = edges;
+  info.num_classes = 2;
+  info.class_histograms.assign(devices, {1, 1});
+  return info;
+}
+
+TEST(GlobalMach, RequiresBind) {
+  GlobalMachSampler sampler;
+  const std::vector<std::uint32_t> devices = {0};
+  hfl::EdgeSamplingContext ctx;
+  ctx.devices = devices;
+  ctx.capacity = 1.0;
+  EXPECT_THROW(sampler.edge_probabilities(ctx), std::logic_error);
+}
+
+TEST(GlobalMach, SlicesGlobalStrategyPerEdge) {
+  MachOptions options;
+  options.transfer.warmup_rounds = 0;
+  GlobalMachSampler sampler(options);
+  sampler.bind(make_info(4, 2));
+
+  // Device 3 accumulated much larger gradient norms.
+  hfl::TrainingObservation strong;
+  strong.device = 3;
+  strong.local_grad_sq_norms = {8.0, 8.0};
+  sampler.observe_training(strong);
+  hfl::TrainingObservation weak;
+  weak.device = 0;
+  weak.local_grad_sq_norms = {0.2};
+  sampler.observe_training(weak);
+  sampler.on_cloud_round(5);
+
+  const std::vector<std::uint32_t> edge0 = {0, 1};
+  const std::vector<std::uint32_t> edge1 = {2, 3};
+  hfl::EdgeSamplingContext ctx0;
+  ctx0.t = 6;
+  ctx0.edge = 0;
+  ctx0.capacity = 1.0;
+  ctx0.devices = edge0;
+  hfl::EdgeSamplingContext ctx1 = ctx0;
+  ctx1.edge = 1;
+  ctx1.devices = edge1;
+
+  const auto q0 = sampler.edge_probabilities(ctx0);
+  const auto q1 = sampler.edge_probabilities(ctx1);
+  ASSERT_EQ(q0.size(), 2u);
+  ASSERT_EQ(q1.size(), 2u);
+  // Global normalisation: device 3 (largest norm) must top device 0.
+  EXPECT_GT(q1[1], q0[0]);
+  // The global budget (capacity * num_edges = 2) is split over all devices,
+  // so a single edge's slice will generally NOT sum to its own capacity —
+  // that is exactly the pathology this ablation exposes.
+  const double total =
+      q0[0] + q0[1] + q1[0] + q1[1];
+  EXPECT_NEAR(total, 2.0, 1e-9);
+}
+
+TEST(GlobalMach, CacheRefreshesPerTimeStep) {
+  MachOptions options;
+  options.transfer.warmup_rounds = 0;
+  GlobalMachSampler sampler(options);
+  sampler.bind(make_info(2, 1));
+  const std::vector<std::uint32_t> devices = {0, 1};
+  hfl::EdgeSamplingContext ctx;
+  ctx.t = 0;
+  ctx.capacity = 1.0;
+  ctx.devices = devices;
+  const auto q_before = sampler.edge_probabilities(ctx);
+  // New experience lands for both devices (optimistic init would otherwise
+  // keep an unexplored device tied with the best explored one).
+  hfl::TrainingObservation weak;
+  weak.device = 0;
+  weak.local_grad_sq_norms = {0.5};
+  sampler.observe_training(weak);
+  hfl::TrainingObservation strong;
+  strong.device = 1;
+  strong.local_grad_sq_norms = {50.0};
+  sampler.observe_training(strong);
+  sampler.on_cloud_round(0);  // folds the buffers, clears cache
+  ctx.t = 1;
+  const auto q_after = sampler.edge_probabilities(ctx);
+  EXPECT_NE(q_before[1], q_after[1]);
+  EXPECT_GT(q_after[1], q_after[0]);
+}
+
+TEST(GlobalMach, UniformBeforeExperience) {
+  GlobalMachSampler sampler;
+  sampler.bind(make_info(4, 2));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3};
+  hfl::EdgeSamplingContext ctx;
+  ctx.capacity = 1.0;
+  ctx.devices = devices;
+  const auto q = sampler.edge_probabilities(ctx);
+  // All-equal estimates -> equal probabilities; budget = 1.0 * 2 edges over
+  // 4 devices -> 0.5 each.
+  for (double p : q) EXPECT_NEAR(p, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mach::core

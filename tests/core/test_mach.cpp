@@ -1,0 +1,196 @@
+#include "core/mach.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/registry.h"
+
+namespace mach::core {
+namespace {
+
+hfl::FederationInfo small_info(std::size_t devices) {
+  hfl::FederationInfo info;
+  info.num_devices = devices;
+  info.num_edges = 1;
+  info.num_classes = 2;
+  info.cloud_interval = 5;
+  info.class_histograms.assign(devices, {1, 1});
+  return info;
+}
+
+hfl::EdgeSamplingContext make_ctx(const std::vector<std::uint32_t>& devices,
+                                  double capacity) {
+  hfl::EdgeSamplingContext ctx;
+  ctx.capacity = capacity;
+  ctx.devices = devices;
+  return ctx;
+}
+
+TEST(EdgeSampling, BudgetAndRangeInvariants) {
+  TransferFunction transfer({.alpha = 1.0, .beta = 3.0, .warmup_rounds = 0});
+  const std::vector<double> g2 = {0.5, 4.0, 1.5, 0.0, 9.0};
+  const auto q = edge_sampling_probabilities(g2, 2.5, &transfer);
+  ASSERT_EQ(q.size(), 5u);
+  double total = 0.0;
+  for (double p : q) {
+    EXPECT_GT(p, 0.0);  // transfer keeps everyone alive
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 2.5, 1e-9);
+}
+
+TEST(EdgeSampling, LargerGradientNormLargerProbability) {
+  TransferFunction transfer({.alpha = 1.0, .beta = 3.0, .warmup_rounds = 0});
+  const std::vector<double> g2 = {1.0, 2.0, 8.0};
+  const auto q = edge_sampling_probabilities(g2, 1.5, &transfer);
+  EXPECT_LT(q[0], q[1]);
+  EXPECT_LT(q[1], q[2]);
+}
+
+TEST(EdgeSampling, TransferKeepsProbabilitiesNearUniform) {
+  // Even with a 100x gradient-norm spread the smoothed probabilities stay
+  // within the (1 ± alpha/2) band ratio — that is the point of Eq. 17.
+  TransferFunction transfer({.alpha = 1.0, .beta = 3.0, .warmup_rounds = 0});
+  const std::vector<double> g2 = {0.01, 1.0};
+  const auto q = edge_sampling_probabilities(g2, 1.0, &transfer);
+  EXPECT_LT(q[1] / q[0], 1.5 / 0.5 + 1e-9);
+  EXPECT_GT(q[1], q[0]);
+}
+
+TEST(EdgeSampling, NoTransferAblationIsProportional) {
+  const std::vector<double> g2 = {1.0, 3.0};
+  const auto q = edge_sampling_probabilities(g2, 1.0, nullptr);
+  EXPECT_NEAR(q[0], 0.25, 1e-12);
+  EXPECT_NEAR(q[1], 0.75, 1e-12);
+}
+
+TEST(EdgeSampling, AllZeroNormsUniform) {
+  TransferFunction transfer({.alpha = 1.0, .beta = 3.0, .warmup_rounds = 0});
+  const std::vector<double> g2 = {0.0, 0.0, 0.0};
+  const auto q = edge_sampling_probabilities(g2, 1.5, &transfer);
+  for (double p : q) EXPECT_NEAR(p, 0.5, 1e-9);
+}
+
+TEST(EdgeSampling, EmptyDevices) {
+  TransferFunction transfer{TransferOptions{}};
+  EXPECT_TRUE(edge_sampling_probabilities({}, 2.0, &transfer).empty());
+}
+
+TEST(MachSampler, RequiresBind) {
+  MachSampler sampler;
+  const std::vector<std::uint32_t> devices = {0};
+  EXPECT_THROW(sampler.edge_probabilities(make_ctx(devices, 1.0)), std::logic_error);
+}
+
+TEST(MachSampler, UniformBeforeAnyExperience) {
+  MachSampler sampler;
+  sampler.bind(small_info(4));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 2.0));
+  for (double p : q) EXPECT_NEAR(p, 0.5, 1e-9);
+}
+
+TEST(MachSampler, ExperienceShiftsProbabilities) {
+  MachOptions options;
+  options.transfer.warmup_rounds = 0;
+  MachSampler sampler(options);
+  sampler.bind(small_info(2));
+  hfl::TrainingObservation small;
+  small.device = 0;
+  small.local_grad_sq_norms = {0.1, 0.1};
+  hfl::TrainingObservation large;
+  large.device = 1;
+  large.local_grad_sq_norms = {5.0, 5.0};
+  sampler.observe_training(small);
+  sampler.observe_training(large);
+  sampler.on_cloud_round(5);
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_GT(q[1], q[0]);
+  EXPECT_NEAR(q[0] + q[1], 1.0, 1e-9);
+}
+
+TEST(MachSampler, MobilityCrossEdgeExperienceIsShared) {
+  // A device trains under edge 0, then appears in edge 1: its experience
+  // must follow it (the estimator is per-device, not per-edge).
+  MachOptions options;
+  options.transfer.warmup_rounds = 0;
+  MachSampler sampler(options);
+  sampler.bind(small_info(2));
+  hfl::TrainingObservation weak;
+  weak.device = 0;
+  weak.edge = 0;
+  weak.local_grad_sq_norms = {0.2};
+  hfl::TrainingObservation strong;
+  strong.device = 1;
+  strong.edge = 0;
+  strong.local_grad_sq_norms = {9.0};
+  sampler.observe_training(weak);
+  sampler.observe_training(strong);
+  sampler.on_cloud_round(5);
+  const std::vector<std::uint32_t> devices = {0, 1};
+  hfl::EdgeSamplingContext ctx = make_ctx(devices, 1.0);
+  ctx.edge = 1;  // different edge now
+  const auto q = sampler.edge_probabilities(ctx);
+  EXPECT_GT(q[1], q[0]);
+}
+
+TEST(MachSampler, BindResetsState) {
+  MachSampler sampler;
+  sampler.bind(small_info(2));
+  hfl::TrainingObservation obs;
+  obs.device = 0;
+  obs.local_grad_sq_norms = {9.0};
+  sampler.observe_training(obs);
+  sampler.on_cloud_round(5);
+  EXPECT_EQ(sampler.estimator().participations(0), 1u);
+  // Re-binding (fresh run) must reset all experience.
+  sampler.bind(small_info(2));
+  EXPECT_EQ(sampler.estimator().participations(0), 0u);
+  EXPECT_DOUBLE_EQ(sampler.estimator().exploitation(0), 0.0);
+}
+
+TEST(MachOracleSampler, UsesOracleNorms) {
+  MachOptions options;
+  options.transfer.warmup_rounds = 0;
+  MachOracleSampler sampler(options);
+  EXPECT_TRUE(sampler.needs_oracle());
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const std::vector<double> oracle = {0.5, 6.0};
+  auto ctx = make_ctx(devices, 1.0);
+  ctx.oracle_grad_sq_norms = oracle;
+  const auto q = sampler.edge_probabilities(ctx);
+  EXPECT_GT(q[1], q[0]);
+}
+
+TEST(MachOracleSampler, MissingOracleThrows) {
+  MachOracleSampler sampler;
+  const std::vector<std::uint32_t> devices = {0, 1};
+  EXPECT_THROW(sampler.edge_probabilities(make_ctx(devices, 1.0)), std::logic_error);
+}
+
+TEST(Registry, CreatesAllKnownSamplers) {
+  for (const auto& name :
+       {"uniform", "class_balance", "statistical", "mach", "mach_p", "full"}) {
+    const auto sampler = make_sampler(name);
+    ASSERT_NE(sampler, nullptr);
+    EXPECT_EQ(sampler->name(), name);
+  }
+  EXPECT_THROW(make_sampler("nope"), std::invalid_argument);
+}
+
+TEST(Registry, PaperAlgorithmsAndDisplayNames) {
+  const auto& algos = paper_algorithms();
+  ASSERT_EQ(algos.size(), 5u);
+  EXPECT_EQ(display_name("mach"), "MACH");
+  EXPECT_EQ(display_name("mach_p"), "MACH-P");
+  EXPECT_EQ(display_name("uniform"), "US");
+  EXPECT_EQ(display_name("class_balance"), "CS");
+  EXPECT_EQ(display_name("statistical"), "SS");
+  EXPECT_EQ(display_name("other"), "other");
+}
+
+}  // namespace
+}  // namespace mach::core

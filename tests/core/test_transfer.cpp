@@ -1,0 +1,77 @@
+#include "core/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mach::core {
+namespace {
+
+TransferOptions no_warmup(double alpha, double beta) {
+  return {.alpha = alpha, .beta = beta, .warmup_rounds = 0};
+}
+
+TEST(Transfer, IdentityAtZero) {
+  TransferFunction s(no_warmup(1.0, 3.0));
+  EXPECT_DOUBLE_EQ(s(0.0), 1.0);
+}
+
+TEST(Transfer, MonotoneIncreasing) {
+  TransferFunction s(no_warmup(1.0, 3.0));
+  double prev = s(0.0);
+  for (double q = 0.1; q <= 3.0; q += 0.1) {
+    const double cur = s(q);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Transfer, BoundedByAlphaBand) {
+  TransferFunction s(no_warmup(0.8, 5.0));
+  // Range is (1 - alpha/2, 1 + alpha/2); for q >= 0 it is [1, 1 + alpha/2).
+  for (double q = 0.0; q < 100.0; q += 0.5) {
+    EXPECT_GE(s(q), 1.0);
+    EXPECT_LT(s(q), 1.0 + 0.8 / 2.0 + 1e-12);
+  }
+  // Saturation for large q.
+  EXPECT_NEAR(s(1000.0), 1.4, 1e-9);
+}
+
+TEST(Transfer, AlphaZeroIsConstantOne) {
+  TransferFunction s(no_warmup(0.0, 3.0));
+  EXPECT_DOUBLE_EQ(s(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s(10.0), 1.0);
+}
+
+TEST(Transfer, WarmupRampsCoefficients) {
+  TransferFunction s({.alpha = 1.0, .beta = 4.0, .warmup_rounds = 4});
+  EXPECT_DOUBLE_EQ(s.effective_alpha(), 0.0);
+  EXPECT_DOUBLE_EQ(s(5.0), 1.0);  // no smoothing effect yet
+  s.advance_round();
+  EXPECT_DOUBLE_EQ(s.effective_alpha(), 0.25);
+  EXPECT_DOUBLE_EQ(s.effective_beta(), 1.0);
+  s.advance_round();
+  s.advance_round();
+  s.advance_round();
+  EXPECT_DOUBLE_EQ(s.effective_alpha(), 1.0);
+  s.advance_round();  // past warmup: stays at configured values
+  EXPECT_DOUBLE_EQ(s.effective_alpha(), 1.0);
+  EXPECT_DOUBLE_EQ(s.effective_beta(), 4.0);
+}
+
+TEST(Transfer, ExactSigmoidValue) {
+  TransferFunction s(no_warmup(1.0, 1.0));
+  // S(q) = 1 + (1/(1+e^-q) - 0.5); at q = ln(3), sigmoid = 0.75.
+  EXPECT_NEAR(s(std::log(3.0)), 1.25, 1e-12);
+}
+
+TEST(Transfer, RoundsSeenTracks) {
+  TransferFunction s({.alpha = 1, .beta = 1, .warmup_rounds = 2});
+  EXPECT_EQ(s.rounds_seen(), 0u);
+  s.advance_round();
+  s.advance_round();
+  EXPECT_EQ(s.rounds_seen(), 2u);
+}
+
+}  // namespace
+}  // namespace mach::core

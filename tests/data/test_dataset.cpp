@@ -1,0 +1,75 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mach::data {
+namespace {
+
+Dataset make_small() {
+  tensor::Tensor features({4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  return Dataset(std::move(features), {0, 1, 2, 1}, 3);
+}
+
+TEST(Dataset, ConstructionValidatesLabels) {
+  tensor::Tensor ok({2, 2}, {0, 0, 0, 0});
+  EXPECT_NO_THROW(Dataset(tensor::Tensor(ok.shape()), {0, 1}, 2));
+  EXPECT_THROW(Dataset(tensor::Tensor({2, 2}), {0, 2}, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(tensor::Tensor({2, 2}), {0, -1}, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(tensor::Tensor({3, 2}), {0, 1}, 2), std::invalid_argument);
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_classes(), 3u);
+  EXPECT_EQ(d.example_numel(), 2u);
+  EXPECT_EQ(d.example_shape(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(d.label(2), 2);
+}
+
+TEST(Dataset, GatherStacksExamples) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> idx = {3, 0};
+  const Batch batch = d.gather(idx);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.features.shape(), (std::vector<std::size_t>{2, 2}));
+  EXPECT_FLOAT_EQ(batch.features[0], 6.0f);
+  EXPECT_FLOAT_EQ(batch.features[1], 7.0f);
+  EXPECT_FLOAT_EQ(batch.features[2], 0.0f);
+  EXPECT_EQ(batch.labels, (std::vector<int>{1, 0}));
+}
+
+TEST(Dataset, GatherOutOfRangeThrows) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> idx = {4};
+  EXPECT_THROW(d.gather(idx), std::out_of_range);
+}
+
+TEST(Dataset, SampleBatchDrawsFromGivenIndices) {
+  const Dataset d = make_small();
+  common::Rng rng(1);
+  const std::vector<std::size_t> shard = {1, 3};  // labels 1 and 1
+  for (int trial = 0; trial < 20; ++trial) {
+    const Batch batch = d.sample_batch(shard, 5, rng);
+    EXPECT_EQ(batch.size(), 5u);
+    for (int label : batch.labels) EXPECT_EQ(label, 1);
+  }
+}
+
+TEST(Dataset, SampleBatchEmptyShardThrows) {
+  const Dataset d = make_small();
+  common::Rng rng(2);
+  const std::vector<std::size_t> empty;
+  EXPECT_THROW(d.sample_batch(empty, 3, rng), std::invalid_argument);
+}
+
+TEST(Dataset, ClassHistogram) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> all = {0, 1, 2, 3};
+  EXPECT_EQ(d.class_histogram(all), (std::vector<std::size_t>{1, 2, 1}));
+  const std::vector<std::size_t> subset = {1, 3};
+  EXPECT_EQ(d.class_histogram(subset), (std::vector<std::size_t>{0, 2, 0}));
+}
+
+}  // namespace
+}  // namespace mach::data

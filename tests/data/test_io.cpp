@@ -1,0 +1,91 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.h"
+
+namespace mach::data {
+namespace {
+
+Dataset sample_dataset() {
+  SyntheticGenerator gen(SyntheticSpec::mnist_like(), 3);
+  common::Rng rng(4);
+  return gen.generate_uniform(25, rng);
+}
+
+TEST(DatasetIo, RoundTrip) {
+  const Dataset original = sample_dataset();
+  const std::string path = testing::TempDir() + "dataset.bin";
+  ASSERT_TRUE(save_dataset(original, path));
+  const Dataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.num_classes(), original.num_classes());
+  EXPECT_EQ(loaded.example_shape(), original.example_shape());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.label(i), original.label(i));
+  }
+  for (std::size_t i = 0; i < original.features().numel(); ++i) {
+    ASSERT_EQ(loaded.features()[i], original.features()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, SaveFailsOnBadPath) {
+  EXPECT_FALSE(save_dataset(sample_dataset(), "/no/such/dir/d.bin"));
+}
+
+TEST(DatasetIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_dataset("/no/such/file.bin"), std::runtime_error);
+}
+
+TEST(DatasetIo, LoadCorruptMagicThrows) {
+  const std::string path = testing::TempDir() + "corrupt_dataset.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage garbage garbage garbage";
+  }
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, LoadTruncatedThrows) {
+  const Dataset original = sample_dataset();
+  const std::string full_path = testing::TempDir() + "full_dataset.bin";
+  ASSERT_TRUE(save_dataset(original, full_path));
+  // Truncate to half.
+  std::ifstream in(full_path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  const std::string cut_path = testing::TempDir() + "cut_dataset.bin";
+  {
+    std::ofstream out(cut_path, std::ios::binary);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW(load_dataset(cut_path), std::runtime_error);
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(DatasetIo, ExportLabelsCsv) {
+  const Dataset dataset = sample_dataset();
+  const std::string path = testing::TempDir() + "labels.csv";
+  ASSERT_TRUE(export_labels_csv(dataset, path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "index,label");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, dataset.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mach::data

@@ -1,0 +1,142 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mach::data {
+namespace {
+
+TEST(SyntheticSpec, PresetsMatchPaperTiers) {
+  const auto mnist = SyntheticSpec::mnist_like();
+  const auto fmnist = SyntheticSpec::fmnist_like();
+  const auto cifar = SyntheticSpec::cifar_like();
+  EXPECT_EQ(mnist.channels, 1u);
+  EXPECT_EQ(cifar.channels, 3u);
+  // Difficulty ordering is encoded in noise and distractor mix.
+  EXPECT_LT(mnist.noise_stddev, fmnist.noise_stddev);
+  EXPECT_LT(fmnist.noise_stddev, cifar.noise_stddev);
+  EXPECT_LT(mnist.distractor_mix, fmnist.distractor_mix);
+  EXPECT_LT(fmnist.distractor_mix, cifar.distractor_mix);
+}
+
+TEST(SyntheticSpec, TaskNames) {
+  EXPECT_EQ(task_name(TaskKind::MnistLike), "mnist");
+  EXPECT_EQ(task_name(TaskKind::FmnistLike), "fmnist");
+  EXPECT_EQ(task_name(TaskKind::CifarLike), "cifar10");
+}
+
+TEST(SyntheticGenerator, GeneratesRequestedShape) {
+  SyntheticGenerator gen(SyntheticSpec::mnist_like(), 1);
+  common::Rng rng(2);
+  const Dataset d = gen.generate_uniform(50, rng);
+  EXPECT_EQ(d.size(), 50u);
+  EXPECT_EQ(d.num_classes(), 10u);
+  EXPECT_EQ(d.example_shape(), (std::vector<std::size_t>{1, 12, 12}));
+}
+
+TEST(SyntheticGenerator, LabelsFollowWeights) {
+  SyntheticGenerator gen(SyntheticSpec::mnist_like(), 1);
+  common::Rng rng(3);
+  std::vector<double> weights(10, 0.0);
+  weights[4] = 1.0;
+  const Dataset d = gen.generate(100, weights, rng);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_EQ(d.label(i), 4);
+}
+
+TEST(SyntheticGenerator, WeightSizeValidated) {
+  SyntheticGenerator gen(SyntheticSpec::mnist_like(), 1);
+  common::Rng rng(4);
+  const std::vector<double> bad(7, 1.0);
+  EXPECT_THROW(gen.generate(10, bad, rng), std::invalid_argument);
+}
+
+TEST(SyntheticGenerator, DeterministicGivenSeeds) {
+  SyntheticGenerator gen_a(SyntheticSpec::fmnist_like(), 5);
+  SyntheticGenerator gen_b(SyntheticSpec::fmnist_like(), 5);
+  common::Rng rng_a(6), rng_b(6);
+  const Dataset a = gen_a.generate_uniform(20, rng_a);
+  const Dataset b = gen_b.generate_uniform(20, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.features().numel(); ++i) {
+    ASSERT_EQ(a.features()[i], b.features()[i]);
+  }
+}
+
+TEST(SyntheticGenerator, DifferentSeedsDifferentConcepts) {
+  SyntheticGenerator gen_a(SyntheticSpec::mnist_like(), 1);
+  SyntheticGenerator gen_b(SyntheticSpec::mnist_like(), 2);
+  common::Rng rng_a(7), rng_b(7);
+  const Dataset a = gen_a.generate_uniform(5, rng_a);
+  const Dataset b = gen_b.generate_uniform(5, rng_b);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.features().numel(); ++i) {
+    diff += std::abs(a.features()[i] - b.features()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticGenerator, RenderValidatesLabel) {
+  SyntheticGenerator gen(SyntheticSpec::mnist_like(), 1);
+  common::Rng rng(8);
+  EXPECT_THROW(gen.render_example(-1, rng), std::out_of_range);
+  EXPECT_THROW(gen.render_example(10, rng), std::out_of_range);
+  EXPECT_NO_THROW(gen.render_example(9, rng));
+}
+
+/// Nearest-class-centroid accuracy: classes must be separable well above
+/// chance on the easy tier, and the tiers must be ordered by difficulty.
+double centroid_accuracy(const SyntheticSpec& spec, std::uint64_t seed) {
+  SyntheticGenerator gen(spec, seed);
+  common::Rng rng(seed + 1);
+  const Dataset train = gen.generate_uniform(600, rng);
+  const Dataset test = gen.generate_uniform(300, rng);
+  const std::size_t dim = train.example_numel();
+  std::vector<std::vector<double>> centroids(spec.classes,
+                                             std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(spec.classes, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto label = static_cast<std::size_t>(train.label(i));
+    ++counts[label];
+    for (std::size_t j = 0; j < dim; ++j) {
+      centroids[label][j] += train.features()[i * dim + j];
+    }
+  }
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    for (auto& v : centroids[c]) v /= std::max<double>(1.0, counts[c]);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double best = 1e300;
+    std::size_t best_class = 0;
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double delta = test.features()[i * dim + j] - centroids[c][j];
+        d2 += delta * delta;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_class = c;
+      }
+    }
+    if (static_cast<int>(best_class) == test.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / test.size();
+}
+
+TEST(SyntheticGenerator, ClassesSeparableAboveChance) {
+  EXPECT_GT(centroid_accuracy(SyntheticSpec::mnist_like(), 42), 0.6);
+}
+
+TEST(SyntheticGenerator, DifficultyOrderingHolds) {
+  const double mnist = centroid_accuracy(SyntheticSpec::mnist_like(), 42);
+  const double fmnist = centroid_accuracy(SyntheticSpec::fmnist_like(), 42);
+  const double cifar = centroid_accuracy(SyntheticSpec::cifar_like(), 42);
+  EXPECT_GT(mnist, fmnist);
+  EXPECT_GT(fmnist, cifar);
+  EXPECT_GT(cifar, 0.15);  // still above 10% chance
+}
+
+}  // namespace
+}  // namespace mach::data

@@ -1,0 +1,138 @@
+// Communication-cost accounting and confusion-matrix evaluation.
+#include <gtest/gtest.h>
+
+#include "core/mach.h"
+#include "hfl/experiment.h"
+#include "hfl/simulator.h"
+#include "sampling/baselines.h"
+
+namespace mach::hfl {
+namespace {
+
+ExperimentConfig tiny_config(std::uint64_t seed = 1) {
+  ExperimentConfig config = ExperimentConfig::smoke(data::TaskKind::MnistLike);
+  config.num_devices = 8;
+  config.num_edges = 2;
+  config.train_per_device = 20;
+  config.test_examples = 120;
+  config.mlp_hidden = 12;
+  config.hfl.local_epochs = 2;
+  config.hfl.cloud_interval = 5;
+  config.horizon = 20;
+  config.num_stations = 8;
+  config.num_hotspots = 2;
+  return config.with_seed(seed);
+}
+
+TEST(CommunicationCost, ArithmeticHelpers) {
+  CommunicationCost cost;
+  cost.device_downloads = 10;
+  cost.device_uploads = 10;
+  cost.edge_uploads = 4;
+  cost.cloud_broadcasts = 4;
+  cost.probe_downloads = 2;
+  cost.model_parameters = 100;
+  EXPECT_EQ(cost.total_model_messages(), 30u);
+  EXPECT_EQ(cost.total_bytes(), 30u * 100u * sizeof(float));
+  EXPECT_DOUBLE_EQ(cost.device_messages_per_step(10), 2.0);
+  EXPECT_DOUBLE_EQ(cost.device_messages_per_step(0), 0.0);
+
+  CommunicationCost other;
+  other.device_downloads = 5;
+  cost += other;
+  EXPECT_EQ(cost.device_downloads, 15u);
+}
+
+TEST(CommunicationCost, FullParticipationCountsExactly) {
+  const auto config = tiny_config(2);
+  auto artifacts = build_experiment(config);
+  HflOptions options = config.hfl;
+  options.seed = config.seed;
+  HflSimulator sim(artifacts.train, artifacts.test, artifacts.partition,
+                   artifacts.schedule, make_model_factory(config), options);
+  sampling::FullParticipationSampler sampler;
+  sim.run(sampler, 20);
+  const auto& cost = sim.last_run_cost();
+  // Every device participates every step.
+  EXPECT_EQ(cost.device_downloads, 8u * 20u);
+  EXPECT_EQ(cost.device_uploads, 8u * 20u);
+  EXPECT_EQ(cost.probe_downloads, 0u);
+  // Cloud rounds at t = 0, 5, 10, 15 -> 4 rounds x 2 edges each direction.
+  EXPECT_EQ(cost.edge_uploads, 8u);
+  EXPECT_EQ(cost.cloud_broadcasts, 8u);
+  EXPECT_GT(cost.model_parameters, 0u);
+}
+
+TEST(CommunicationCost, SamplingRespectsExpectedBudget) {
+  const auto config = tiny_config(3);
+  auto artifacts = build_experiment(config);
+  HflOptions options = config.hfl;
+  options.seed = config.seed;
+  HflSimulator sim(artifacts.train, artifacts.test, artifacts.partition,
+                   artifacts.schedule, make_model_factory(config), options);
+  sampling::UniformSampler sampler;
+  sim.run(sampler, 20);
+  const auto& cost = sim.last_run_cost();
+  // Expected participants per step = participation * devices = 4; allow
+  // generous Monte-Carlo slack around 4 * 20 = 80.
+  EXPECT_GT(cost.device_uploads, 40u);
+  EXPECT_LT(cost.device_uploads, 120u);
+  EXPECT_EQ(cost.device_uploads, cost.device_downloads);
+}
+
+TEST(CommunicationCost, OracleProbesAreCounted) {
+  const auto config = tiny_config(4);
+  auto artifacts = build_experiment(config);
+  HflOptions options = config.hfl;
+  options.seed = config.seed;
+  HflSimulator sim(artifacts.train, artifacts.test, artifacts.partition,
+                   artifacts.schedule, make_model_factory(config), options);
+  core::MachOracleSampler sampler;
+  sim.run(sampler, 20);
+  // Every device in every edge is probed at every step.
+  EXPECT_EQ(sim.last_run_cost().probe_downloads, 8u * 20u);
+}
+
+TEST(Confusion, BasicCounting) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(0, 1);
+  m.add(1, 1);
+  m.add(2, 2);
+  EXPECT_EQ(m.total(), 4u);
+  EXPECT_EQ(m.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(m.recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision(1), 0.5);
+  EXPECT_NEAR(m.balanced_accuracy(), (0.5 + 1.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(Confusion, Validation) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(2, 0), std::out_of_range);
+  EXPECT_THROW(m.add(0, -1), std::out_of_range);
+  EXPECT_THROW(m.count(2, 0), std::out_of_range);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);   // empty
+  EXPECT_DOUBLE_EQ(m.recall(0), 0.0);    // no examples
+  EXPECT_DOUBLE_EQ(m.precision(0), 0.0); // nothing predicted
+}
+
+TEST(Confusion, SimulatorEvaluationMatchesEvalAccuracy) {
+  const auto config = tiny_config(5);
+  auto artifacts = build_experiment(config);
+  HflOptions options = config.hfl;
+  options.seed = config.seed;
+  HflSimulator sim(artifacts.train, artifacts.test, artifacts.partition,
+                   artifacts.schedule, make_model_factory(config), options);
+  sampling::UniformSampler sampler;
+  sim.run(sampler, 10);
+  const EvalPoint point = sim.evaluate_global(10);
+  const ConfusionMatrix confusion = sim.evaluate_confusion();
+  EXPECT_EQ(confusion.total(), 120u);
+  EXPECT_NEAR(confusion.accuracy(), point.test_accuracy, 1e-9);
+}
+
+}  // namespace
+}  // namespace mach::hfl

@@ -1,0 +1,85 @@
+// End-to-end integration of the extension samplers and aggregation forms.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "hfl/experiment.h"
+
+namespace mach::hfl {
+namespace {
+
+ExperimentConfig tiny(std::uint64_t seed) {
+  ExperimentConfig config = ExperimentConfig::smoke(data::TaskKind::MnistLike);
+  config.num_devices = 10;
+  config.num_edges = 2;
+  config.train_per_device = 25;
+  config.test_examples = 120;
+  config.mlp_hidden = 12;
+  config.hfl.local_epochs = 2;
+  config.horizon = 25;
+  config.num_stations = 8;
+  config.num_hotspots = 2;
+  return config.with_seed(seed);
+}
+
+class SamplerIntegration : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SamplerIntegration, RunsAndLearns) {
+  const auto config = tiny(31);
+  auto sampler = core::make_sampler(GetParam());
+  const RunResult result = run_experiment(config, *sampler);
+  ASSERT_FALSE(result.metrics.empty());
+  EXPECT_EQ(result.sampler_name, GetParam());
+  for (const auto& p : result.metrics.points()) {
+    EXPECT_TRUE(std::isfinite(p.test_loss));
+    EXPECT_GE(p.test_accuracy, 0.0);
+    EXPECT_LE(p.test_accuracy, 1.0);
+  }
+  // Every strategy must beat the untrained model within 25 steps.
+  EXPECT_GT(result.metrics.best_accuracy(),
+            result.metrics.points().front().test_accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredSamplers, SamplerIntegration,
+                         ::testing::Values("uniform", "class_balance",
+                                           "statistical", "mach", "mach_p",
+                                           "mach_global", "power_of_choice",
+                                           "oort", "full"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(AggregationForms, DivergeUnderPartialParticipation) {
+  // With q < 1, the three HT forms are genuinely different dynamical
+  // systems; their trajectories must not coincide.
+  auto config = tiny(32);
+  config.horizon = 20;
+  std::vector<double> finals;
+  for (const auto form :
+       {AggregationForm::Literal, AggregationForm::SelfNormalized,
+        AggregationForm::UpdateForm}) {
+    auto run_config = config;
+    run_config.hfl.aggregation = form;
+    auto sampler = core::make_sampler("uniform");
+    finals.push_back(
+        run_experiment(run_config, *sampler).metrics.points().back().test_accuracy);
+  }
+  EXPECT_FALSE(finals[0] == finals[1] && finals[1] == finals[2]);
+}
+
+TEST(AggregationForms, LowVarianceFormsAreStable) {
+  // Self-normalised and update-form runs must never produce non-finite
+  // losses even with aggressive (unclipped) statistical sampling.
+  auto config = tiny(33);
+  config.horizon = 30;
+  for (const auto form :
+       {AggregationForm::SelfNormalized, AggregationForm::UpdateForm}) {
+    auto run_config = config;
+    run_config.hfl.aggregation = form;
+    auto sampler = core::make_sampler("statistical");
+    const auto result = run_experiment(run_config, *sampler);
+    for (const auto& p : result.metrics.points()) {
+      EXPECT_TRUE(std::isfinite(p.test_loss)) << "form " << static_cast<int>(form);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mach::hfl

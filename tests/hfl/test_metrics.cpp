@@ -1,0 +1,67 @@
+#include "hfl/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mach::hfl {
+namespace {
+
+MetricsRecorder sample_run() {
+  MetricsRecorder m;
+  m.record({.t = 0, .test_accuracy = 0.1, .test_loss = 2.3});
+  m.record({.t = 5, .test_accuracy = 0.4, .test_loss = 1.8});
+  m.record({.t = 10, .test_accuracy = 0.7, .test_loss = 1.1});
+  m.record({.t = 15, .test_accuracy = 0.65, .test_loss = 1.2});
+  m.record({.t = 20, .test_accuracy = 0.8, .test_loss = 0.9});
+  return m;
+}
+
+TEST(Metrics, EmptyRecorder) {
+  MetricsRecorder m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.time_to_accuracy(0.5).has_value());
+  EXPECT_DOUBLE_EQ(m.best_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.final_accuracy(), 0.0);
+}
+
+TEST(Metrics, TimeToAccuracyFirstCrossing) {
+  const MetricsRecorder m = sample_run();
+  EXPECT_EQ(m.time_to_accuracy(0.4).value(), 5u);
+  EXPECT_EQ(m.time_to_accuracy(0.7).value(), 10u);
+  // Non-monotone dip at t=15 must not matter for first crossing of 0.75.
+  EXPECT_EQ(m.time_to_accuracy(0.75).value(), 20u);
+  EXPECT_FALSE(m.time_to_accuracy(0.95).has_value());
+}
+
+TEST(Metrics, BestAndFinal) {
+  const MetricsRecorder m = sample_run();
+  EXPECT_DOUBLE_EQ(m.best_accuracy(), 0.8);
+  EXPECT_DOUBLE_EQ(m.final_accuracy(), 0.8);
+}
+
+TEST(Metrics, CsvWrite) {
+  const MetricsRecorder m = sample_run();
+  const std::string path = testing::TempDir() + "metrics.csv";
+  ASSERT_TRUE(m.write_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,test_accuracy,test_loss,train_loss,participants");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, CsvWriteBadPathFails) {
+  const MetricsRecorder m = sample_run();
+  EXPECT_FALSE(m.write_csv("/no/such/dir/metrics.csv"));
+}
+
+}  // namespace
+}  // namespace mach::hfl

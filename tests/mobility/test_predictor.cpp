@@ -1,0 +1,113 @@
+#include "mobility/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/mobility_model.h"
+#include "mobility/stations.h"
+
+namespace mach::mobility {
+namespace {
+
+TEST(MarkovPredictor, ValidatesConstruction) {
+  EXPECT_THROW(MarkovPredictor(0, 5, true), std::invalid_argument);
+  EXPECT_NO_THROW(MarkovPredictor(3, 5, true));
+  EXPECT_NO_THROW(MarkovPredictor(3, 5, false));
+}
+
+TEST(MarkovPredictor, ObserveValidatesEdges) {
+  MarkovPredictor predictor(2, 1, true);
+  EXPECT_THROW(predictor.observe(0, 2, 0), std::out_of_range);
+  EXPECT_THROW(predictor.observe(0, 0, 2), std::out_of_range);
+  EXPECT_NO_THROW(predictor.observe(0, 0, 1));
+}
+
+TEST(MarkovPredictor, UnseenRowPredictsStay) {
+  MarkovPredictor predictor(3, 1, true);
+  const auto distribution = predictor.next_edge_distribution(0, 1);
+  EXPECT_DOUBLE_EQ(distribution[1], 1.0);
+  EXPECT_EQ(predictor.predict(0, 1), 1u);
+}
+
+TEST(MarkovPredictor, LearnsDeterministicCycle) {
+  // Device cycles 0 -> 1 -> 2 -> 0 forever.
+  std::vector<std::uint32_t> grid;
+  const std::size_t horizon = 30;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    grid.push_back(static_cast<std::uint32_t>(t % 3));
+  }
+  const MobilitySchedule schedule(3, 1, horizon, std::move(grid));
+  MarkovPredictor predictor(3, 1, true);
+  predictor.fit(schedule, 0, 20);
+  EXPECT_EQ(predictor.predict(0, 0), 1u);
+  EXPECT_EQ(predictor.predict(0, 1), 2u);
+  EXPECT_EQ(predictor.predict(0, 2), 0u);
+  EXPECT_DOUBLE_EQ(predictor.evaluate(schedule, 20, horizon), 1.0);
+}
+
+TEST(MarkovPredictor, DistributionsAreNormalised) {
+  MarkovPredictor predictor(4, 2, false);
+  predictor.observe(0, 0, 1);
+  predictor.observe(0, 0, 1);
+  predictor.observe(0, 0, 2);
+  predictor.observe(1, 0, 3);
+  for (std::uint32_t device : {0u, 1u}) {
+    for (std::uint32_t edge = 0; edge < 4; ++edge) {
+      const auto distribution = predictor.next_edge_distribution(device, edge);
+      double total = 0.0;
+      for (double p : distribution) {
+        EXPECT_GE(p, 0.0);
+        total += p;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(MarkovPredictor, PersonalisedBeatsPooledOnHeterogeneousDevices) {
+  // Device 0 always goes 0 -> 1; device 1 always goes 0 -> 2. The pooled
+  // model sees a 50/50 split, the personalised model learns each perfectly.
+  MarkovPredictor pooled(3, 2, true);
+  MarkovPredictor personal(3, 2, false);
+  for (int i = 0; i < 10; ++i) {
+    pooled.observe(0, 0, 1);
+    pooled.observe(1, 0, 2);
+    personal.observe(0, 0, 1);
+    personal.observe(1, 0, 2);
+  }
+  EXPECT_EQ(personal.predict(0, 0), 1u);
+  EXPECT_EQ(personal.predict(1, 0), 2u);
+  const auto distribution = pooled.next_edge_distribution(0, 0);
+  EXPECT_NEAR(distribution[1], 0.5, 1e-12);
+  EXPECT_NEAR(distribution[2], 0.5, 1e-12);
+}
+
+TEST(MarkovPredictor, BeatsChanceOnSyntheticTrace) {
+  // Fit on the first half of a realistic trace, evaluate on the second half;
+  // sticky mobility must be predictable well above the 1/edges baseline.
+  StationLayoutSpec layout;
+  layout.num_stations = 30;
+  auto stations = generate_stations(layout, 21);
+  const auto clustering = cluster_stations(stations, 6, 21);
+  MarkovMobilityModel model(std::move(stations), 0.85, 20.0);
+  const Trace trace = generate_trace(model, 40, 200, 21);
+  const TraceReplay replay(trace);
+  const auto schedule = MobilitySchedule::from_trace(replay, clustering);
+
+  MarkovPredictor predictor(6, 40, true);
+  predictor.fit(schedule, 0, 100);
+  const double accuracy = predictor.evaluate(schedule, 100, 200);
+  EXPECT_GT(accuracy, 0.5);  // stay-heavy chains are easy; chance is ~1/6
+}
+
+TEST(MarkovPredictor, EmptyFitRangeIsNoop) {
+  MarkovPredictor predictor(2, 1, true);
+  const MobilitySchedule schedule(2, 1, 4, {0, 1, 0, 1});
+  predictor.fit(schedule, 3, 3);
+  // Still no data: stay prediction.
+  EXPECT_EQ(predictor.predict(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace mach::mobility

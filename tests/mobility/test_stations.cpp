@@ -1,0 +1,108 @@
+#include "mobility/stations.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mach::mobility {
+namespace {
+
+TEST(Geo, DistanceBasics) {
+  const Point a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(Geo, NearestPoint) {
+  const std::vector<Point> points = {{0, 0}, {10, 0}, {5, 5}};
+  EXPECT_EQ(nearest_point(points, {1, 1}), 0u);
+  EXPECT_EQ(nearest_point(points, {9, 1}), 1u);
+  EXPECT_EQ(nearest_point(points, {5, 4}), 2u);
+}
+
+TEST(Stations, GeneratesRequestedCountInsideArea) {
+  StationLayoutSpec spec;
+  spec.num_stations = 75;
+  const auto stations = generate_stations(spec, 1);
+  ASSERT_EQ(stations.size(), 75u);
+  for (const auto& s : stations) {
+    EXPECT_GE(s.x, 0.0);
+    EXPECT_LE(s.x, spec.area_size);
+    EXPECT_GE(s.y, 0.0);
+    EXPECT_LE(s.y, spec.area_size);
+  }
+}
+
+TEST(Stations, DeterministicForSeed) {
+  StationLayoutSpec spec;
+  const auto a = generate_stations(spec, 7);
+  const auto b = generate_stations(spec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+  const auto c = generate_stations(spec, 8);
+  bool different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    different |= a[i].x != c[i].x;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Stations, EmptySpecThrows) {
+  StationLayoutSpec spec;
+  spec.num_stations = 0;
+  EXPECT_THROW(generate_stations(spec, 1), std::invalid_argument);
+}
+
+class ClusteringProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(ClusteringProperty, AllClustersNonEmptyAndAssignmentsValid) {
+  const auto [k, seed] = GetParam();
+  StationLayoutSpec spec;
+  spec.num_stations = 50;
+  const auto stations = generate_stations(spec, seed);
+  const Clustering clustering = cluster_stations(stations, k, seed);
+  ASSERT_EQ(clustering.num_clusters(), k);
+  ASSERT_EQ(clustering.assignment.size(), stations.size());
+  std::vector<std::size_t> counts(k, 0);
+  for (auto a : clustering.assignment) {
+    ASSERT_LT(a, k);
+    ++counts[a];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    EXPECT_GT(counts[c], 0u) << "cluster " << c << " empty (k=" << k << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusteringProperty,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{5}, std::size_t{10},
+                                         std::size_t{50}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+TEST(Clustering, BadKThrows) {
+  const std::vector<Point> stations = {{0, 0}, {1, 1}};
+  EXPECT_THROW(cluster_stations(stations, 0, 1), std::invalid_argument);
+  EXPECT_THROW(cluster_stations(stations, 3, 1), std::invalid_argument);
+}
+
+TEST(Clustering, SeparatedGroupsAreSplit) {
+  // Two tight groups far apart must land in different clusters.
+  std::vector<Point> stations;
+  for (int i = 0; i < 10; ++i) stations.push_back({0.0 + 0.1 * i, 0.0});
+  for (int i = 0; i < 10; ++i) stations.push_back({100.0 + 0.1 * i, 100.0});
+  const Clustering clustering = cluster_stations(stations, 2, 5);
+  const auto group_a = clustering.assignment[0];
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(clustering.assignment[i], group_a);
+  const auto group_b = clustering.assignment[10];
+  EXPECT_NE(group_a, group_b);
+  for (std::size_t i = 10; i < 20; ++i) EXPECT_EQ(clustering.assignment[i], group_b);
+}
+
+}  // namespace
+}  // namespace mach::mobility

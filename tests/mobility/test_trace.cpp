@@ -1,0 +1,177 @@
+#include "mobility/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mobility/mobility_model.h"
+#include "mobility/stations.h"
+
+namespace mach::mobility {
+namespace {
+
+TEST(Trace, AddRecordValidates) {
+  Trace trace(2, 3, 10);
+  EXPECT_NO_THROW(trace.add_record({0, 0, 0, 5}));
+  EXPECT_THROW(trace.add_record({2, 0, 0, 5}), std::invalid_argument);  // device
+  EXPECT_THROW(trace.add_record({0, 3, 0, 5}), std::invalid_argument);  // station
+  EXPECT_THROW(trace.add_record({0, 0, 5, 5}), std::invalid_argument);  // empty span
+  EXPECT_THROW(trace.add_record({0, 0, 6, 5}), std::invalid_argument);  // inverted
+  EXPECT_THROW(trace.add_record({0, 0, 0, 11}), std::invalid_argument); // beyond horizon
+}
+
+TEST(Trace, MeanDwell) {
+  Trace trace(2, 2, 10);
+  trace.add_record({0, 0, 0, 4});   // 4 steps
+  trace.add_record({0, 1, 4, 10});  // 6 steps
+  EXPECT_DOUBLE_EQ(trace.mean_dwell(), 5.0);
+}
+
+TEST(TraceReplay, ResolvesStations) {
+  Trace trace(2, 3, 6);
+  trace.add_record({0, 1, 0, 6});
+  trace.add_record({1, 0, 0, 3});
+  trace.add_record({1, 2, 3, 6});
+  const TraceReplay replay(trace);
+  EXPECT_EQ(replay.station_of(0, 0), 1u);
+  EXPECT_EQ(replay.station_of(5, 0), 1u);
+  EXPECT_EQ(replay.station_of(2, 1), 0u);
+  EXPECT_EQ(replay.station_of(3, 1), 2u);
+}
+
+TEST(TraceReplay, RejectsOverlap) {
+  Trace trace(1, 2, 6);
+  trace.add_record({0, 0, 0, 4});
+  trace.add_record({0, 1, 3, 6});
+  EXPECT_THROW(TraceReplay{trace}, std::invalid_argument);
+}
+
+TEST(TraceReplay, RejectsGaps) {
+  Trace trace(1, 2, 6);
+  trace.add_record({0, 0, 0, 3});
+  // steps 3..5 uncovered
+  EXPECT_THROW(TraceReplay{trace}, std::invalid_argument);
+}
+
+TEST(TraceReplay, ChurnRate) {
+  Trace trace(1, 2, 4);
+  trace.add_record({0, 0, 0, 2});
+  trace.add_record({0, 1, 2, 4});
+  const TraceReplay replay(trace);
+  // One switch over three transitions.
+  EXPECT_NEAR(replay.churn_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace trace(2, 3, 8);
+  trace.add_record({0, 2, 0, 8});
+  trace.add_record({1, 1, 0, 4});
+  trace.add_record({1, 0, 4, 8});
+  const std::string path = testing::TempDir() + "trace_roundtrip.csv";
+  ASSERT_TRUE(trace.write_csv(path));
+  const Trace loaded = Trace::read_csv(path, 2, 3, 8);
+  ASSERT_EQ(loaded.records().size(), trace.records().size());
+  for (std::size_t i = 0; i < loaded.records().size(); ++i) {
+    EXPECT_EQ(loaded.records()[i].device, trace.records()[i].device);
+    EXPECT_EQ(loaded.records()[i].station, trace.records()[i].station);
+    EXPECT_EQ(loaded.records()[i].t_start, trace.records()[i].t_start);
+    EXPECT_EQ(loaded.records()[i].t_end, trace.records()[i].t_end);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReadCsvMissingFileThrows) {
+  EXPECT_THROW(Trace::read_csv("/no/such/file.csv", 1, 1, 1), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Mobility models feeding traces.
+// ---------------------------------------------------------------------------
+
+class GeneratedTraceProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(GeneratedTraceProperty, CoversEveryDeviceEveryStep) {
+  const auto [stay_prob, seed] = GetParam();
+  StationLayoutSpec layout;
+  layout.num_stations = 20;
+  auto stations = generate_stations(layout, seed);
+  MarkovMobilityModel model(std::move(stations), stay_prob, 20.0);
+  const std::size_t devices = 15, horizon = 40;
+  const Trace trace = generate_trace(model, devices, horizon, seed);
+  // TraceReplay construction itself asserts the exact-cover invariant (Eq. 1
+  // at station level); additionally check record count sanity.
+  const TraceReplay replay(trace);
+  EXPECT_EQ(replay.horizon(), horizon);
+  EXPECT_EQ(replay.num_devices(), devices);
+  EXPECT_GE(trace.records().size(), devices);  // at least one record each
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratedTraceProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 0.9, 0.99),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{7})));
+
+TEST(MarkovMobilityModel, HigherStayProbLowersChurn) {
+  StationLayoutSpec layout;
+  layout.num_stations = 25;
+  const auto stations = generate_stations(layout, 3);
+  MarkovMobilityModel sticky(stations, 0.95, 20.0);
+  MarkovMobilityModel jumpy(stations, 0.1, 20.0);
+  const Trace trace_sticky = generate_trace(sticky, 30, 100, 3);
+  const Trace trace_jumpy = generate_trace(jumpy, 30, 100, 3);
+  EXPECT_LT(TraceReplay(trace_sticky).churn_rate(),
+            TraceReplay(trace_jumpy).churn_rate());
+}
+
+TEST(MarkovMobilityModel, InvalidConfigThrows) {
+  const std::vector<Point> stations = {{0, 0}, {1, 1}};
+  EXPECT_THROW(MarkovMobilityModel({}, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(MarkovMobilityModel(stations, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MarkovMobilityModel(stations, -0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(MarkovMobilityModel(stations, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(MarkovMobilityModel, PrefersNearbyStations) {
+  // Stations: cluster at origin plus one far outlier; transitions from the
+  // cluster should rarely pick the outlier.
+  std::vector<Point> stations = {{0, 0}, {1, 0}, {0, 1}, {500, 500}};
+  MarkovMobilityModel model(stations, 0.0, 5.0);
+  common::Rng rng(4);
+  int outlier = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (model.next_station(0, 0, rng) == 3u) ++outlier;
+  }
+  EXPECT_LT(outlier, n / 100);
+}
+
+TEST(HomeBiasedWaypointModel, StartsAtHomeAndReturns) {
+  StationLayoutSpec layout;
+  layout.num_stations = 15;
+  const auto stations = generate_stations(layout, 5);
+  HomeBiasedWaypointModel model(stations, 10, 0.5, 0.3, 20.0, 5);
+  common::Rng rng(6);
+  for (std::uint32_t m = 0; m < 10; ++m) {
+    EXPECT_EQ(model.initial_station(m, rng), model.home_of(m));
+  }
+  // Over a long run, a device spends a plurality of time at home.
+  const Trace trace = generate_trace(model, 10, 300, 6);
+  const TraceReplay replay(trace);
+  for (std::uint32_t m = 0; m < 10; ++m) {
+    std::size_t at_home = 0;
+    for (std::size_t t = 0; t < replay.horizon(); ++t) {
+      if (replay.station_of(t, m) == model.home_of(m)) ++at_home;
+    }
+    EXPECT_GT(at_home, replay.horizon() / 5);
+  }
+}
+
+TEST(GenerateTrace, ZeroHorizonThrows) {
+  const std::vector<Point> stations = {{0, 0}};
+  MarkovMobilityModel model(stations, 0.5, 1.0);
+  EXPECT_THROW(generate_trace(model, 1, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mach::mobility

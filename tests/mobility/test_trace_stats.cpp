@@ -1,0 +1,86 @@
+#include "mobility/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/mobility_model.h"
+#include "mobility/stations.h"
+
+namespace mach::mobility {
+namespace {
+
+TraceReplay fixed_replay() {
+  // One device: stations 0 (4 steps), 1 (4 steps); another pinned at 2.
+  Trace trace(2, 3, 8);
+  trace.add_record({0, 0, 0, 4});
+  trace.add_record({0, 1, 4, 8});
+  trace.add_record({1, 2, 0, 8});
+  return TraceReplay(trace);
+}
+
+TEST(TraceStats, PerDeviceBasics) {
+  const std::vector<Point> stations = {{0, 0}, {10, 0}, {5, 5}};
+  const auto stats = device_mobility_stats(fixed_replay(), stations);
+  ASSERT_EQ(stats.size(), 2u);
+
+  // Device 0: two stations 50/50.
+  EXPECT_EQ(stats[0].distinct_stations, 2u);
+  EXPECT_NEAR(stats[0].visit_entropy, std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats[0].top_station_share, 0.5);
+  EXPECT_DOUBLE_EQ(stats[0].mean_dwell, 4.0);
+  // Centroid (5, 0); both stations 5 away -> radius of gyration 5.
+  EXPECT_NEAR(stats[0].radius_of_gyration, 5.0, 1e-9);
+
+  // Device 1: a pure stayer.
+  EXPECT_EQ(stats[1].distinct_stations, 1u);
+  EXPECT_DOUBLE_EQ(stats[1].visit_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(stats[1].top_station_share, 1.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean_dwell, 8.0);
+  EXPECT_DOUBLE_EQ(stats[1].radius_of_gyration, 0.0);
+}
+
+TEST(TraceStats, EmptyStationsSkipSpatialMetrics) {
+  const auto stats = device_mobility_stats(fixed_replay(), {});
+  EXPECT_DOUBLE_EQ(stats[0].radius_of_gyration, 0.0);
+  EXPECT_EQ(stats[0].distinct_stations, 2u);  // non-spatial metrics intact
+}
+
+TEST(TraceStats, SummaryAveragesDevices) {
+  const std::vector<Point> stations = {{0, 0}, {10, 0}, {5, 5}};
+  const auto summary = summarize_trace(fixed_replay(), stations);
+  EXPECT_DOUBLE_EQ(summary.mean_distinct_stations, 1.5);
+  EXPECT_DOUBLE_EQ(summary.mean_top_station_share, 0.75);
+  EXPECT_DOUBLE_EQ(summary.mean_dwell, 6.0);
+  EXPECT_NEAR(summary.mean_radius_of_gyration, 2.5, 1e-9);
+  // One switch by device 0 across 7 transitions x 2 devices.
+  EXPECT_NEAR(summary.station_churn, 1.0 / 14.0, 1e-12);
+}
+
+TEST(TraceStats, StickierModelsHaveLongerDwellAndLowerEntropy) {
+  StationLayoutSpec layout;
+  layout.num_stations = 25;
+  const auto stations = generate_stations(layout, 11);
+  MarkovMobilityModel sticky(stations, 0.95, 20.0);
+  MarkovMobilityModel jumpy(stations, 0.2, 20.0);
+  const TraceReplay sticky_replay(generate_trace(sticky, 30, 200, 11));
+  const TraceReplay jumpy_replay(generate_trace(jumpy, 30, 200, 11));
+  const auto sticky_stats = summarize_trace(sticky_replay, stations);
+  const auto jumpy_stats = summarize_trace(jumpy_replay, stations);
+  EXPECT_GT(sticky_stats.mean_dwell, jumpy_stats.mean_dwell);
+  EXPECT_LT(sticky_stats.mean_visit_entropy, jumpy_stats.mean_visit_entropy);
+  EXPECT_LT(sticky_stats.station_churn, jumpy_stats.station_churn);
+}
+
+TEST(TraceStats, HomeBiasedDevicesHaveHighTopShare) {
+  StationLayoutSpec layout;
+  layout.num_stations = 20;
+  const auto stations = generate_stations(layout, 12);
+  HomeBiasedWaypointModel model(stations, 20, 0.6, 0.2, 15.0, 12);
+  const TraceReplay replay(generate_trace(model, 20, 300, 12));
+  const auto summary = summarize_trace(replay, stations);
+  EXPECT_GT(summary.mean_top_station_share, 0.3);
+}
+
+}  // namespace
+}  // namespace mach::mobility

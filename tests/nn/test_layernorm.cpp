@@ -1,0 +1,108 @@
+#include "nn/layernorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+
+namespace mach::nn {
+namespace {
+
+TEST(LayerNorm, RejectsZeroFeatures) {
+  EXPECT_THROW(LayerNorm(0), std::invalid_argument);
+}
+
+TEST(LayerNorm, NormalisesEachRow) {
+  LayerNorm layer(4);
+  tensor::Tensor x({2, 4}, {1, 2, 3, 4, 10, 10, 10, 30});
+  const auto& y = layer.forward(x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) mean += y.at2(r, c);
+    mean /= 4.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      var += (y.at2(r, c) - mean) * (y.at2(r, c) - mean);
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GainAndBiasApplied) {
+  LayerNorm layer(2);
+  auto params = layer.params();
+  params[0].value->flat()[0] = 2.0f;  // gain
+  params[0].value->flat()[1] = 2.0f;
+  params[1].value->flat()[0] = 5.0f;  // bias
+  params[1].value->flat()[1] = 5.0f;
+  tensor::Tensor x({1, 2}, {-1, 1});
+  const auto& y = layer.forward(x);
+  // x_hat = {-1, 1} (unit variance already); y = 2*x_hat + 5.
+  EXPECT_NEAR(y[0], 3.0f, 1e-4);
+  EXPECT_NEAR(y[1], 7.0f, 1e-4);
+}
+
+TEST(LayerNorm, ShapeValidation) {
+  LayerNorm layer(3);
+  tensor::Tensor bad({2, 4});
+  EXPECT_THROW(layer.forward(bad), std::invalid_argument);
+}
+
+TEST(LayerNorm, GradCheckThroughModel) {
+  // Numerical gradient check of a Dense -> LayerNorm -> Dense stack.
+  Sequential model;
+  model.add(std::make_unique<Dense>(5, 4))
+      .add(std::make_unique<LayerNorm>(4))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(4, 3));
+  common::Rng rng(3);
+  model.init_params(rng);
+  tensor::Tensor x({3, 5});
+  for (auto& v : x.flat()) v = static_cast<float>(rng.normal());
+  const std::vector<int> labels = {0, 2, 1};
+
+  model.forward_backward(x, labels);
+  const std::vector<float> analytic = model.get_gradients();
+
+  auto params = model.params();
+  const float eps = 1e-2f;
+  std::size_t offset = 0;
+  for (auto& ref : params) {
+    auto values = ref.value->flat();
+    const std::size_t stride = std::max<std::size_t>(values.size() / 4, 1);
+    for (std::size_t j = 0; j < values.size(); j += stride) {
+      const float original = values[j];
+      values[j] = original + eps;
+      const double plus = model.evaluate(x, labels).loss;
+      values[j] = original - eps;
+      const double minus = model.evaluate(x, labels).loss;
+      values[j] = original;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double a = analytic[offset + j];
+      const double scale = std::max({std::abs(a), std::abs(numeric), 0.05});
+      EXPECT_LT(std::abs(a - numeric) / scale, 0.2)
+          << ref.name << " idx " << j << " analytic=" << a
+          << " numeric=" << numeric;
+    }
+    offset += values.size();
+  }
+}
+
+TEST(LayerNorm, InitResetsAffineParams) {
+  LayerNorm layer(3);
+  auto params = layer.params();
+  params[0].value->fill(9.0f);
+  params[1].value->fill(-9.0f);
+  common::Rng rng(4);
+  layer.init_params(rng);
+  for (float v : params[0].value->flat()) EXPECT_FLOAT_EQ(v, 1.0f);
+  for (float v : params[1].value->flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace mach::nn

@@ -1,0 +1,192 @@
+#include "sampling/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sampling/budget.h"
+
+namespace mach::sampling {
+namespace {
+
+hfl::FederationInfo make_info(std::vector<std::vector<std::size_t>> histograms) {
+  hfl::FederationInfo info;
+  info.num_devices = histograms.size();
+  info.num_edges = 1;
+  info.num_classes = histograms.empty() ? 0 : histograms.front().size();
+  info.class_histograms = std::move(histograms);
+  return info;
+}
+
+hfl::EdgeSamplingContext make_ctx(const std::vector<std::uint32_t>& devices,
+                                  double capacity, std::size_t t = 0) {
+  hfl::EdgeSamplingContext ctx;
+  ctx.t = t;
+  ctx.edge = 0;
+  ctx.capacity = capacity;
+  ctx.devices = devices;
+  return ctx;
+}
+
+TEST(UniformSampler, EqualProbabilitiesMatchingBudget) {
+  UniformSampler sampler;
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 2.0));
+  ASSERT_EQ(q.size(), 4u);
+  for (double p : q) EXPECT_NEAR(p, 0.5, 1e-12);
+}
+
+TEST(UniformSampler, CapacityAboveSizeSaturates) {
+  UniformSampler sampler;
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 5.0));
+  for (double p : q) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(ClassBalanceSampler, RareClassHolderWeighsMore) {
+  // Class 0 is abundant (held by devices 0,1,2), class 1 is rare (device 3).
+  ClassBalanceSampler sampler;
+  sampler.bind(make_info({{90, 0}, {90, 0}, {90, 0}, {0, 10}}));
+  EXPECT_GT(sampler.device_weight(3), sampler.device_weight(0) * 2);
+  const std::vector<std::uint32_t> devices = {0, 3};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_GT(q[1], q[0]);
+  EXPECT_NEAR(q[0] + q[1], 1.0, 1e-9);
+}
+
+TEST(ClassBalanceSampler, BalancedDevicesEqualWeights) {
+  ClassBalanceSampler sampler;
+  sampler.bind(make_info({{10, 10}, {10, 10}, {10, 10}}));
+  EXPECT_NEAR(sampler.device_weight(0), sampler.device_weight(2), 1e-9);
+  const std::vector<std::uint32_t> devices = {0, 1, 2};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.5));
+  for (double p : q) EXPECT_NEAR(p, 0.5, 1e-9);
+}
+
+TEST(ClassBalanceSampler, UnboundFallsBackToUniform) {
+  ClassBalanceSampler sampler;  // bind() never called
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_NEAR(q[0], 0.5, 1e-12);
+  EXPECT_NEAR(q[1], 0.5, 1e-12);
+}
+
+TEST(StatisticalSampler, HigherLossHigherProbability) {
+  StatisticalSampler sampler;
+  sampler.bind(make_info({{1, 0}, {1, 0}}));
+  hfl::TrainingObservation low;
+  low.device = 0;
+  low.mean_loss = 0.1;
+  hfl::TrainingObservation high;
+  high.device = 1;
+  high.mean_loss = 2.0;
+  sampler.observe_training(low);
+  sampler.observe_training(high);
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_GT(q[1], q[0] * 3);
+}
+
+TEST(StatisticalSampler, UnobservedDevicesShareRunningMean) {
+  StatisticalSampler sampler;
+  sampler.bind(make_info({{1, 0}, {1, 0}, {1, 0}}));
+  hfl::TrainingObservation obs;
+  obs.device = 0;
+  obs.mean_loss = 1.5;
+  sampler.observe_training(obs);
+  EXPECT_DOUBLE_EQ(sampler.loss_estimate(1), 1.5);
+  EXPECT_DOUBLE_EQ(sampler.loss_estimate(2), 1.5);
+}
+
+TEST(StatisticalSampler, EmaSmoothsUpdates) {
+  StatisticalSampler sampler(0.5);
+  sampler.bind(make_info({{1, 0}}));
+  hfl::TrainingObservation obs;
+  obs.device = 0;
+  obs.mean_loss = 2.0;
+  sampler.observe_training(obs);
+  EXPECT_DOUBLE_EQ(sampler.loss_estimate(0), 2.0);  // first sets directly
+  obs.mean_loss = 0.0;
+  sampler.observe_training(obs);
+  EXPECT_DOUBLE_EQ(sampler.loss_estimate(0), 1.0);  // 0.5*0 + 0.5*2
+}
+
+TEST(StatisticalSampler, NoObservationsGivesUniform) {
+  StatisticalSampler sampler;
+  sampler.bind(make_info({{1, 0}, {1, 0}}));
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_NEAR(q[0], 0.5, 1e-9);
+  EXPECT_NEAR(q[1], 0.5, 1e-9);
+}
+
+TEST(ClipWeightSpread, CapsRatioAtMax) {
+  std::vector<double> weights = {10.0, 1.0, 0.5, 5.0};
+  clip_weight_spread(weights, 4.0);
+  EXPECT_DOUBLE_EQ(weights[0], 10.0);
+  EXPECT_DOUBLE_EQ(weights[1], 2.5);  // floored at max/ratio
+  EXPECT_DOUBLE_EQ(weights[2], 2.5);
+  EXPECT_DOUBLE_EQ(weights[3], 5.0);
+}
+
+TEST(ClipWeightSpread, RatioOneOrLessDisables) {
+  std::vector<double> weights = {10.0, 1.0};
+  auto copy = weights;
+  clip_weight_spread(weights, 1.0);
+  EXPECT_EQ(weights, copy);
+  clip_weight_spread(weights, 0.0);
+  EXPECT_EQ(weights, copy);
+}
+
+TEST(ClipWeightSpread, AllZeroUntouched) {
+  std::vector<double> weights = {0.0, 0.0};
+  clip_weight_spread(weights, 3.0);
+  EXPECT_DOUBLE_EQ(weights[0], 0.0);
+  EXPECT_DOUBLE_EQ(weights[1], 0.0);
+}
+
+TEST(ClipWeightSpread, BoundsProbabilitySpreadUnderBudget) {
+  // End-to-end: after clipping at ratio r, the resulting probabilities can
+  // differ by at most a factor r (when no per-device cap binds).
+  std::vector<double> weights = {100.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  clip_weight_spread(weights, 3.5);
+  const auto q = budgeted_probabilities(weights, 2.0);
+  double lo = 1.0, hi = 0.0;
+  for (double p : q) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_LE(hi / lo, 3.5 + 1e-9);
+}
+
+TEST(FullParticipationSampler, AllOnes) {
+  FullParticipationSampler sampler;
+  const std::vector<std::uint32_t> devices = {0, 1, 2};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  for (double p : q) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(Samplers, BudgetRespectedAcrossAll) {
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3, 4};
+  const double capacity = 2.5;
+  UniformSampler us;
+  ClassBalanceSampler cs;
+  cs.bind(make_info({{5, 1}, {1, 5}, {3, 3}, {0, 6}, {6, 0}}));
+  StatisticalSampler ss;
+  ss.bind(make_info({{5, 1}, {1, 5}, {3, 3}, {0, 6}, {6, 0}}));
+  for (hfl::Sampler* sampler : {static_cast<hfl::Sampler*>(&us),
+                                static_cast<hfl::Sampler*>(&cs),
+                                static_cast<hfl::Sampler*>(&ss)}) {
+    const auto q = sampler->edge_probabilities(make_ctx(devices, capacity));
+    const double total = std::accumulate(q.begin(), q.end(), 0.0);
+    EXPECT_NEAR(total, capacity, 1e-9) << sampler->name();
+    for (double p : q) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mach::sampling

@@ -1,0 +1,129 @@
+#include "sampling/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mach::sampling {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Budget, EmptyInput) {
+  EXPECT_TRUE(budgeted_probabilities({}, 3.0).empty());
+}
+
+TEST(Budget, ProportionalWhenNoCapBinds) {
+  const std::vector<double> w = {1.0, 2.0, 3.0};
+  const auto q = budgeted_probabilities(w, 1.5);
+  EXPECT_NEAR(q[0], 0.25, 1e-12);
+  EXPECT_NEAR(q[1], 0.5, 1e-12);
+  EXPECT_NEAR(q[2], 0.75, 1e-12);
+  EXPECT_NEAR(sum(q), 1.5, 1e-12);
+}
+
+TEST(Budget, CapsAtOneAndRedistributes) {
+  // Proportional split of budget 2 would give {1.5, 0.25, 0.25}; the excess
+  // 0.5 must flow to the small devices.
+  const std::vector<double> w = {6.0, 1.0, 1.0};
+  const auto q = budgeted_probabilities(w, 2.0);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);
+  EXPECT_NEAR(q[1], 0.5, 1e-12);
+  EXPECT_NEAR(q[2], 0.5, 1e-12);
+  EXPECT_NEAR(sum(q), 2.0, 1e-12);
+}
+
+TEST(Budget, CascadingPins) {
+  // After pinning the first, the second exceeds 1 too.
+  const std::vector<double> w = {100.0, 10.0, 1.0, 1.0};
+  const auto q = budgeted_probabilities(w, 3.0);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);
+  EXPECT_DOUBLE_EQ(q[1], 1.0);
+  EXPECT_NEAR(q[2], 0.5, 1e-12);
+  EXPECT_NEAR(q[3], 0.5, 1e-12);
+}
+
+TEST(Budget, CapacityAboveCountGivesAllOnes) {
+  const std::vector<double> w = {1.0, 5.0};
+  const auto q = budgeted_probabilities(w, 10.0);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);
+  EXPECT_DOUBLE_EQ(q[1], 1.0);
+}
+
+TEST(Budget, ZeroCapacityGivesZeros) {
+  const std::vector<double> w = {1.0, 1.0};
+  const auto q = budgeted_probabilities(w, 0.0);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+  EXPECT_DOUBLE_EQ(q[1], 0.0);
+}
+
+TEST(Budget, NegativeCapacityClamped) {
+  const std::vector<double> w = {1.0};
+  const auto q = budgeted_probabilities(w, -5.0);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+}
+
+TEST(Budget, AllZeroWeightsSplitUniformly) {
+  const std::vector<double> w = {0.0, 0.0, 0.0, 0.0};
+  const auto q = budgeted_probabilities(w, 2.0);
+  for (double p : q) EXPECT_NEAR(p, 0.5, 1e-12);
+}
+
+TEST(Budget, NegativeWeightsTreatedAsZero) {
+  const std::vector<double> w = {-3.0, 1.0};
+  const auto q = budgeted_probabilities(w, 1.0);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+  EXPECT_DOUBLE_EQ(q[1], 1.0);
+}
+
+TEST(Budget, MixedZeroAndPositive) {
+  const std::vector<double> w = {0.0, 2.0, 0.0, 2.0};
+  const auto q = budgeted_probabilities(w, 1.0);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+  EXPECT_NEAR(q[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(q[2], 0.0);
+  EXPECT_NEAR(q[3], 0.5, 1e-12);
+}
+
+class BudgetProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, std::uint64_t>> {
+};
+
+TEST_P(BudgetProperty, InvariantsHoldForRandomWeights) {
+  const auto [n, capacity, seed] = GetParam();
+  common::Rng rng(seed);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.uniform() < 0.1 ? 0.0 : rng.exponential(1.0);
+  const auto q = budgeted_probabilities(w, capacity);
+  ASSERT_EQ(q.size(), n);
+  for (double p : q) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-12);
+  }
+  // Eq. (3): expected participation equals min(capacity, n) exactly — the
+  // water-filling never wastes budget.
+  EXPECT_NEAR(sum(q), std::min(capacity, static_cast<double>(n)), 1e-9);
+  // Monotone: a strictly larger weight never gets a smaller probability.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (w[i] > w[j]) {
+        EXPECT_GE(q[i], q[j] - 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BudgetProperty,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{10}, std::size_t{40}),
+                       ::testing::Values(0.5, 2.0, 5.0, 20.0),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+}  // namespace
+}  // namespace mach::sampling

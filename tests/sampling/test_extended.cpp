@@ -1,0 +1,135 @@
+#include "sampling/extended.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mach::sampling {
+namespace {
+
+hfl::FederationInfo make_info(std::size_t devices) {
+  hfl::FederationInfo info;
+  info.num_devices = devices;
+  info.num_edges = 1;
+  info.num_classes = 2;
+  info.class_histograms.assign(devices, {1, 1});
+  return info;
+}
+
+hfl::EdgeSamplingContext make_ctx(const std::vector<std::uint32_t>& devices,
+                                  double capacity, std::size_t t = 0) {
+  hfl::EdgeSamplingContext ctx;
+  ctx.t = t;
+  ctx.capacity = capacity;
+  ctx.devices = devices;
+  return ctx;
+}
+
+hfl::TrainingObservation observation(std::uint32_t device, double loss,
+                                     std::size_t t = 0) {
+  hfl::TrainingObservation obs;
+  obs.device = device;
+  obs.mean_loss = loss;
+  obs.t = t;
+  return obs;
+}
+
+TEST(PowerOfChoice, BudgetRespected) {
+  PowerOfChoiceSampler sampler;
+  sampler.bind(make_info(6));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3, 4, 5};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto q = sampler.edge_probabilities(make_ctx(devices, 2.0));
+    ASSERT_EQ(q.size(), 6u);
+    const double total = std::accumulate(q.begin(), q.end(), 0.0);
+    EXPECT_NEAR(total, 2.0, 1e-9);
+    for (double p : q) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(PowerOfChoice, ConcentratesOnCandidates) {
+  // candidate_fraction 0.5 of 6 devices -> at most ceil(0.5*6) = 3 nonzero
+  // entries (but never fewer than ceil(capacity)).
+  PowerOfChoiceSampler sampler(0.5);
+  sampler.bind(make_info(6));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3, 4, 5};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 2.0));
+  std::size_t nonzero = 0;
+  for (double p : q) nonzero += p > 0.0 ? 1 : 0;
+  EXPECT_LE(nonzero, 3u);
+  EXPECT_GE(nonzero, 2u);
+}
+
+TEST(PowerOfChoice, PrefersHighLossWithinCandidates) {
+  PowerOfChoiceSampler sampler(1.0);  // everyone is a candidate
+  sampler.bind(make_info(2));
+  sampler.observe_training(observation(0, 0.1));
+  sampler.observe_training(observation(1, 3.0));
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_GT(q[1], q[0]);
+}
+
+TEST(PowerOfChoice, UnseenDevicesRankAsMaxLoss) {
+  PowerOfChoiceSampler sampler(1.0);
+  sampler.bind(make_info(2));
+  sampler.observe_training(observation(0, 2.0));
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_NEAR(q[0], q[1], 1e-9);  // unseen device 1 competes at max loss
+}
+
+TEST(Oort, BudgetAndRange) {
+  OortSampler sampler;
+  sampler.bind(make_info(5));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3, 4};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 2.5));
+  const double total = std::accumulate(q.begin(), q.end(), 0.0);
+  EXPECT_NEAR(total, 2.5, 1e-9);
+}
+
+TEST(Oort, UtilityTracksLoss) {
+  OortSampler sampler;
+  sampler.bind(make_info(2));
+  sampler.observe_training(observation(0, 0.2, 5));
+  sampler.observe_training(observation(1, 2.0, 5));
+  EXPECT_GT(sampler.utility(1, 5), sampler.utility(0, 5));
+}
+
+TEST(Oort, UtilityClippedAtMultipleOfMedian) {
+  OortSampler::Options options;
+  options.clip_multiple = 2.0;
+  options.exploration_weight = 0.0;
+  OortSampler sampler(options);
+  sampler.bind(make_info(3));
+  sampler.observe_training(observation(0, 1.0, 0));
+  sampler.observe_training(observation(1, 1.0, 0));
+  sampler.observe_training(observation(2, 100.0, 0));
+  // Median of {1, 1, 100} is 1 -> device 2 clipped to 2.0.
+  EXPECT_NEAR(sampler.utility(2, 0), 2.0, 1e-9);
+}
+
+TEST(Oort, StalenessBonusGrows) {
+  OortSampler sampler;
+  sampler.bind(make_info(1));
+  sampler.observe_training(observation(0, 1.0, 0));
+  const double fresh = sampler.utility(0, 1);
+  const double stale = sampler.utility(0, 100);
+  EXPECT_GT(stale, fresh);
+}
+
+TEST(Oort, HigherProbabilityForHigherUtility) {
+  OortSampler sampler;
+  sampler.bind(make_info(2));
+  sampler.observe_training(observation(0, 0.2, 3));
+  sampler.observe_training(observation(1, 2.0, 3));
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0, 3));
+  EXPECT_GT(q[1], q[0]);
+}
+
+}  // namespace
+}  // namespace mach::sampling

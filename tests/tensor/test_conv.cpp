@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace mach::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, common::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+/// Direct (non-im2col) convolution reference, stride 1, zero padding.
+Tensor naive_conv(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                  const ConvSpec& spec) {
+  const std::size_t batch = input.dim(0), ic = spec.in_channels, h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oc = spec.out_channels, k = spec.kernel;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  Tensor out({batch, oc, oh, ow});
+  for (std::size_t img = 0; img < batch; ++img) {
+    for (std::size_t o = 0; o < oc; ++o) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = bias[o];
+          for (std::size_t c = 0; c < ic; ++c) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const auto iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                static_cast<std::ptrdiff_t>(spec.pad);
+                const auto ix = static_cast<std::ptrdiff_t>(ox + kx) -
+                                static_cast<std::ptrdiff_t>(spec.pad);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h) || ix < 0 ||
+                    ix >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                acc += input.at4(img, c, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix)) *
+                       weight.at4(o, c, ky, kx);
+              }
+            }
+          }
+          out.at4(img, o, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv2D, ForwardMatchesNaiveReference) {
+  common::Rng rng(11);
+  ConvSpec spec{.in_channels = 2, .out_channels = 3, .kernel = 3, .pad = 1, .stride = 1};
+  const Tensor input = random_tensor({2, 2, 6, 6}, rng);
+  const Tensor weight = random_tensor({3, 2, 3, 3}, rng);
+  const Tensor bias = random_tensor({3}, rng);
+  Tensor output({2, 3, 6, 6});
+  Tensor scratch;
+  conv2d_forward(input, weight, bias, spec, output, scratch);
+  const Tensor expected = naive_conv(input, weight, bias, spec);
+  for (std::size_t i = 0; i < output.numel(); ++i) {
+    ASSERT_NEAR(output[i], expected[i], 1e-4f) << "i=" << i;
+  }
+}
+
+TEST(Conv2D, ForwardNoPadding) {
+  common::Rng rng(12);
+  ConvSpec spec{.in_channels = 1, .out_channels = 2, .kernel = 3, .pad = 0, .stride = 1};
+  const Tensor input = random_tensor({1, 1, 5, 5}, rng);
+  const Tensor weight = random_tensor({2, 1, 3, 3}, rng);
+  const Tensor bias = random_tensor({2}, rng);
+  Tensor output({1, 2, 3, 3});
+  Tensor scratch;
+  conv2d_forward(input, weight, bias, spec, output, scratch);
+  const Tensor expected = naive_conv(input, weight, bias, spec);
+  for (std::size_t i = 0; i < output.numel(); ++i) {
+    ASSERT_NEAR(output[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(Conv2D, Im2ColCol2ImAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the two must be adjoint linear maps
+  // for backprop to be correct.
+  common::Rng rng(13);
+  ConvSpec spec{.in_channels = 2, .out_channels = 1, .kernel = 3, .pad = 1, .stride = 1};
+  const Tensor x = random_tensor({1, 2, 4, 4}, rng);
+  Tensor cols;
+  im2col(x, 0, spec, cols);
+  const Tensor y = random_tensor(cols.shape(), rng);
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  Tensor x_back({1, 2, 4, 4});
+  col2im(y, 0, spec, x_back);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * x_back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Conv2D, BackwardMatchesNumericalGradient) {
+  common::Rng rng(14);
+  ConvSpec spec{.in_channels = 1, .out_channels = 2, .kernel = 3, .pad = 1, .stride = 1};
+  Tensor input = random_tensor({1, 1, 4, 4}, rng);
+  Tensor weight = random_tensor({2, 1, 3, 3}, rng);
+  const Tensor bias = random_tensor({2}, rng);
+  // Loss = sum of outputs, so grad_output is all ones.
+  Tensor output({1, 2, 4, 4});
+  Tensor scratch;
+  Tensor grad_output(output.shape());
+  grad_output.fill(1.0f);
+  Tensor grad_input(input.shape());
+  Tensor grad_weight(weight.shape());
+  Tensor grad_bias(bias.shape());
+  Tensor scratch2;
+  conv2d_backward(input, weight, grad_output, spec, grad_input, grad_weight,
+                  grad_bias, scratch, scratch2);
+
+  auto loss = [&](const Tensor& in, const Tensor& wt) {
+    Tensor out({1, 2, 4, 4});
+    Tensor s;
+    conv2d_forward(in, wt, bias, spec, out, s);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) total += out[i];
+    return total;
+  };
+
+  const float eps = 1e-2f;
+  // Spot-check a handful of input coordinates.
+  for (std::size_t idx : {0u, 5u, 9u, 15u}) {
+    Tensor plus = input, minus = input;
+    plus[idx] += eps;
+    minus[idx] -= eps;
+    const double numeric = (loss(plus, weight) - loss(minus, weight)) / (2.0 * eps);
+    EXPECT_NEAR(grad_input[idx], numeric, 5e-2) << "input idx " << idx;
+  }
+  for (std::size_t idx : {0u, 4u, 10u, 17u}) {
+    Tensor plus = weight, minus = weight;
+    plus[idx] += eps;
+    minus[idx] -= eps;
+    const double numeric = (loss(input, plus) - loss(input, minus)) / (2.0 * eps);
+    EXPECT_NEAR(grad_weight[idx], numeric, 5e-2) << "weight idx " << idx;
+  }
+  // Bias gradient of a sum loss is the number of output pixels per channel.
+  EXPECT_NEAR(grad_bias[0], 16.0f, 1e-3f);
+  EXPECT_NEAR(grad_bias[1], 16.0f, 1e-3f);
+}
+
+TEST(ConvSpec, OutputDimension) {
+  ConvSpec spec{.in_channels = 1, .out_channels = 1, .kernel = 3, .pad = 1, .stride = 1};
+  EXPECT_EQ(spec.out_dim(12), 12u);
+  spec.pad = 0;
+  EXPECT_EQ(spec.out_dim(12), 10u);
+}
+
+}  // namespace
+}  // namespace mach::tensor

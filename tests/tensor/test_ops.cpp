@@ -1,0 +1,210 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mach::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, common::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+/// Naive triple-loop reference GEMM.
+Tensor naive_gemm(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a.at2(i, p) * b.at2(p, j);
+      c.at2(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void expect_near(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+TEST(Gemm, MatchesNaiveReference) {
+  common::Rng rng(1);
+  const Tensor a = random_tensor({5, 7}, rng);
+  const Tensor b = random_tensor({7, 4}, rng);
+  Tensor c({5, 4});
+  gemm(a, b, c);
+  expect_near(c, naive_gemm(a, b));
+}
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  common::Rng rng(2);
+  const Tensor a = random_tensor({3, 3}, rng);
+  const Tensor b = random_tensor({3, 3}, rng);
+  Tensor c({3, 3});
+  c.fill(1.0f);
+  gemm(a, b, c, /*accumulate=*/true);
+  Tensor expected = naive_gemm(a, b);
+  for (auto& v : expected.flat()) v += 1.0f;
+  expect_near(c, expected);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2}), c({2, 2});
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+}
+
+TEST(Gemm, TransposedAMatchesReference) {
+  common::Rng rng(3);
+  const Tensor a = random_tensor({6, 4}, rng);  // A^T is 4x6
+  const Tensor b = random_tensor({6, 5}, rng);
+  Tensor c({4, 5});
+  gemm_at_b(a, b, c);
+  // Reference: transpose a then naive gemm.
+  Tensor at({4, 6});
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 4; ++j) at.at2(j, i) = a.at2(i, j);
+  expect_near(c, naive_gemm(at, b));
+}
+
+TEST(Gemm, TransposedBMatchesReference) {
+  common::Rng rng(4);
+  const Tensor a = random_tensor({4, 6}, rng);
+  const Tensor b = random_tensor({5, 6}, rng);  // B^T is 6x5
+  Tensor c({4, 5});
+  gemm_a_bt(a, b, c);
+  Tensor bt({6, 5});
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j) bt.at2(j, i) = b.at2(i, j);
+  expect_near(c, naive_gemm(a, bt));
+}
+
+TEST(Bias, AddRowBias) {
+  Tensor x({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {10, 20, 30});
+  add_row_bias(x, bias);
+  EXPECT_FLOAT_EQ(x.at2(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(x.at2(1, 2), 31.0f);
+}
+
+TEST(Bias, SumRows) {
+  Tensor grad({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias_grad({3});
+  sum_rows(grad, bias_grad);
+  EXPECT_FLOAT_EQ(bias_grad[0], 5.0f);
+  EXPECT_FLOAT_EQ(bias_grad[1], 7.0f);
+  EXPECT_FLOAT_EQ(bias_grad[2], 9.0f);
+  sum_rows(grad, bias_grad, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(bias_grad[0], 10.0f);
+}
+
+TEST(Relu, ForwardAndBackward) {
+  Tensor x({4}, {-1, 0, 2, -3});
+  Tensor y({4});
+  relu_forward(x, y);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  Tensor gout({4}, {1, 1, 1, 1});
+  Tensor gin({4});
+  relu_backward(x, gout, gin);
+  EXPECT_FLOAT_EQ(gin[0], 0.0f);
+  EXPECT_FLOAT_EQ(gin[1], 0.0f);  // exactly zero input -> no gradient
+  EXPECT_FLOAT_EQ(gin[2], 1.0f);
+  EXPECT_FLOAT_EQ(gin[3], 0.0f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  common::Rng rng(5);
+  const Tensor logits = random_tensor({6, 10}, rng);
+  Tensor probs({6, 10});
+  softmax(logits, probs);
+  for (std::size_t i = 0; i < 6; ++i) {
+    float total = 0.0f;
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_GE(probs.at2(i, j), 0.0f);
+      total += probs.at2(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 3}, {1000.0f, 1000.0f, 900.0f});
+  Tensor probs({1, 3});
+  softmax(logits, probs);
+  EXPECT_NEAR(probs[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(probs[1], 0.5f, 1e-5f);
+  EXPECT_NEAR(probs[2], 0.0f, 1e-5f);
+}
+
+TEST(CrossEntropy, KnownValue) {
+  Tensor probs({2, 2}, {0.5f, 0.5f, 0.25f, 0.75f});
+  const std::vector<int> labels = {0, 1};
+  const double expected = -(std::log(0.5) + std::log(0.75)) / 2.0;
+  EXPECT_NEAR(cross_entropy_loss(probs, labels), expected, 1e-6);
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  Tensor probs({1, 2}, {0.5f, 0.5f});
+  const std::vector<int> labels = {2};
+  EXPECT_THROW(cross_entropy_loss(probs, labels), std::out_of_range);
+}
+
+TEST(CrossEntropy, BackwardIsProbsMinusOnehotOverBatch) {
+  Tensor probs({2, 3}, {0.2f, 0.3f, 0.5f, 0.6f, 0.3f, 0.1f});
+  const std::vector<int> labels = {2, 0};
+  Tensor grad({2, 3});
+  softmax_cross_entropy_backward(probs, labels, grad);
+  EXPECT_NEAR(grad.at2(0, 0), 0.1f, 1e-6f);
+  EXPECT_NEAR(grad.at2(0, 2), (0.5f - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at2(1, 0), (0.6f - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at2(1, 1), 0.15f, 1e-6f);
+}
+
+TEST(CountCorrect, ArgmaxAccuracy) {
+  Tensor logits({3, 2}, {2.0f, 1.0f, 0.0f, 3.0f, 5.0f, 4.0f});
+  const std::vector<int> labels = {0, 1, 1};
+  EXPECT_EQ(count_correct(logits, labels), 2u);
+}
+
+TEST(MaxPool, ForwardSelectsMaxAndBackwardRoutesGradient) {
+  // One 4x4 image, one channel.
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor y({1, 1, 2, 2});
+  std::vector<std::uint32_t> argmax;
+  maxpool2x2_forward(x, y, argmax);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+  EXPECT_FLOAT_EQ(y[2], 13.0f);
+  EXPECT_FLOAT_EQ(y[3], 15.0f);
+
+  Tensor gout({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor gin({1, 1, 4, 4});
+  maxpool2x2_backward(gout, argmax, gin);
+  EXPECT_FLOAT_EQ(gin[5], 1.0f);
+  EXPECT_FLOAT_EQ(gin[7], 2.0f);
+  EXPECT_FLOAT_EQ(gin[13], 3.0f);
+  EXPECT_FLOAT_EQ(gin[15], 4.0f);
+  float total = 0.0f;
+  for (std::size_t i = 0; i < 16; ++i) total += gin[i];
+  EXPECT_FLOAT_EQ(total, 10.0f);
+}
+
+TEST(MaxPool, OddDimensionsThrow) {
+  Tensor x({1, 1, 3, 4});
+  Tensor y({1, 1, 1, 2});
+  std::vector<std::uint32_t> argmax;
+  EXPECT_THROW(maxpool2x2_forward(x, y, argmax), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mach::tensor

@@ -1,0 +1,151 @@
+// Parameterised property sweeps: the optimised kernels must match naive
+// references across a grid of shapes, and algebraic identities must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace mach::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, common::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+Tensor naive_gemm(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a.at2(i, p) * b.at2(p, j);
+      c.at2(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, std::uint64_t>> {};
+
+TEST_P(GemmShapes, AllVariantsMatchNaive) {
+  const auto [m, k, n, seed] = GetParam();
+  common::Rng rng(seed);
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  const Tensor expected = naive_gemm(a, b);
+
+  Tensor c({m, n});
+  gemm(a, b, c);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    ASSERT_NEAR(c[i], expected[i], 1e-4f) << "gemm i=" << i;
+  }
+
+  // A^T path: feed a stored transposed and expect the same product.
+  Tensor at({k, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) at.at2(p, i) = a.at2(i, p);
+  }
+  Tensor c2({m, n});
+  gemm_at_b(at, b, c2);
+  for (std::size_t i = 0; i < c2.numel(); ++i) {
+    ASSERT_NEAR(c2[i], expected[i], 1e-4f) << "gemm_at_b i=" << i;
+  }
+
+  // B^T path.
+  Tensor bt({n, k});
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) bt.at2(j, p) = b.at2(p, j);
+  }
+  Tensor c3({m, n});
+  gemm_a_bt(a, bt, c3);
+  for (std::size_t i = 0; i < c3.numel(); ++i) {
+    ASSERT_NEAR(c3[i], expected[i], 1e-4f) << "gemm_a_bt i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, GemmShapes,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{8}),
+                       ::testing::Values(std::size_t{1}, std::size_t{5},
+                                         std::size_t{16}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{9}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2})));
+
+class ConvShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ConvShapes, Im2ColAdjointProperty) {
+  const auto [channels, size, kernel, pad] = GetParam();
+  common::Rng rng(channels * 100 + size);
+  ConvSpec spec{.in_channels = channels, .out_channels = 1, .kernel = kernel,
+                .pad = pad, .stride = 1};
+  if (size + 2 * pad < kernel) GTEST_SKIP() << "kernel larger than padded input";
+  const Tensor x = random_tensor({1, channels, size, size}, rng);
+  Tensor cols;
+  im2col(x, 0, spec, cols);
+  const Tensor y = random_tensor(cols.shape(), rng);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  Tensor back({1, channels, size, size});
+  col2im(y, 0, spec, back);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, ConvShapes,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{3}),
+                       ::testing::Values(std::size_t{4}, std::size_t{7}),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{5}),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2})));
+
+class SoftmaxShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SoftmaxShapes, RowsNormalisedAndShiftInvariant) {
+  const auto [rows, cols] = GetParam();
+  common::Rng rng(rows * 31 + cols);
+  const Tensor logits = random_tensor({rows, cols}, rng);
+  Tensor probs({rows, cols});
+  softmax(logits, probs);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float total = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) total += probs.at2(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+  // Shift invariance: softmax(x + c) == softmax(x).
+  Tensor shifted = logits;
+  for (auto& v : shifted.flat()) v += 11.25f;
+  Tensor probs2({rows, cols});
+  softmax(shifted, probs2);
+  for (std::size_t i = 0; i < probs.numel(); ++i) {
+    EXPECT_NEAR(probs[i], probs2[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, SoftmaxShapes,
+                         ::testing::Combine(::testing::Values(std::size_t{1},
+                                                              std::size_t{7}),
+                                            ::testing::Values(std::size_t{2},
+                                                              std::size_t{10},
+                                                              std::size_t{33})));
+
+}  // namespace
+}  // namespace mach::tensor

@@ -1,0 +1,116 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mach::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ShapeConstructionZeroFilled) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, DataConstructionValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, At2RowMajorLayout) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at2(0, 0), 0.0f);
+  EXPECT_EQ(t.at2(0, 2), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+  EXPECT_EQ(t.at2(1, 2), 5.0f);
+}
+
+TEST(Tensor, At2BoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at2(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at2(0, 3), std::out_of_range);
+  Tensor t1({6});
+  EXPECT_THROW(t1.at2(0, 0), std::out_of_range);  // wrong rank
+}
+
+TEST(Tensor, At4NchwLayout) {
+  Tensor t({2, 2, 2, 2});
+  t.at4(1, 0, 1, 0) = 7.0f;
+  // ((n*C + c)*H + h)*W + w = ((1*2+0)*2+1)*2+0 = 10
+  EXPECT_EQ(t[10], 7.0f);
+  EXPECT_THROW(t.at4(2, 0, 0, 0), std::out_of_range);
+}
+
+TEST(Tensor, DimChecked) {
+  Tensor t({4, 5});
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(1), 5u);
+  EXPECT_THROW(t.dim(2), std::out_of_range);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.zero();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at2(2, 1), 5.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[1], 12.0f);
+  EXPECT_FLOAT_EQ(a[2], 18.0f);
+  Tensor c({2});
+  EXPECT_THROW(a.axpy(1.0f, c), std::invalid_argument);
+}
+
+TEST(Tensor, Scale) {
+  Tensor a({2}, {3, -4});
+  a.scale(-2.0f);
+  EXPECT_FLOAT_EQ(a[0], -6.0f);
+  EXPECT_FLOAT_EQ(a[1], 8.0f);
+}
+
+TEST(Tensor, SquaredNorm) {
+  Tensor a({3}, {3, 4, 0});
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+}
+
+TEST(Tensor, SameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor a({2, 3, 4});
+  EXPECT_EQ(a.shape_string(), "Tensor[2, 3, 4]");
+}
+
+TEST(Tensor, ShapeNumel) {
+  const std::vector<std::size_t> shape = {2, 3, 4};
+  EXPECT_EQ(Tensor::shape_numel(shape), 24u);
+  EXPECT_EQ(Tensor::shape_numel({}), 1u);
+}
+
+}  // namespace
+}  // namespace mach::tensor
