@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mach.dir/ablation_mach.cpp.o"
+  "CMakeFiles/ablation_mach.dir/ablation_mach.cpp.o.d"
+  "ablation_mach"
+  "ablation_mach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_mobility.cpp" "bench/CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o" "gcc" "bench/CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/mach_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/hfl/CMakeFiles/mach_hfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mach_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mach_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mach_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mach_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mach_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

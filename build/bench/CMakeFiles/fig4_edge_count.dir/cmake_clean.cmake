@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_edge_count.dir/fig4_edge_count.cpp.o"
+  "CMakeFiles/fig4_edge_count.dir/fig4_edge_count.cpp.o.d"
+  "fig4_edge_count"
+  "fig4_edge_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_edge_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_participation.dir/fig5_participation.cpp.o"
+  "CMakeFiles/fig5_participation.dir/fig5_participation.cpp.o.d"
+  "fig5_participation"
+  "fig5_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

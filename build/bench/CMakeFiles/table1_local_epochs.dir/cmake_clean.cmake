@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_local_epochs.dir/table1_local_epochs.cpp.o"
+  "CMakeFiles/table1_local_epochs.dir/table1_local_epochs.cpp.o.d"
+  "table1_local_epochs"
+  "table1_local_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_local_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

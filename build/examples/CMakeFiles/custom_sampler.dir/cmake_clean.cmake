@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sampler.dir/custom_sampler.cpp.o"
+  "CMakeFiles/custom_sampler.dir/custom_sampler.cpp.o.d"
+  "custom_sampler"
+  "custom_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

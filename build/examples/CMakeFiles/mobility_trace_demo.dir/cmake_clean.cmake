@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_trace_demo.dir/mobility_trace_demo.cpp.o"
+  "CMakeFiles/mobility_trace_demo.dir/mobility_trace_demo.cpp.o.d"
+  "mobility_trace_demo"
+  "mobility_trace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_trace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_common.dir/cli.cpp.o"
+  "CMakeFiles/mach_common.dir/cli.cpp.o.d"
+  "CMakeFiles/mach_common.dir/log.cpp.o"
+  "CMakeFiles/mach_common.dir/log.cpp.o.d"
+  "CMakeFiles/mach_common.dir/rng.cpp.o"
+  "CMakeFiles/mach_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mach_common.dir/stats.cpp.o"
+  "CMakeFiles/mach_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mach_common.dir/table.cpp.o"
+  "CMakeFiles/mach_common.dir/table.cpp.o.d"
+  "libmach_common.a"
+  "libmach_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

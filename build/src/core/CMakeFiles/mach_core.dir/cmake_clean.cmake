@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_core.dir/bound.cpp.o"
+  "CMakeFiles/mach_core.dir/bound.cpp.o.d"
+  "CMakeFiles/mach_core.dir/global_mach.cpp.o"
+  "CMakeFiles/mach_core.dir/global_mach.cpp.o.d"
+  "CMakeFiles/mach_core.dir/mach.cpp.o"
+  "CMakeFiles/mach_core.dir/mach.cpp.o.d"
+  "CMakeFiles/mach_core.dir/registry.cpp.o"
+  "CMakeFiles/mach_core.dir/registry.cpp.o.d"
+  "CMakeFiles/mach_core.dir/transfer.cpp.o"
+  "CMakeFiles/mach_core.dir/transfer.cpp.o.d"
+  "CMakeFiles/mach_core.dir/ucb.cpp.o"
+  "CMakeFiles/mach_core.dir/ucb.cpp.o.d"
+  "libmach_core.a"
+  "libmach_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_data.dir/dataset.cpp.o"
+  "CMakeFiles/mach_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/mach_data.dir/io.cpp.o"
+  "CMakeFiles/mach_data.dir/io.cpp.o.d"
+  "CMakeFiles/mach_data.dir/partition.cpp.o"
+  "CMakeFiles/mach_data.dir/partition.cpp.o.d"
+  "CMakeFiles/mach_data.dir/synthetic.cpp.o"
+  "CMakeFiles/mach_data.dir/synthetic.cpp.o.d"
+  "libmach_data.a"
+  "libmach_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_hfl.dir/experiment.cpp.o"
+  "CMakeFiles/mach_hfl.dir/experiment.cpp.o.d"
+  "CMakeFiles/mach_hfl.dir/metrics.cpp.o"
+  "CMakeFiles/mach_hfl.dir/metrics.cpp.o.d"
+  "CMakeFiles/mach_hfl.dir/simulator.cpp.o"
+  "CMakeFiles/mach_hfl.dir/simulator.cpp.o.d"
+  "libmach_hfl.a"
+  "libmach_hfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_hfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

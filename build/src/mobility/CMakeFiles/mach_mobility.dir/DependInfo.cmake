@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/geo.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/geo.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/geo.cpp.o.d"
+  "/root/repo/src/mobility/mobility_model.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/mobility_model.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/mobility_model.cpp.o.d"
+  "/root/repo/src/mobility/predictor.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/predictor.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/predictor.cpp.o.d"
+  "/root/repo/src/mobility/schedule.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/schedule.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/schedule.cpp.o.d"
+  "/root/repo/src/mobility/stations.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/stations.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/stations.cpp.o.d"
+  "/root/repo/src/mobility/telecom.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/telecom.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/telecom.cpp.o.d"
+  "/root/repo/src/mobility/trace.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/trace.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/trace.cpp.o.d"
+  "/root/repo/src/mobility/trace_stats.cpp" "src/mobility/CMakeFiles/mach_mobility.dir/trace_stats.cpp.o" "gcc" "src/mobility/CMakeFiles/mach_mobility.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mach_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

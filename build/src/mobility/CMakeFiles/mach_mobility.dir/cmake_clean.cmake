@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_mobility.dir/geo.cpp.o"
+  "CMakeFiles/mach_mobility.dir/geo.cpp.o.d"
+  "CMakeFiles/mach_mobility.dir/mobility_model.cpp.o"
+  "CMakeFiles/mach_mobility.dir/mobility_model.cpp.o.d"
+  "CMakeFiles/mach_mobility.dir/predictor.cpp.o"
+  "CMakeFiles/mach_mobility.dir/predictor.cpp.o.d"
+  "CMakeFiles/mach_mobility.dir/schedule.cpp.o"
+  "CMakeFiles/mach_mobility.dir/schedule.cpp.o.d"
+  "CMakeFiles/mach_mobility.dir/stations.cpp.o"
+  "CMakeFiles/mach_mobility.dir/stations.cpp.o.d"
+  "CMakeFiles/mach_mobility.dir/telecom.cpp.o"
+  "CMakeFiles/mach_mobility.dir/telecom.cpp.o.d"
+  "CMakeFiles/mach_mobility.dir/trace.cpp.o"
+  "CMakeFiles/mach_mobility.dir/trace.cpp.o.d"
+  "CMakeFiles/mach_mobility.dir/trace_stats.cpp.o"
+  "CMakeFiles/mach_mobility.dir/trace_stats.cpp.o.d"
+  "libmach_mobility.a"
+  "libmach_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

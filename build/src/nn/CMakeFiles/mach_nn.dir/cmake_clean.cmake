@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_nn.dir/activations.cpp.o"
+  "CMakeFiles/mach_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/adam.cpp.o"
+  "CMakeFiles/mach_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/mach_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/dense.cpp.o"
+  "CMakeFiles/mach_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/dropout.cpp.o"
+  "CMakeFiles/mach_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/factory.cpp.o"
+  "CMakeFiles/mach_nn.dir/factory.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/mach_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/model.cpp.o"
+  "CMakeFiles/mach_nn.dir/model.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mach_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/mach_nn.dir/sgd.cpp.o"
+  "CMakeFiles/mach_nn.dir/sgd.cpp.o.d"
+  "libmach_nn.a"
+  "libmach_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

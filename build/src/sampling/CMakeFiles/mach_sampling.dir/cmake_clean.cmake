@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_sampling.dir/baselines.cpp.o"
+  "CMakeFiles/mach_sampling.dir/baselines.cpp.o.d"
+  "CMakeFiles/mach_sampling.dir/budget.cpp.o"
+  "CMakeFiles/mach_sampling.dir/budget.cpp.o.d"
+  "CMakeFiles/mach_sampling.dir/extended.cpp.o"
+  "CMakeFiles/mach_sampling.dir/extended.cpp.o.d"
+  "libmach_sampling.a"
+  "libmach_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_tensor.dir/ops.cpp.o"
+  "CMakeFiles/mach_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/mach_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/mach_tensor.dir/tensor.cpp.o.d"
+  "libmach_tensor.a"
+  "libmach_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

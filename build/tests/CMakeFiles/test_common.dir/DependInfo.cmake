@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/mach_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/hfl/CMakeFiles/mach_hfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mach_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mach_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mach_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mach_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mach_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_bound.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_bound.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_global_mach.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_global_mach.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mach.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mach.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_transfer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_transfer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ucb.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ucb.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hfl.dir/hfl/test_cost_confusion.cpp.o"
+  "CMakeFiles/test_hfl.dir/hfl/test_cost_confusion.cpp.o.d"
+  "CMakeFiles/test_hfl.dir/hfl/test_experiment.cpp.o"
+  "CMakeFiles/test_hfl.dir/hfl/test_experiment.cpp.o.d"
+  "CMakeFiles/test_hfl.dir/hfl/test_integration_extended.cpp.o"
+  "CMakeFiles/test_hfl.dir/hfl/test_integration_extended.cpp.o.d"
+  "CMakeFiles/test_hfl.dir/hfl/test_metrics.cpp.o"
+  "CMakeFiles/test_hfl.dir/hfl/test_metrics.cpp.o.d"
+  "CMakeFiles/test_hfl.dir/hfl/test_simulator.cpp.o"
+  "CMakeFiles/test_hfl.dir/hfl/test_simulator.cpp.o.d"
+  "test_hfl"
+  "test_hfl.pdb"
+  "test_hfl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mobility/test_predictor.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/test_predictor.cpp.o.d"
+  "/root/repo/tests/mobility/test_schedule.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/test_schedule.cpp.o.d"
+  "/root/repo/tests/mobility/test_stations.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/test_stations.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/test_stations.cpp.o.d"
+  "/root/repo/tests/mobility/test_telecom.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/test_telecom.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/test_telecom.cpp.o.d"
+  "/root/repo/tests/mobility/test_trace.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/test_trace.cpp.o.d"
+  "/root/repo/tests/mobility/test_trace_stats.cpp" "tests/CMakeFiles/test_mobility.dir/mobility/test_trace_stats.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/mobility/test_trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/mach_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/hfl/CMakeFiles/mach_hfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mach_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mach_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mach_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mach_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mach_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

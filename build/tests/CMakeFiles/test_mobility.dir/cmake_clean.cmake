@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobility.dir/mobility/test_predictor.cpp.o"
+  "CMakeFiles/test_mobility.dir/mobility/test_predictor.cpp.o.d"
+  "CMakeFiles/test_mobility.dir/mobility/test_schedule.cpp.o"
+  "CMakeFiles/test_mobility.dir/mobility/test_schedule.cpp.o.d"
+  "CMakeFiles/test_mobility.dir/mobility/test_stations.cpp.o"
+  "CMakeFiles/test_mobility.dir/mobility/test_stations.cpp.o.d"
+  "CMakeFiles/test_mobility.dir/mobility/test_telecom.cpp.o"
+  "CMakeFiles/test_mobility.dir/mobility/test_telecom.cpp.o.d"
+  "CMakeFiles/test_mobility.dir/mobility/test_trace.cpp.o"
+  "CMakeFiles/test_mobility.dir/mobility/test_trace.cpp.o.d"
+  "CMakeFiles/test_mobility.dir/mobility/test_trace_stats.cpp.o"
+  "CMakeFiles/test_mobility.dir/mobility/test_trace_stats.cpp.o.d"
+  "test_mobility"
+  "test_mobility.pdb"
+  "test_mobility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_extras.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_extras.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_extras.cpp.o.d"
+  "/root/repo/tests/nn/test_gradcheck.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/nn/test_layernorm.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layernorm.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layernorm.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_model.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/mach_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/hfl/CMakeFiles/mach_hfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mach_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mach_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mach_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mach_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mach_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

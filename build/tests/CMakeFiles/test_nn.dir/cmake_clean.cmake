@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_extras.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_extras.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_gradcheck.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_gradcheck.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layernorm.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layernorm.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

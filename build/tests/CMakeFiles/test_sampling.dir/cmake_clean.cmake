@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling.dir/sampling/test_baselines.cpp.o"
+  "CMakeFiles/test_sampling.dir/sampling/test_baselines.cpp.o.d"
+  "CMakeFiles/test_sampling.dir/sampling/test_budget.cpp.o"
+  "CMakeFiles/test_sampling.dir/sampling/test_budget.cpp.o.d"
+  "CMakeFiles/test_sampling.dir/sampling/test_extended.cpp.o"
+  "CMakeFiles/test_sampling.dir/sampling/test_extended.cpp.o.d"
+  "test_sampling"
+  "test_sampling.pdb"
+  "test_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
