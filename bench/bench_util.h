@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "common/table.h"
 #include "core/registry.h"
 #include "hfl/experiment.h"
+#include "obs/jsonl_writer.h"
 
 namespace mach::bench {
 
@@ -42,6 +44,20 @@ inline std::vector<std::uint64_t> bench_seeds() {
 }
 
 inline bool full_mode() { return common::env_flag("REPRO_FULL"); }
+
+/// Opens a JSONL telemetry trace for a bench run, or returns nullptr when
+/// `path` is empty (tracing off). Bench traces skip the chatty per-device
+/// lines by default — the per-edge/cloud/eval granularity is what the
+/// sampling-health analysis needs; every seed's run lands in the same file
+/// delimited by run_begin/run_end lines.
+inline std::unique_ptr<obs::JsonlTraceWriter> open_bench_trace(
+    const std::string& path) {
+  if (path.empty()) return nullptr;
+  obs::JsonlTraceOptions options;
+  options.device_events = false;
+  options.step_events = false;
+  return std::make_unique<obs::JsonlTraceWriter>(path, options);
+}
 
 inline void print_mode_banner(const std::string& experiment) {
   std::cout << "=== " << experiment << " ===\n"
@@ -73,13 +89,14 @@ struct CurveResult {
 
 inline CurveResult run_algo_curve(const hfl::ExperimentConfig& config,
                                   const std::string& sampler_name,
-                                  std::span<const std::uint64_t> seeds) {
+                                  std::span<const std::uint64_t> seeds,
+                                  obs::RunObserver* observer = nullptr) {
   CurveResult result;
   std::vector<hfl::MetricsRecorder> runs;
   double reached = 0.0, total_steps = 0.0;
   for (const auto seed : seeds) {
     auto sampler = core::make_sampler(sampler_name);
-    const auto run = hfl::run_experiment(config.with_seed(seed), *sampler);
+    const auto run = hfl::run_experiment(config.with_seed(seed), *sampler, observer);
     if (run.time_to_target) {
       reached += 1.0;
       total_steps += static_cast<double>(*run.time_to_target);

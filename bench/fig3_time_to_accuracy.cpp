@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
   common::CliParser cli("Figure 3: time-to-accuracy over all learning tasks.");
   cli.add_flag("task", std::string("all"), "task filter: all|mnist|fmnist|cifar10");
   cli.add_flag("csv_prefix", std::string("fig3"), "CSV output prefix");
+  cli.add_flag("trace_prefix", std::string(""),
+               "write one JSONL telemetry trace per task to "
+               "<prefix>_<task>.jsonl (empty = off)");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Figure 3: time-to-accuracy");
@@ -25,6 +28,12 @@ int main(int argc, char** argv) {
     std::cout << "--- " << data::task_name(task) << " (target "
               << config.target_accuracy << ", T_g=" << config.hfl.cloud_interval
               << ", horizon " << config.horizon << ") ---\n";
+
+    const std::string trace_prefix = cli.get_string("trace_prefix");
+    const auto trace = bench::open_bench_trace(
+        trace_prefix.empty()
+            ? std::string{}
+            : trace_prefix + "_" + data::task_name(task) + ".jsonl");
 
     // Collect averaged accuracy curves per algorithm.
     std::vector<std::vector<hfl::EvalPoint>> curves;
@@ -37,7 +46,8 @@ int main(int argc, char** argv) {
       for (const auto seed : seeds) {
         auto sampler = core::make_sampler(name);
         runs.push_back(
-            hfl::run_experiment(config.with_seed(seed), *sampler).metrics);
+            hfl::run_experiment(config.with_seed(seed), *sampler, trace.get())
+                .metrics);
       }
       auto curve = hfl::average_curves(runs);
       const auto target_t = hfl::curve_time_to_target(curve, config.target_accuracy);

@@ -38,11 +38,15 @@ int main(int argc, char** argv) {
                "plateau below the 10-edge-calibrated targets; 0.85 keeps every "
                "cell informative)");
   cli.add_flag("csv", std::string("fig4_edge_count.csv"), "CSV output path");
+  cli.add_flag("trace", std::string(""),
+               "write one JSONL telemetry trace of every run to this path "
+               "(empty = off)");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Figure 4: varying number of edges");
   const auto seeds = bench::bench_seeds();
   const auto edge_counts = parse_sizes(cli.get_string("edges"));
+  const auto trace = bench::open_bench_trace(cli.get_string("trace"));
 
   common::Table table({"task", "edges", "MACH", "MACH-P", "US", "CS", "SS",
                        "MACH vs best basic"});
@@ -59,7 +63,7 @@ int main(int argc, char** argv) {
       double mach_steps = 0.0;
       double best_basic = 1e300;
       for (const auto& name : core::paper_algorithms()) {
-        const auto result = bench::run_algo_curve(config, name, seeds);
+        const auto result = bench::run_algo_curve(config, name, seeds, trace.get());
         row.cell(bench::steps_cell(result, config.horizon));
         const double curve_steps = result.steps_to_target
                                    ? static_cast<double>(*result.steps_to_target)

@@ -6,12 +6,14 @@
 //   ./experiment_runner --task fmnist --sampler oort --devices 60 --edges 8 \
 //       --participation 0.4 --steps 150 --aggregation self_normalized
 #include <iostream>
+#include <memory>
 
 #include "common/cli.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "core/registry.h"
 #include "hfl/experiment.h"
+#include "obs/jsonl_writer.h"
 
 namespace {
 
@@ -57,6 +59,13 @@ int main(int argc, char** argv) {
   cli.add_flag("data_seed", static_cast<std::int64_t>(42), "data/world seed");
   cli.add_flag("csv", std::string(""), "optional accuracy-curve CSV path");
   cli.add_flag("confusion", false, "print the final per-class recalls");
+  cli.add_flag("trace", std::string(""),
+               "write a JSONL telemetry trace of the run to this path "
+               "(inspect with tools/trace_summary)");
+  cli.add_flag("trace_devices", true,
+               "include per-device training events in the trace");
+  cli.add_flag("phase_times", false,
+               "print the wall-clock phase breakdown after the run");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   auto config = mach::hfl::ExperimentConfig::preset(parse_task(cli.get_string("task")));
@@ -110,6 +119,20 @@ int main(int argc, char** argv) {
                                     artifacts.partition, artifacts.schedule,
                                     mach::hfl::make_model_factory(config), options);
 
+  std::unique_ptr<mach::obs::JsonlTraceWriter> trace;
+  const std::string trace_path = cli.get_string("trace");
+  if (!trace_path.empty()) {
+    mach::obs::JsonlTraceOptions trace_options;
+    trace_options.device_events = cli.get_bool("trace_devices");
+    try {
+      trace = std::make_unique<mach::obs::JsonlTraceWriter>(trace_path, trace_options);
+    } catch (const std::runtime_error& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
+    simulator.set_observer(trace.get());
+  }
+
   std::cout << "task=" << mach::data::task_name(config.task)
             << " sampler=" << sampler->name() << " devices=" << config.num_devices
             << " edges=" << config.num_edges << " steps=" << config.horizon
@@ -149,9 +172,30 @@ int main(int argc, char** argv) {
     recalls.print(std::cout);
   }
 
+  if (cli.get_bool("phase_times")) {
+    const auto& timers = simulator.phase_timers();
+    mach::common::Table table({"phase", "scopes", "total s", "share %"});
+    const double total = timers.total_seconds();
+    for (std::size_t i = 0; i < mach::obs::kNumPhases; ++i) {
+      const auto phase = static_cast<mach::obs::Phase>(i);
+      const auto& acc = timers[phase];
+      table.row()
+          .cell(std::string(mach::obs::phase_name(phase)))
+          .cell(acc.count)
+          .cell(acc.total_seconds, 3)
+          .cell(total > 0.0 ? acc.total_seconds / total * 100.0 : 0.0, 1);
+    }
+    std::cout << '\n';
+    table.print(std::cout);
+  }
+
   const std::string csv = cli.get_string("csv");
   if (!csv.empty() && metrics.write_csv(csv)) {
     std::cout << "\ncurve written to " << csv << '\n';
+  }
+  if (trace) {
+    std::cout << "\ntrace written to " << trace_path << " (" << trace->lines_written()
+              << " events; summarise with tools/trace_summary)\n";
   }
   return 0;
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command verification pipeline: configure, build, run the tier-1 test
+# suite, then smoke-check the telemetry tooling. Usable locally and from any
+# CI runner:
+#
+#   ./scripts/ci.sh              # build into ./build (default)
+#   BUILD_DIR=ci-build ./scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build (-j$JOBS) =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tier-1 tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== telemetry smoke =="
+"$BUILD_DIR/tools/trace_summary" --help > /dev/null
+trace="$(mktemp -t hfl_trace_XXXXXX.jsonl)"
+trap 'rm -f "$trace"' EXIT
+"$BUILD_DIR/examples/experiment_runner" \
+  --devices 8 --edges 2 --steps 10 --local_epochs 2 --trace "$trace" > /dev/null
+"$BUILD_DIR/tools/trace_summary" "$trace" > /dev/null
+
+echo "CI OK"

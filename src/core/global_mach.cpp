@@ -50,4 +50,10 @@ void GlobalMachSampler::on_cloud_round(std::size_t t) {
   cached_t_.reset();
 }
 
+bool GlobalMachSampler::introspect(obs::SamplerIntrospection& out) const {
+  if (!estimator_) return false;
+  fill_ucb_introspection(*estimator_, out);
+  return true;
+}
+
 }  // namespace mach::core

@@ -24,6 +24,7 @@ class GlobalMachSampler final : public hfl::Sampler {
   std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
   void observe_training(const hfl::TrainingObservation& obs) override;
   void on_cloud_round(std::size_t t) override;
+  bool introspect(obs::SamplerIntrospection& out) const override;
 
  private:
   /// Recomputes the federation-wide strategy for time step `t`.

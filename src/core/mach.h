@@ -34,6 +34,11 @@ std::vector<double> edge_sampling_probabilities(std::span<const double> g_square
                                                 double capacity,
                                                 const TransferFunction* transfer);
 
+/// Exports Algorithm 2's state (G~^2, buffer occupancy, participations) for
+/// run telemetry; shared by the MACH and global-MACH samplers.
+void fill_ucb_introspection(const UcbEstimator& estimator,
+                            obs::SamplerIntrospection& out);
+
 class MachSampler final : public hfl::Sampler {
  public:
   explicit MachSampler(MachOptions options = {});
@@ -43,6 +48,7 @@ class MachSampler final : public hfl::Sampler {
   std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
   void observe_training(const hfl::TrainingObservation& obs) override;
   void on_cloud_round(std::size_t t) override;
+  bool introspect(obs::SamplerIntrospection& out) const override;
 
   /// Introspection for tests and the quickstart example.
   const UcbEstimator& estimator() const { return *estimator_; }

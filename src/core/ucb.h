@@ -52,6 +52,11 @@ class UcbEstimator {
   std::size_t participations(std::uint32_t device) const {
     return counts_.at(device);
   }
+  /// Experiences buffered for `device` since the last cloud round (the
+  /// |G_m^t| of Alg. 2 line 4; telemetry/introspection).
+  std::size_t buffer_size(std::uint32_t device) const {
+    return buffers_.at(device).size();
+  }
   std::size_t num_devices() const noexcept { return counts_.size(); }
 
  private:

@@ -48,6 +48,13 @@ struct CommunicationCost {
     probe_downloads += other.probe_downloads;
     edge_uploads += other.edge_uploads;
     cloud_broadcasts += other.cloud_broadcasts;
+    // model_parameters is a per-message size, not a count: accumulating runs
+    // of the same model must keep it (a default-constructed accumulator has
+    // 0). Mixing different model sizes in one accumulator is a caller bug;
+    // taking the max keeps total_bytes() a lower bound in that case.
+    if (other.model_parameters > model_parameters) {
+      model_parameters = other.model_parameters;
+    }
     return *this;
   }
 };

@@ -185,12 +185,14 @@ ModelFactory make_model_factory(const ExperimentConfig& config) {
   };
 }
 
-RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler) {
+RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler,
+                         obs::RunObserver* observer) {
   ExperimentArtifacts artifacts = build_experiment(config);
   HflOptions options = config.hfl;
   options.seed = config.seed;
   HflSimulator simulator(artifacts.train, artifacts.test, std::move(artifacts.partition),
                          artifacts.schedule, make_model_factory(config), options);
+  simulator.set_observer(observer);
   RunResult result;
   result.sampler_name = sampler.name();
   result.metrics = simulator.run(sampler, config.horizon);

@@ -94,8 +94,12 @@ struct RunResult {
   std::string sampler_name;
 };
 
-/// Builds everything from the config and runs one full simulation.
-RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler);
+/// Builds everything from the config and runs one full simulation. The
+/// optional observer receives the run's telemetry events (see obs/observer.h);
+/// pass nullptr (the default) for an unobserved run — behaviour is identical
+/// either way.
+RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler,
+                         obs::RunObserver* observer = nullptr);
 
 /// Time-to-target averaged over seeds (paper averages three runs). Runs that
 /// never reach the target count as the horizon, and `reach_rate` reports the

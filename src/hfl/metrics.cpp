@@ -81,10 +81,11 @@ double MetricsRecorder::final_accuracy() const noexcept {
 bool MetricsRecorder::write_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
-  out << "t,test_accuracy,test_loss,train_loss,participants\n";
+  out << "t,test_accuracy,test_loss,train_loss,participants,global_grad_sq_norm\n";
   for (const auto& p : points_) {
     out << p.t << ',' << p.test_accuracy << ',' << p.test_loss << ','
-        << p.train_loss << ',' << p.participants << '\n';
+        << p.train_loss << ',' << p.participants << ',' << p.global_grad_sq_norm
+        << '\n';
   }
   return static_cast<bool>(out);
 }

@@ -66,7 +66,8 @@ class MetricsRecorder {
   /// Accuracy at the final evaluation (0 when empty).
   double final_accuracy() const noexcept;
 
-  /// Writes "t,accuracy,loss,train_loss,participants" rows.
+  /// Writes "t,test_accuracy,test_loss,train_loss,participants,
+  /// global_grad_sq_norm" rows (one per recorded EvalPoint).
   bool write_csv(const std::string& path) const;
 
  private:

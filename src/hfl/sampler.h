@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.h"
+
 namespace mach::hfl {
 
 /// Static facts about the federation, available to samplers up front.
@@ -75,6 +77,15 @@ class Sampler {
 
   /// True when edge_probabilities needs oracle_grad_sq_norms filled (MACH-P).
   virtual bool needs_oracle() const { return false; }
+
+  /// Telemetry: fills `out` with the sampler's per-device internals (for
+  /// MACH, Algorithm 2's G~^2 estimates, buffer occupancy and participation
+  /// counts) and returns true. Stateless samplers return false and leave
+  /// `out` untouched. Must not mutate sampler state — the engine calls it
+  /// once per cloud round when a RunObserver is attached.
+  virtual bool introspect(obs::SamplerIntrospection& /*out*/) const {
+    return false;
+  }
 
  protected:
   Sampler() = default;

@@ -181,9 +181,54 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   MetricsRecorder metrics;
   cost_ = CommunicationCost{};
   cost_.model_parameters = param_count_;
+  timers_.reset();
+  registry_.reset();
+
+  // Inner-loop instruments: references are cached once here, so the hot path
+  // pays one add per event. None of this touches the RNG stream — attaching
+  // an observer (or not) cannot change the simulated run.
+  obs::Counter& ctr_trained = registry_.counter("devices_trained");
+  obs::Counter& ctr_floor_clamps = registry_.counter("q_clamped_to_floor");
+  obs::Counter& ctr_edge_aggs = registry_.counter("edge_aggregations");
+  obs::Counter& ctr_empty_edges = registry_.counter("edge_rounds_no_participant");
+  obs::Counter& ctr_evals = registry_.counter("evaluations");
+  obs::Gauge& gauge_lr = registry_.gauge("learning_rate");
+  obs::Histogram& hist_q = registry_.histogram(
+      "sampling_probability", {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0});
+
+  if (observer_ != nullptr) {
+    obs::RunBeginEvent event;
+    event.sampler = sampler.name();
+    event.seed = options_.seed;
+    event.steps = steps;
+    event.num_devices = num_devices();
+    event.num_edges = num_edges();
+    event.cloud_interval = options_.cloud_interval;
+    observer_->on_run_begin(event);
+  }
+
+  const auto record_eval = [&](EvalPoint point, double seconds) {
+    metrics.record(point);
+    ctr_evals.add();
+    if (observer_ != nullptr) {
+      obs::EvalEvent event;
+      event.t = point.t;
+      event.test_accuracy = point.test_accuracy;
+      event.test_loss = point.test_loss;
+      event.train_loss = point.train_loss;
+      event.participants = point.participants;
+      event.global_grad_sq_norm = point.global_grad_sq_norm;
+      event.seconds = seconds;
+      observer_->on_eval(event);
+    }
+  };
 
   // Baseline point: the untrained global model.
-  metrics.record(evaluate_global(0));
+  {
+    obs::ScopedTimer timer(timers_, obs::Phase::Evaluation);
+    EvalPoint baseline = evaluate_global(0);
+    record_eval(baseline, timer.elapsed_seconds());
+  }
 
   double window_train_loss = 0.0;
   std::size_t window_participants = 0;
@@ -195,48 +240,95 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
 
   for (std::size_t t = 0; t < steps; ++t) {
     const double lr = learning_rate_at(t);
+    gauge_lr.set(lr);
     const auto per_edge = schedule_.devices_per_edge(t);
+    if (observer_ != nullptr) {
+      obs::StepBeginEvent event;
+      event.t = t;
+      for (const auto& devices : per_edge) {
+        if (devices.empty()) continue;
+        ++event.active_edges;
+        event.devices_present += devices.size();
+      }
+      observer_->on_step_begin(event);
+    }
     for (std::size_t n = 0; n < per_edge.size(); ++n) {
       const auto& devices = per_edge[n];
       if (devices.empty()) continue;
       std::vector<float>& edge_model = edge_models_[n];
 
-      EdgeSamplingContext ctx;
-      ctx.t = t;
-      ctx.edge = n;
-      ctx.capacity = edge_capacity(n);
-      ctx.devices = devices;
-      if (sampler.needs_oracle()) {
-        oracle_norms.resize(devices.size());
-        for (std::size_t i = 0; i < devices.size(); ++i) {
-          oracle_norms[i] = probe_gradient_norm(devices[i], edge_model);
+      // Sampler decision phase (Alg. 3 + any oracle probing).
+      double sampler_seconds = 0.0;
+      {
+        obs::ScopedTimer timer(timers_, obs::Phase::SamplerDecision);
+        EdgeSamplingContext ctx;
+        ctx.t = t;
+        ctx.edge = n;
+        ctx.capacity = edge_capacity(n);
+        ctx.devices = devices;
+        if (sampler.needs_oracle()) {
+          oracle_norms.resize(devices.size());
+          for (std::size_t i = 0; i < devices.size(); ++i) {
+            oracle_norms[i] = probe_gradient_norm(devices[i], edge_model);
+          }
+          cost_.probe_downloads += devices.size();
+          ctx.oracle_grad_sq_norms = oracle_norms;
         }
-        cost_.probe_downloads += devices.size();
-        ctx.oracle_grad_sq_norms = oracle_norms;
+        probs = sampler.edge_probabilities(ctx);
+        if (probs.size() != devices.size()) {
+          throw std::logic_error("sampler returned wrong probability count");
+        }
+        for (auto& q : probs) {
+          if (q < options_.min_probability) ctr_floor_clamps.add();
+          q = std::clamp(q, options_.min_probability, 1.0);
+          hist_q.observe(q);
+        }
+        sampler_seconds = timer.elapsed_seconds();
       }
-      probs = sampler.edge_probabilities(ctx);
-      if (probs.size() != devices.size()) {
-        throw std::logic_error("sampler returned wrong probability count");
-      }
-      for (auto& q : probs) q = std::clamp(q, options_.min_probability, 1.0);
 
       // Device sampling (independent Bernoulli trials) + local updating.
       std::fill(aggregate.begin(), aggregate.end(), 0.0f);
       const double inv_edge_size = 1.0 / static_cast<double>(devices.size());
       double weight_total = 0.0;
-      bool any_sampled = false;
+      double weight_sq_total = 0.0;  // for the HT-variance diagnostic
+      std::size_t num_sampled = 0;
+      double train_seconds = 0.0;
+      double aggregate_seconds = 0.0;
       for (std::size_t i = 0; i < devices.size(); ++i) {
         if (!engine_rng_.bernoulli(probs[i])) continue;
-        any_sampled = true;
+        ++num_sampled;
         ++cost_.device_downloads;  // device fetches w_n^t (Eq. 4 start)
         ++cost_.device_uploads;    // device returns w_m^{t+1}
-        TrainingObservation obs = train_device(t, devices[i], n, edge_model, lr);
-        window_train_loss += obs.mean_loss;
+        TrainingObservation observation;
+        double device_seconds = 0.0;
+        {
+          obs::ScopedTimer timer(timers_, obs::Phase::DeviceTraining);
+          observation = train_device(t, devices[i], n, edge_model, lr);
+          device_seconds = timer.elapsed_seconds();
+        }
+        train_seconds += device_seconds;
+        ctr_trained.add();
+        window_train_loss += observation.mean_loss;
         ++window_participants;
-        sampler.observe_training(obs);
+        if (observer_ != nullptr) {
+          obs::DeviceTrainedEvent event;
+          event.t = t;
+          event.device = devices[i];
+          event.edge = n;
+          event.q = probs[i];
+          event.mean_loss = observation.mean_loss;
+          event.last_grad_sq_norm = observation.local_grad_sq_norms.empty()
+                                        ? 0.0
+                                        : observation.local_grad_sq_norms.back();
+          event.seconds = device_seconds;
+          observer_->on_device_trained(event);
+        }
+        sampler.observe_training(observation);
         const double ht_weight = inv_edge_size / probs[i];
         weight_total += ht_weight;
+        weight_sq_total += ht_weight * ht_weight;
         const auto weight = static_cast<float>(ht_weight);
+        const obs::Stopwatch accumulate_watch;
         if (options_.aggregation == AggregationForm::UpdateForm) {
           // HT-weighted deltas (the form the paper's proof analyses).
           for (std::size_t j = 0; j < param_count_; ++j) {
@@ -248,10 +340,13 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
             aggregate[j] += weight * scratch_params_[j];
           }
         }
+        aggregate_seconds += accumulate_watch.seconds();
       }
       // Edge aggregation (Eq. 5). With no participant the edge model is
       // carried over unchanged in every form.
+      const bool any_sampled = num_sampled > 0;
       if (any_sampled) {
+        const obs::Stopwatch fold_watch;
         switch (options_.aggregation) {
           case AggregationForm::Literal:
             edge_model.assign(aggregate.begin(), aggregate.end());
@@ -269,39 +364,94 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
             }
             break;
         }
+        aggregate_seconds += fold_watch.seconds();
+      }
+      timers_[obs::Phase::EdgeAggregation].add(aggregate_seconds);
+      ctr_edge_aggs.add();
+      if (!any_sampled) ctr_empty_edges.add();
+      if (observer_ != nullptr) {
+        obs::EdgeAggregatedEvent event;
+        event.t = t;
+        event.edge = n;
+        event.capacity = edge_capacity(n);
+        event.num_devices = devices.size();
+        event.num_sampled = num_sampled;
+        event.q = obs::QSummary::from(probs, options_.min_probability);
+        event.ht_weight_sum = weight_total;
+        if (num_sampled > 0) {
+          const double mean_w = weight_total / static_cast<double>(num_sampled);
+          event.ht_weight_variance =
+              weight_sq_total / static_cast<double>(num_sampled) - mean_w * mean_w;
+        }
+        event.sampler_seconds = sampler_seconds;
+        event.train_seconds = train_seconds;
+        event.aggregate_seconds = aggregate_seconds;
+        observer_->on_edge_aggregated(event);
       }
     }
 
     // Edge-to-cloud communication (Eq. 6) on the paper's t mod T_g schedule.
     if (t % options_.cloud_interval == 0) {
-      std::fill(global_.begin(), global_.end(), 0.0f);
-      const double inv_all = 1.0 / static_cast<double>(num_devices());
-      for (std::size_t n = 0; n < num_edges(); ++n) {
-        const double weight = static_cast<double>(per_edge[n].size()) * inv_all;
-        if (weight == 0.0) continue;
-        const auto w = static_cast<float>(weight);
-        const auto& edge_model = edge_models_[n];
-        for (std::size_t j = 0; j < param_count_; ++j) {
-          global_[j] += w * edge_model[j];
+      double cloud_seconds = 0.0;
+      {
+        obs::ScopedTimer timer(timers_, obs::Phase::CloudAggregation);
+        std::fill(global_.begin(), global_.end(), 0.0f);
+        const double inv_all = 1.0 / static_cast<double>(num_devices());
+        for (std::size_t n = 0; n < num_edges(); ++n) {
+          const double weight = static_cast<double>(per_edge[n].size()) * inv_all;
+          if (weight == 0.0) continue;
+          const auto w = static_cast<float>(weight);
+          const auto& edge_model = edge_models_[n];
+          for (std::size_t j = 0; j < param_count_; ++j) {
+            global_[j] += w * edge_model[j];
+          }
         }
+        for (auto& edge_model : edge_models_) edge_model = global_;
+        cloud_seconds = timer.elapsed_seconds();
       }
-      for (auto& edge_model : edge_models_) edge_model = global_;
       cost_.edge_uploads += num_edges();
       cost_.cloud_broadcasts += num_edges();
-      sampler.on_cloud_round(t);
+      {
+        // UCB refresh (Alg. 2) is sampler work, charged to its phase.
+        obs::ScopedTimer timer(timers_, obs::Phase::SamplerDecision);
+        sampler.on_cloud_round(t);
+      }
       ++cloud_rounds;
+      if (observer_ != nullptr) {
+        obs::CloudRoundEvent event;
+        event.t = t;
+        event.round = cloud_rounds;
+        event.num_edges = num_edges();
+        event.seconds = cloud_seconds;
+        sampler.introspect(event.sampler);
+        observer_->on_cloud_round(event);
+      }
       if (cloud_rounds % options_.eval_every_cloud_rounds == 0) {
-        EvalPoint point = evaluate_global(t + 1);
+        EvalPoint point;
+        double eval_seconds = 0.0;
+        {
+          obs::ScopedTimer timer(timers_, obs::Phase::Evaluation);
+          point = evaluate_global(t + 1);
+          eval_seconds = timer.elapsed_seconds();
+        }
         point.train_loss = window_participants > 0
                                ? window_train_loss /
                                      static_cast<double>(window_participants)
                                : 0.0;
         point.participants = window_participants;
-        metrics.record(point);
+        record_eval(point, eval_seconds);
         window_train_loss = 0.0;
         window_participants = 0;
       }
     }
+  }
+  if (observer_ != nullptr) {
+    obs::RunEndEvent event;
+    event.steps = steps;
+    event.cloud_rounds = cloud_rounds;
+    event.phases = &timers_;
+    event.registry = &registry_;
+    observer_->on_run_end(event);
   }
   return metrics;
 }

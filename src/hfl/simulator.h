@@ -32,6 +32,9 @@
 #include "hfl/sampler.h"
 #include "mobility/schedule.h"
 #include "nn/model.h"
+#include "obs/observer.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
 
 namespace mach::hfl {
 
@@ -109,6 +112,19 @@ class HflSimulator {
   /// Communication counters accumulated by the most recent run().
   const CommunicationCost& last_run_cost() const noexcept { return cost_; }
 
+  /// Attaches one telemetry observer (nullptr detaches). Non-owning; the
+  /// observer must outlive every subsequent run(). Observers are strictly
+  /// passive: attaching one never changes sampling, training or aggregation
+  /// (the RNG stream is untouched), only what gets reported.
+  void set_observer(obs::RunObserver* observer) noexcept { observer_ = observer; }
+
+  /// Wall-clock phase breakdown of the most recent run() (always recorded,
+  /// observer or not — two steady_clock reads per phase scope).
+  const obs::PhaseTimerSet& phase_timers() const noexcept { return timers_; }
+
+  /// Counter/gauge/histogram registry of the most recent run().
+  const obs::MetricsRegistry& metrics_registry() const noexcept { return registry_; }
+
   std::size_t num_devices() const noexcept { return partition_.size(); }
   std::size_t num_edges() const noexcept { return schedule_.num_edges(); }
   /// K_n for edge n (Eq. 3).
@@ -149,6 +165,10 @@ class HflSimulator {
   CommunicationCost cost_;
   common::Rng engine_rng_;
   std::vector<common::Rng> device_rngs_;  // local minibatch randomness
+
+  obs::RunObserver* observer_ = nullptr;  // non-owning; see set_observer
+  obs::PhaseTimerSet timers_;
+  obs::MetricsRegistry registry_;
 };
 
 }  // namespace mach::hfl

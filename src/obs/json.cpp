@@ -1,0 +1,365 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mach::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Shortest round-trip representation; integers print without exponent.
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
+void JsonObjectWriter::key_prefix(std::string_view key) {
+  if (!first_) buffer_ += ',';
+  first_ = false;
+  buffer_ += '"';
+  buffer_ += json_escape(key);
+  buffer_ += "\":";
+}
+
+void JsonObjectWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  buffer_ += '"';
+  buffer_ += json_escape(value);
+  buffer_ += '"';
+}
+
+void JsonObjectWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  buffer_ += json_number(value);
+}
+
+void JsonObjectWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  buffer_ += std::to_string(value);
+}
+
+void JsonObjectWriter::field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  buffer_ += std::to_string(value);
+}
+
+void JsonObjectWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  buffer_ += value ? "true" : "false";
+}
+
+void JsonObjectWriter::raw_field(std::string_view key, std::string_view json) {
+  key_prefix(key);
+  buffer_ += json;
+}
+
+void JsonObjectWriter::field(std::string_view key,
+                             const std::vector<double>& values) {
+  key_prefix(key);
+  buffer_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) buffer_ += ',';
+    buffer_ += json_number(values[i]);
+  }
+  buffer_ += ']';
+}
+
+void JsonObjectWriter::field(std::string_view key,
+                             const std::vector<std::uint64_t>& values) {
+  key_prefix(key);
+  buffer_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) buffer_ += ',';
+    buffer_ += std::to_string(values[i]);
+  }
+  buffer_ += ']';
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) throw std::logic_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) throw std::logic_error("JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) throw std::logic_error("JsonValue: not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::Array) throw std::logic_error("JsonValue: not an array");
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::Object) throw std::logic_error("JsonValue: not an object");
+  return *object_;
+}
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  static const JsonValue null_value;
+  if (kind_ != Kind::Object) return null_value;
+  const auto it = object_->find(key);
+  return it == object_->end() ? null_value : it->second;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue& value = (*this)[key];
+  return value.is_number() ? value.as_number() : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key, std::string fallback) const {
+  const JsonValue& value = (*this)[key];
+  return value.is_string() ? value.as_string() : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    auto value = parse_value();
+    if (value) {
+      skip_whitespace();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after JSON value");
+        value.reset();
+      }
+    }
+    if (!value && error != nullptr) *error = error_;
+    return value;
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char head = text_[pos_];
+    if (head == '{') return parse_object();
+    if (head == '[') return parse_array();
+    if (head == '"') {
+      auto text = parse_string();
+      if (!text) return std::nullopt;
+      return JsonValue(std::move(*text));
+    }
+    if (consume_literal("true")) return JsonValue(true);
+    if (consume_literal("false")) return JsonValue(false);
+    if (consume_literal("null")) return JsonValue();
+    return parse_number();
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool any = false;
+    auto digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (any && pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      digits();
+    }
+    if (!any) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc{}) {
+      fail("unparsable number");
+      return std::nullopt;
+    }
+    return JsonValue(value);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          const auto hex =
+              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (hex.ec != std::errc{} || hex.ptr != text_.data() + pos_ + 4) {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+          pos_ += 4;
+          // Traces only emit control-character escapes; encode as UTF-8 for
+          // the BMP without surrogate-pair handling (sufficient here).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_array() {
+    consume('[');
+    JsonValue::Array items;
+    skip_whitespace();
+    if (consume(']')) return JsonValue(std::move(items));
+    while (true) {
+      auto item = parse_value();
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      skip_whitespace();
+      if (consume(']')) return JsonValue(std::move(items));
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    consume('{');
+    JsonValue::Object members;
+    skip_whitespace();
+    if (consume('}')) return JsonValue(std::move(members));
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      members.insert_or_assign(std::move(*key), std::move(*value));
+      skip_whitespace();
+      if (consume('}')) return JsonValue(std::move(members));
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace mach::obs

@@ -1,0 +1,24 @@
+#include "obs/observer.h"
+
+#include <algorithm>
+
+namespace mach::obs {
+
+QSummary QSummary::from(const std::vector<double>& q, double floor) {
+  QSummary summary;
+  summary.count = q.size();
+  if (q.empty()) return summary;
+  summary.min = q.front();
+  summary.max = q.front();
+  for (const double value : q) {
+    summary.min = std::min(summary.min, value);
+    summary.max = std::max(summary.max, value);
+    summary.sum += value;
+    if (value <= floor) ++summary.clamped_to_floor;
+    if (value >= 1.0) ++summary.clamped_to_one;
+  }
+  summary.mean = summary.sum / static_cast<double>(q.size());
+  return summary;
+}
+
+}  // namespace mach::obs

@@ -1,0 +1,137 @@
+// Run-telemetry hook interface for the HFL engine.
+//
+// HflSimulator::set_observer attaches one RunObserver whose callbacks fire
+// at the phase boundaries of Algorithm 1: per time step, per trained device,
+// per edge aggregation, per cloud round and per evaluation. Observers are
+// strictly passive — the engine computes event payloads only when an
+// observer is attached, and none of the callbacks can influence sampling,
+// training or aggregation (observer disabled ⇒ bit-identical runs).
+//
+// The bundled JsonlTraceWriter (jsonl_writer.h) streams these events as one
+// JSON object per line; tools/trace_summary turns a trace back into
+// phase-time and sampling-health tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/timer.h"
+
+namespace mach::obs {
+
+/// Distribution summary of one edge's clamped sampling vector q (Eq. 3).
+struct QSummary {
+  std::size_t count = 0;          // |M_n^t|
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double sum = 0.0;               // expected participants; feasible when <= K_n
+  std::size_t clamped_to_floor = 0;  // entries raised to HflOptions::min_probability
+  std::size_t clamped_to_one = 0;    // entries lowered to 1
+
+  /// Builds the summary from the engine's already-clamped q vector.
+  static QSummary from(const std::vector<double>& q, double floor);
+};
+
+/// Sampler internals exported for telemetry (see hfl::Sampler::introspect).
+/// For MACH this is Algorithm 2's state: the UCB experience G~^2_m (Eq. 15),
+/// the per-device gradient-experience buffer occupancy, and the
+/// participation counts the exploration term divides by. All vectors are
+/// indexed by device id and share one size (or are empty when unsupported).
+struct SamplerIntrospection {
+  std::vector<double> g_squared;            // G~^2_m estimates
+  std::vector<std::uint64_t> buffer_sizes;  // experiences buffered this round
+  std::vector<std::uint64_t> participations;
+
+  bool empty() const noexcept { return g_squared.empty(); }
+};
+
+struct RunBeginEvent {
+  std::string sampler;
+  std::uint64_t seed = 0;
+  std::size_t steps = 0;
+  std::size_t num_devices = 0;
+  std::size_t num_edges = 0;
+  std::size_t cloud_interval = 0;  // T_g
+};
+
+struct StepBeginEvent {
+  std::size_t t = 0;
+  std::size_t active_edges = 0;      // edges with at least one device present
+  std::size_t devices_present = 0;   // sum of |M_n^t|
+};
+
+struct DeviceTrainedEvent {
+  std::size_t t = 0;
+  std::uint32_t device = 0;
+  std::size_t edge = 0;
+  double q = 0.0;               // inclusion probability it was drawn with
+  double mean_loss = 0.0;       // mean local loss over the I steps
+  double last_grad_sq_norm = 0.0;
+  double seconds = 0.0;         // wall time of the local-update phase
+};
+
+struct EdgeAggregatedEvent {
+  std::size_t t = 0;
+  std::size_t edge = 0;
+  double capacity = 0.0;        // K_n
+  std::size_t num_devices = 0;  // |M_n^t|
+  std::size_t num_sampled = 0;  // realised Bernoulli draws
+  QSummary q;
+  /// Horvitz-Thompson composition diagnostics over the sampled devices:
+  /// sum of 1/(|M_n^t| q_m) (1 in expectation under Eq. 5) and the
+  /// population variance of those weights (the instability channel §III-B.2
+  /// describes).
+  double ht_weight_sum = 0.0;
+  double ht_weight_variance = 0.0;
+  double sampler_seconds = 0.0;    // decision time (incl. oracle probes)
+  double train_seconds = 0.0;      // sum over this edge's sampled devices
+  double aggregate_seconds = 0.0;  // HT accumulation + fold
+};
+
+struct CloudRoundEvent {
+  std::size_t t = 0;
+  std::size_t round = 0;        // 1-based cloud-round index within the run
+  std::size_t num_edges = 0;
+  double seconds = 0.0;         // cloud fold + broadcast wall time
+  /// Sampler internals captured right after Sampler::on_cloud_round (i.e.
+  /// the refreshed Eq. 15 estimates MACH will sample with next). Empty when
+  /// the active sampler does not support introspection.
+  SamplerIntrospection sampler;
+};
+
+struct EvalEvent {
+  std::size_t t = 0;
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+  double train_loss = 0.0;      // windowed train loss (0 for the baseline eval)
+  std::size_t participants = 0;
+  double global_grad_sq_norm = 0.0;
+  double seconds = 0.0;
+};
+
+struct RunEndEvent {
+  std::size_t steps = 0;
+  std::size_t cloud_rounds = 0;
+  /// Phase wall-clock breakdown of the whole run.
+  const PhaseTimerSet* phases = nullptr;
+  /// The engine's counter/gauge/histogram registry at end of run.
+  const MetricsRegistry* registry = nullptr;
+};
+
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  virtual void on_run_begin(const RunBeginEvent& /*event*/) {}
+  virtual void on_step_begin(const StepBeginEvent& /*event*/) {}
+  virtual void on_device_trained(const DeviceTrainedEvent& /*event*/) {}
+  virtual void on_edge_aggregated(const EdgeAggregatedEvent& /*event*/) {}
+  virtual void on_cloud_round(const CloudRoundEvent& /*event*/) {}
+  virtual void on_eval(const EvalEvent& /*event*/) {}
+  virtual void on_run_end(const RunEndEvent& /*event*/) {}
+};
+
+}  // namespace mach::obs

@@ -1,0 +1,81 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mach::obs {
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), buckets_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no bucket bounds");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return *it->second;
+  Counter& created = counters_.emplace_back();
+  counter_index_.emplace(name, &created);
+  return created;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return *it->second;
+  Gauge& created = gauges_.emplace_back();
+  gauge_index_.emplace(name, &created);
+  return created;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bucket_bounds) {
+  auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return *it->second;
+  Histogram& created = histograms_.emplace_back(std::move(bucket_bounds));
+  histogram_index_.emplace(name, &created);
+  return created;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_index_.size());
+  for (const auto& [name, counter] : counter_index_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauge_index_.size());
+  for (const auto& [name, gauge] : gauge_index_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histogram_index_.size());
+  for (const auto& [name, histogram] : histogram_index_) {
+    snap.histograms.push_back({name, histogram->bounds(), histogram->buckets(),
+                               histogram->count(), histogram->sum()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, counter] : counter_index_) *counter = Counter{};
+  for (auto& [name, gauge] : gauge_index_) *gauge = Gauge{};
+  for (auto& [name, histogram] : histogram_index_) {
+    *histogram = Histogram(histogram->bounds());
+  }
+}
+
+}  // namespace mach::obs

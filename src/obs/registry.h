@@ -1,0 +1,113 @@
+// Lightweight run-metrics registry: monotonic counters, gauges and
+// fixed-bucket histograms, cheap enough to update from the simulator's inner
+// loops (an increment is one add on a cached reference; no lookups, locks or
+// allocations on the hot path).
+//
+// Instruments are registered by name once (typically at construction of the
+// owning component) and the returned references stay valid for the registry's
+// lifetime. `snapshot()` flattens everything into plain structs for export —
+// the JSONL trace writer embeds a snapshot in its run_end record.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mach::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins scalar (e.g. "current learning rate").
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with an
+/// implicit overflow bucket above the last bound. Also tracks sum/count so the
+/// mean survives even when the bucket resolution is coarse.
+class Histogram {
+ public:
+  /// `bucket_bounds` must be strictly increasing; it is copied once.
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void observe(double value) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Flattened registry state for export.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. References remain valid for the registry's lifetime (instruments
+  /// live in deques, which never relocate elements).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bucket_bounds` is only consulted on first registration; later calls
+  /// with the same name return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name, std::vector<double> bucket_bounds);
+
+  /// Instruments registered so far (alphabetical within each kind).
+  MetricsSnapshot snapshot() const;
+
+  /// Resets every instrument's state, keeping registrations (and thus every
+  /// cached reference) alive. Used between repeated simulator runs.
+  void reset();
+
+ private:
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*> counter_index_;
+  std::map<std::string, Gauge*> gauge_index_;
+  std::map<std::string, Histogram*> histogram_index_;
+};
+
+}  // namespace mach::obs

@@ -1,0 +1,17 @@
+#include "obs/timer.h"
+
+namespace mach::obs {
+
+std::string_view phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::SamplerDecision: return "sampler_decision";
+    case Phase::DeviceTraining: return "device_training";
+    case Phase::EdgeAggregation: return "edge_aggregation";
+    case Phase::CloudAggregation: return "cloud_aggregation";
+    case Phase::Evaluation: return "evaluation";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace mach::obs

@@ -1,0 +1,108 @@
+// RAII wall-clock phase timers for the simulator's hot phases.
+//
+// A ScopedTimer charges the enclosed scope's duration to a PhaseAccumulator
+// on destruction; the accumulators live in a PhaseTimerSet indexed by the
+// Phase enum (one steady_clock read on entry and one on exit — cheap enough
+// to leave permanently enabled, so every run carries its phase breakdown).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string_view>
+
+namespace mach::obs {
+
+/// The simulator phases the ROADMAP's perf work needs timed.
+enum class Phase : std::size_t {
+  SamplerDecision = 0,  // edge_probabilities (+ oracle probes) per edge
+  DeviceTraining,       // local updating, Eq. 4
+  EdgeAggregation,      // Horvitz-Thompson edge aggregation, Eq. 5
+  CloudAggregation,     // edge -> cloud fold + broadcast, Eq. 6
+  Evaluation,           // global-model evaluation passes
+  kCount,
+};
+
+constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+/// Stable machine-readable phase name ("device_training", ...).
+std::string_view phase_name(Phase phase) noexcept;
+
+/// Accumulated wall-clock statistics of one phase.
+struct PhaseAccumulator {
+  std::uint64_t count = 0;   // number of timed scopes
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;  // 0 until the first observation
+  double max_seconds = 0.0;
+
+  void add(double seconds) noexcept {
+    if (count == 0 || seconds < min_seconds) min_seconds = seconds;
+    if (seconds > max_seconds) max_seconds = seconds;
+    total_seconds += seconds;
+    ++count;
+  }
+  double mean_seconds() const noexcept {
+    return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
+  }
+};
+
+/// One accumulator per Phase. Value-semantic; reset() between runs.
+class PhaseTimerSet {
+ public:
+  PhaseAccumulator& operator[](Phase phase) noexcept {
+    return accumulators_[static_cast<std::size_t>(phase)];
+  }
+  const PhaseAccumulator& operator[](Phase phase) const noexcept {
+    return accumulators_[static_cast<std::size_t>(phase)];
+  }
+
+  double total_seconds() const noexcept {
+    double total = 0.0;
+    for (const auto& acc : accumulators_) total += acc.total_seconds;
+    return total;
+  }
+
+  void reset() noexcept { accumulators_ = {}; }
+
+ private:
+  std::array<PhaseAccumulator, kNumPhases> accumulators_{};
+};
+
+/// Charges the lifetime of the object to one accumulator. Movable-from-scope
+/// usage is intentionally not supported; create it in the scope to measure.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(PhaseAccumulator& accumulator) noexcept
+      : accumulator_(&accumulator), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(PhaseTimerSet& timers, Phase phase) noexcept
+      : ScopedTimer(timers[phase]) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { accumulator_->add(elapsed_seconds()); }
+
+  /// Seconds since construction (the destructor records this same quantity).
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  PhaseAccumulator* accumulator_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Free-standing stopwatch for callers that want the duration as a value
+/// (e.g. to put into a trace event) rather than into an accumulator.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mach::obs

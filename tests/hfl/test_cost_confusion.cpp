@@ -41,6 +41,28 @@ TEST(CommunicationCost, ArithmeticHelpers) {
   other.device_downloads = 5;
   cost += other;
   EXPECT_EQ(cost.device_downloads, 15u);
+  // Accumulating into `cost` must not lose its per-message size either.
+  EXPECT_EQ(cost.model_parameters, 100u);
+}
+
+TEST(CommunicationCost, AccumulationKeepsModelParameters) {
+  // Regression: += used to drop model_parameters, so folding a populated
+  // cost into a default-constructed accumulator reported total_bytes() == 0.
+  CommunicationCost run;
+  run.device_downloads = 10;
+  run.device_uploads = 10;
+  run.model_parameters = 256;
+
+  CommunicationCost accumulated;
+  accumulated += run;
+  EXPECT_EQ(accumulated.model_parameters, 256u);
+  EXPECT_EQ(accumulated.total_bytes(), 20u * 256u * sizeof(float));
+
+  // A second run of the same model keeps the size; a larger size wins.
+  CommunicationCost bigger;
+  bigger.model_parameters = 512;
+  accumulated += bigger;
+  EXPECT_EQ(accumulated.model_parameters, 512u);
 }
 
 TEST(CommunicationCost, FullParticipationCountsExactly) {

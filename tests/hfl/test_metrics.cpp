@@ -48,7 +48,9 @@ TEST(Metrics, CsvWrite) {
   std::ifstream in(path);
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "t,test_accuracy,test_loss,train_loss,participants");
+  EXPECT_EQ(header,
+            "t,test_accuracy,test_loss,train_loss,participants,"
+            "global_grad_sq_norm");
   std::size_t rows = 0;
   std::string line;
   while (std::getline(in, line)) {

@@ -1,0 +1,102 @@
+// JSON writer/parser round-trips: everything JsonlTraceWriter emits must
+// come back unchanged through parse_json (the same path trace_summary uses).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace mach::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(JsonNumber, RendersFiniteValuesAndNullsNonFinite) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(-3.5), "-3.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonObjectWriter, EmitsParsableObject) {
+  JsonObjectWriter out;
+  out.begin();
+  out.field("event", "edge_agg");
+  out.field("t", std::uint64_t{7});
+  out.field("acc", 0.875);
+  out.field("ok", true);
+  out.field("delta", std::int64_t{-3});
+  out.field("q", std::vector<double>{0.1, 0.5, 1.0});
+  out.field("buckets", std::vector<std::uint64_t>{1, 2, 3});
+  out.raw_field("nested", "{\"k\":1}");
+  const std::string line = out.end();
+
+  std::string error;
+  const auto parsed = parse_json(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error << " in: " << line;
+  const JsonValue& v = *parsed;
+  EXPECT_EQ(v["event"].as_string(), "edge_agg");
+  EXPECT_DOUBLE_EQ(v["t"].as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(v["acc"].as_number(), 0.875);
+  EXPECT_TRUE(v["ok"].as_bool());
+  EXPECT_DOUBLE_EQ(v["delta"].as_number(), -3.0);
+  ASSERT_EQ(v["q"].as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v["q"].as_array()[1].as_number(), 0.5);
+  ASSERT_EQ(v["buckets"].as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v["nested"]["k"].as_number(), 1.0);
+}
+
+TEST(JsonObjectWriter, StringValuesAreEscapedOnTheWire) {
+  JsonObjectWriter out;
+  out.begin();
+  out.field("name", "quo\"te\nline");
+  const auto parsed = parse_json(out.end());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["name"].as_string(), "quo\"te\nline");
+}
+
+TEST(ParseJson, HandlesScalarsArraysAndNesting) {
+  const auto v = parse_json(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": null, "d": false}, "s": "Aé"})");
+  ASSERT_TRUE(v.has_value());
+  const auto& arr = (*v)["a"].as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[2].as_number(), -300.0);
+  EXPECT_TRUE((*v)["b"]["c"].is_null());
+  EXPECT_FALSE((*v)["b"]["d"].as_bool());
+  EXPECT_EQ((*v)["s"].as_string(), "A\xc3\xa9");  // UTF-8 for "Aé"
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json("{\"a\":1,}").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("nul").has_value());
+}
+
+TEST(JsonValue, LenientLookupsNeverThrow) {
+  const auto v = parse_json(R"({"x": 1.5, "s": "hi"})");
+  ASSERT_TRUE(v.has_value());
+  // Missing keys yield null and the *_or readers fall back.
+  EXPECT_TRUE((*v)["missing"].is_null());
+  EXPECT_TRUE((*v)["missing"]["deeper"].is_null());
+  EXPECT_DOUBLE_EQ(v->number_or("x", -1.0), 1.5);
+  EXPECT_DOUBLE_EQ(v->number_or("absent", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v->number_or("s", -1.0), -1.0);  // mistyped -> fallback
+  EXPECT_EQ(v->string_or("s", "fb"), "hi");
+  EXPECT_EQ(v->string_or("x", "fb"), "fb");
+  // Strict accessors still throw on mismatch.
+  EXPECT_THROW((*v)["s"].as_number(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mach::obs

@@ -1,0 +1,102 @@
+// MetricsRegistry semantics: counter monotonicity, gauge last-write,
+// histogram bucket placement, handle stability and reset behaviour.
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+
+namespace mach::obs {
+namespace {
+
+TEST(Registry, CounterAccumulatesMonotonically) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same instrument, not a fresh one.
+  EXPECT_EQ(&registry.counter("events"), &c);
+  EXPECT_EQ(registry.counter("events").value(), 42u);
+}
+
+TEST(Registry, GaugeKeepsLastWrite) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("lr");
+  g.set(0.5);
+  g.set(0.25);
+  EXPECT_DOUBLE_EQ(registry.gauge("lr").value(), 0.25);
+}
+
+TEST(Registry, HistogramBucketsByUpperBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q", {0.1, 0.5, 1.0});
+  h.observe(0.05);   // <= 0.1        -> bucket 0
+  h.observe(0.1);    // == bound 0.1  -> bucket 0 (inclusive upper bound)
+  h.observe(0.3);    // <= 0.5        -> bucket 1
+  h.observe(1.0);    // <= 1.0        -> bucket 2
+  h.observe(7.0);    // overflow      -> bucket 3
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 8.45, 1e-12);
+  EXPECT_NEAR(h.mean(), 8.45 / 5.0, 1e-12);
+}
+
+TEST(Registry, HistogramRejectsBadBounds) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("empty", {}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("unsorted", {1.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("dupes", {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(Registry, HandlesSurviveFurtherRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("first");
+  // Force growth: deque storage must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("extra_" + std::to_string(i)).add();
+  }
+  first.add(7);
+  EXPECT_EQ(registry.counter("first").value(), 7u);
+}
+
+TEST(Registry, SnapshotListsEverything) {
+  MetricsRegistry registry;
+  registry.counter("b").add(2);
+  registry.counter("a").add(1);
+  registry.gauge("g").set(3.5);
+  registry.histogram("h", {1.0}).observe(0.5);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Alphabetical within each kind (map-ordered index).
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 3.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST(Registry, ResetClearsStateKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  c.add(5);
+  h.observe(1.5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  // Bounds survive the reset; only the observations are dropped.
+  ASSERT_EQ(h.bounds().size(), 2u);
+  h.observe(1.5);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  c.add();
+  EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+}  // namespace
+}  // namespace mach::obs

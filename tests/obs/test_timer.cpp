@@ -1,0 +1,81 @@
+// Phase timer semantics: accumulator statistics, RAII charging, and
+// monotonicity of the measured durations.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/timer.h"
+
+namespace mach::obs {
+namespace {
+
+TEST(PhaseAccumulator, TracksCountTotalMinMax) {
+  PhaseAccumulator acc;
+  EXPECT_EQ(acc.count, 0u);
+  EXPECT_DOUBLE_EQ(acc.mean_seconds(), 0.0);
+  acc.add(2.0);
+  acc.add(1.0);
+  acc.add(4.0);
+  EXPECT_EQ(acc.count, 3u);
+  EXPECT_DOUBLE_EQ(acc.total_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(acc.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(acc.max_seconds, 4.0);
+  EXPECT_NEAR(acc.mean_seconds(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(PhaseTimerSet, IndexesByPhaseAndSumsTotals) {
+  PhaseTimerSet timers;
+  timers[Phase::DeviceTraining].add(0.5);
+  timers[Phase::Evaluation].add(0.25);
+  EXPECT_DOUBLE_EQ(timers[Phase::DeviceTraining].total_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(timers.total_seconds(), 0.75);
+  timers.reset();
+  EXPECT_EQ(timers[Phase::DeviceTraining].count, 0u);
+  EXPECT_DOUBLE_EQ(timers.total_seconds(), 0.0);
+}
+
+TEST(PhaseNames, AreStableAndDistinct) {
+  EXPECT_EQ(phase_name(Phase::SamplerDecision), "sampler_decision");
+  EXPECT_EQ(phase_name(Phase::DeviceTraining), "device_training");
+  EXPECT_EQ(phase_name(Phase::EdgeAggregation), "edge_aggregation");
+  EXPECT_EQ(phase_name(Phase::CloudAggregation), "cloud_aggregation");
+  EXPECT_EQ(phase_name(Phase::Evaluation), "evaluation");
+}
+
+TEST(ScopedTimer, ChargesScopeDurationOnDestruction) {
+  PhaseTimerSet timers;
+  {
+    ScopedTimer timer(timers, Phase::CloudAggregation);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Nothing is recorded until the scope closes.
+    EXPECT_EQ(timers[Phase::CloudAggregation].count, 0u);
+    EXPECT_GT(timer.elapsed_seconds(), 0.0);
+  }
+  const PhaseAccumulator& acc = timers[Phase::CloudAggregation];
+  EXPECT_EQ(acc.count, 1u);
+  EXPECT_GE(acc.total_seconds, 0.002 * 0.5);  // generous slack for coarse clocks
+  EXPECT_DOUBLE_EQ(acc.min_seconds, acc.max_seconds);
+}
+
+TEST(ScopedTimer, ElapsedIsMonotonic) {
+  PhaseTimerSet timers;
+  ScopedTimer timer(timers, Phase::SamplerDecision);
+  double last = timer.elapsed_seconds();
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.elapsed_seconds();
+    EXPECT_GE(now, last);  // steady_clock never goes backwards
+    last = now;
+  }
+}
+
+TEST(Stopwatch, SecondsGrowAcrossSleep) {
+  Stopwatch watch;
+  const double before = watch.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double after = watch.seconds();
+  EXPECT_GE(before, 0.0);
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace mach::obs

@@ -1,0 +1,335 @@
+// Offline trace analyser: reads a JSONL run trace produced by
+// obs::JsonlTraceWriter (experiment_runner --trace, fig3/fig4 --trace, or a
+// custom RunObserver) and prints
+//   * the run inventory (sampler, seed, scale per run_begin line),
+//   * the wall-clock phase breakdown across all runs (run_end lines),
+//   * a per-edge sampling-health table (edge_agg lines): realised vs
+//     expected participation against the channel budget K_n, q-vector
+//     spread, probability-floor clamping and Horvitz-Thompson weight
+//     diagnostics,
+//   * the evaluation trajectory endpoints, and
+//   * MACH's latest Eq. 15 experience state (cloud_round lines).
+//
+//   ./trace_summary run.jsonl
+//   ./trace_summary --devices 8 run.jsonl   # top-N G~^2 device listing
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace {
+
+using mach::obs::JsonValue;
+
+struct EdgeStats {
+  std::size_t rounds = 0;
+  double devices_sum = 0.0;
+  double capacity_sum = 0.0;
+  double sampled_sum = 0.0;
+  double expected_sum = 0.0;  // sum of q.sum (expected participants)
+  std::size_t over_budget_rounds = 0;  // q.sum > capacity (infeasible strategy)
+  double q_min = 1.0;
+  double q_max = 0.0;
+  double q_mean_sum = 0.0;
+  std::uint64_t q_entries = 0;
+  std::uint64_t q_floor_clamped = 0;
+  double ht_sum_total = 0.0;
+  double ht_var_total = 0.0;
+};
+
+struct PhaseStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double max_s = 0.0;
+};
+
+void print_usage() {
+  std::cout
+      << "usage: trace_summary [--devices N] <trace.jsonl>\n\n"
+         "Summarises a JSONL run trace written by the HFL engine's\n"
+         "JsonlTraceWriter (e.g. experiment_runner --trace run.jsonl):\n"
+         "phase-time breakdown, per-edge sampling health, evaluation\n"
+         "trajectory and the sampler's latest per-device experience state.\n\n"
+         "Flags:\n"
+         "  --devices N   rows in the top-G~^2 device table (default 5, 0 off)\n"
+         "  --help        this message\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top_devices = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--devices") {
+      if (i + 1 >= argc) {
+        std::cerr << "--devices expects a value\n";
+        return 1;
+      }
+      try {
+        top_devices = static_cast<std::size_t>(std::stoul(argv[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "--devices expects a non-negative integer, got '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << arg << "\n\n";
+      print_usage();
+      return 1;
+    }
+    if (!path.empty()) {
+      std::cerr << "expected exactly one trace path\n";
+      return 1;
+    }
+    path = arg;
+  }
+  if (path.empty()) {
+    print_usage();
+    return 1;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+
+  // Aggregation state over the whole file.
+  std::map<std::string, std::uint64_t> event_counts;
+  std::vector<JsonValue> run_begins;
+  std::map<std::size_t, EdgeStats> edges;
+  std::map<std::string, PhaseStats> phases;
+  JsonValue first_eval, last_eval;
+  double best_accuracy = 0.0;
+  std::uint64_t evals = 0;
+  JsonValue last_introspection;  // last cloud_round carrying sampler state
+  std::size_t parse_errors = 0;
+  std::uint64_t lines = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::string error;
+    const auto parsed = mach::obs::parse_json(line, &error);
+    if (!parsed || !parsed->is_object()) {
+      if (++parse_errors <= 3) {
+        std::cerr << "skipping malformed line " << lines << ": " << error << '\n';
+      }
+      continue;
+    }
+    const JsonValue& event = *parsed;
+    const std::string kind = event.string_or("event", "?");
+    ++event_counts[kind];
+
+    if (kind == "run_begin") {
+      run_begins.push_back(event);
+    } else if (kind == "edge_agg") {
+      const auto edge = static_cast<std::size_t>(event.number_or("edge", 0));
+      EdgeStats& stats = edges[edge];
+      ++stats.rounds;
+      stats.devices_sum += event.number_or("num_devices", 0);
+      const double capacity = event.number_or("capacity", 0);
+      stats.capacity_sum += capacity;
+      stats.sampled_sum += event.number_or("num_sampled", 0);
+      const JsonValue& q = event["q"];
+      const double expected = q.number_or("sum", 0);
+      stats.expected_sum += expected;
+      // Feasibility check (Eq. 3): the clamped strategy may exceed K_n only
+      // through the probability floor; count how often it does.
+      if (expected > capacity + 1e-9) ++stats.over_budget_rounds;
+      stats.q_min = std::min(stats.q_min, q.number_or("min", 1.0));
+      stats.q_max = std::max(stats.q_max, q.number_or("max", 0.0));
+      stats.q_mean_sum += q.number_or("mean", 0);
+      stats.q_entries += static_cast<std::uint64_t>(q.number_or("count", 0));
+      stats.q_floor_clamped +=
+          static_cast<std::uint64_t>(q.number_or("clamped_to_floor", 0));
+      stats.ht_sum_total += event.number_or("ht_weight_sum", 0);
+      stats.ht_var_total += event.number_or("ht_weight_variance", 0);
+    } else if (kind == "eval") {
+      if (evals == 0) first_eval = event;
+      last_eval = event;
+      best_accuracy = std::max(best_accuracy, event.number_or("test_accuracy", 0));
+      ++evals;
+    } else if (kind == "cloud_round") {
+      if (event["g_squared_summary"].is_object()) last_introspection = event;
+    } else if (kind == "run_end") {
+      const JsonValue& phase_map = event["phases"];
+      if (phase_map.is_object()) {
+        for (const auto& [name, acc] : phase_map.as_object()) {
+          PhaseStats& stats = phases[name];
+          stats.count += static_cast<std::uint64_t>(acc.number_or("count", 0));
+          stats.total_s += acc.number_or("total_s", 0);
+          stats.max_s = std::max(stats.max_s, acc.number_or("max_s", 0));
+        }
+      }
+    }
+  }
+
+  if (lines == 0) {
+    std::cerr << path << ": empty trace\n";
+    return 1;
+  }
+
+  std::cout << "=== trace summary: " << path << " ===\n"
+            << lines << " events";
+  if (parse_errors > 0) std::cout << " (" << parse_errors << " malformed)";
+  std::cout << ", " << run_begins.size() << " run(s)\n\n";
+
+  if (!run_begins.empty()) {
+    mach::common::Table runs({"run", "sampler", "seed", "steps", "devices",
+                              "edges", "T_g"});
+    for (std::size_t i = 0; i < run_begins.size(); ++i) {
+      const JsonValue& r = run_begins[i];
+      runs.row()
+          .cell(i + 1)
+          .cell(r.string_or("sampler", "?"))
+          .cell(static_cast<std::size_t>(r.number_or("seed", 0)))
+          .cell(static_cast<std::size_t>(r.number_or("steps", 0)))
+          .cell(static_cast<std::size_t>(r.number_or("num_devices", 0)))
+          .cell(static_cast<std::size_t>(r.number_or("num_edges", 0)))
+          .cell(static_cast<std::size_t>(r.number_or("cloud_interval", 0)));
+    }
+    runs.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (!phases.empty()) {
+    double grand_total = 0.0;
+    for (const auto& [name, stats] : phases) grand_total += stats.total_s;
+    std::cout << "phase time breakdown (" << mach::common::format_double(grand_total, 3)
+              << " s total across runs):\n";
+    mach::common::Table table({"phase", "scopes", "total s", "share %",
+                               "mean ms", "max ms"});
+    // Sort by descending total so the hottest phase leads the report.
+    std::vector<std::pair<std::string, PhaseStats>> sorted(phases.begin(),
+                                                           phases.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second.total_s > b.second.total_s;
+    });
+    for (const auto& [name, stats] : sorted) {
+      const double share =
+          grand_total > 0.0 ? stats.total_s / grand_total * 100.0 : 0.0;
+      const double mean_ms =
+          stats.count > 0 ? stats.total_s / static_cast<double>(stats.count) * 1e3
+                          : 0.0;
+      table.row()
+          .cell(name)
+          .cell(stats.count)
+          .cell(stats.total_s, 3)
+          .cell(share, 1)
+          .cell(mean_ms, 3)
+          .cell(stats.max_s * 1e3, 3);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (!edges.empty()) {
+    std::cout << "sampling health per edge (edge_agg events):\n";
+    mach::common::Table table({"edge", "rounds", "avg |M|", "avg K_n",
+                               "E[sampled]", "avg sampled", "q min", "q mean",
+                               "q max", "floor %", "over-budget", "HT sum",
+                               "HT var"});
+    for (const auto& [edge, stats] : edges) {
+      const double rounds = static_cast<double>(stats.rounds);
+      const double floor_pct =
+          stats.q_entries > 0
+              ? static_cast<double>(stats.q_floor_clamped) /
+                    static_cast<double>(stats.q_entries) * 100.0
+              : 0.0;
+      table.row()
+          .cell(edge)
+          .cell(stats.rounds)
+          .cell(stats.devices_sum / rounds, 1)
+          .cell(stats.capacity_sum / rounds, 2)
+          .cell(stats.expected_sum / rounds, 2)
+          .cell(stats.sampled_sum / rounds, 2)
+          .cell(stats.q_min, 4)
+          .cell(stats.q_mean_sum / rounds, 4)
+          .cell(stats.q_max, 4)
+          .cell(floor_pct, 1)
+          .cell(stats.over_budget_rounds)
+          .cell(stats.ht_sum_total / rounds, 3)
+          .cell(stats.ht_var_total / rounds, 4);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (evals > 0) {
+    std::cout << "evaluation trajectory: " << evals << " points, accuracy "
+              << mach::common::format_double(
+                     first_eval.number_or("test_accuracy", 0), 4)
+              << " (t=" << static_cast<std::size_t>(first_eval.number_or("t", 0))
+              << ") -> "
+              << mach::common::format_double(last_eval.number_or("test_accuracy", 0),
+                                             4)
+              << " (t=" << static_cast<std::size_t>(last_eval.number_or("t", 0))
+              << "), best "
+              << mach::common::format_double(best_accuracy, 4) << "\n\n";
+  }
+
+  if (last_introspection.is_object()) {
+    const JsonValue& summary = last_introspection["g_squared_summary"];
+    std::cout << "sampler experience at cloud round "
+              << static_cast<std::size_t>(last_introspection.number_or("round", 0))
+              << " (t=" << static_cast<std::size_t>(last_introspection.number_or("t", 0))
+              << "): G~^2 min/mean/max = "
+              << mach::common::format_double(summary.number_or("min", 0), 4) << " / "
+              << mach::common::format_double(summary.number_or("mean", 0), 4) << " / "
+              << mach::common::format_double(summary.number_or("max", 0), 4) << '\n';
+    const JsonValue& g = last_introspection["g_squared"];
+    const JsonValue& buffers = last_introspection["buffer_sizes"];
+    const JsonValue& participations = last_introspection["participations"];
+    if (g.is_array() && top_devices > 0) {
+      const auto& values = g.as_array();
+      std::vector<std::size_t> order(values.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values[a].as_number() > values[b].as_number();
+      });
+      mach::common::Table table({"device", "G~^2", "buffered", "participations"});
+      const std::size_t rows = std::min(top_devices, order.size());
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::size_t device = order[i];
+        const auto at = [device](const JsonValue& array) {
+          return array.is_array() && device < array.as_array().size()
+                     ? array.as_array()[device].as_number()
+                     : 0.0;
+        };
+        table.row()
+            .cell(device)
+            .cell(values[device].as_number(), 4)
+            .cell(static_cast<std::size_t>(at(buffers)))
+            .cell(static_cast<std::size_t>(at(participations)));
+      }
+      std::cout << "top " << rows << " devices by experience:\n";
+      table.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+
+  if (!event_counts.empty()) {
+    std::cout << "event counts:";
+    for (const auto& [kind, count] : event_counts) {
+      std::cout << ' ' << kind << '=' << count;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
