@@ -60,12 +60,14 @@ int main(int argc, char** argv) {
   common::CliParser cli("MACH design-choice ablations.");
   cli.add_flag("task", std::string("mnist"), "task: mnist|fmnist|cifar10");
   cli.add_flag("csv", std::string("ablation_mach.csv"), "CSV output path");
+  bench::add_threads_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("MACH ablations");
   const auto seeds = bench::bench_seeds();
   const auto tasks = bench::parse_tasks(cli.get_string("task"));
-  const auto config = hfl::ExperimentConfig::preset(tasks.front());
+  auto config = hfl::ExperimentConfig::preset(tasks.front());
+  bench::apply_threads_flag(cli, config);
 
   std::cout << "task " << data::task_name(config.task) << ", target "
             << config.target_accuracy << ", horizon " << config.horizon << "\n\n";

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   cli.add_flag("stay", std::string("0.95,0.8,0.5"),
                "comma-separated Markov stay probabilities");
   cli.add_flag("csv", std::string("ablation_mobility.csv"), "CSV output path");
+  bench::add_threads_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Mobility ablation: churn sensitivity");
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   for (const auto task : tasks) {
     for (const double stay : stay_probs) {
       auto config = hfl::ExperimentConfig::preset(task);
+      bench::apply_threads_flag(cli, config);
       config.stay_prob = stay;
       auto& row = table.row()
                       .cell(data::task_name(task))

@@ -45,6 +45,23 @@ inline std::vector<std::uint64_t> bench_seeds() {
 
 inline bool full_mode() { return common::env_flag("REPRO_FULL"); }
 
+/// Registers the shared --threads flag. Benches default to one worker per
+/// hardware thread (0): runs are bitwise identical at any thread count, so
+/// parallelism is pure wall-clock win for the reproduction sweeps.
+inline void add_threads_flag(common::CliParser& cli) {
+  cli.add_flag("threads", static_cast<std::int64_t>(0),
+               "worker threads for device training/evaluation "
+               "(0 = all hardware threads, 1 = serial)");
+}
+
+/// Applies the parsed --threads flag to one experiment config.
+inline void apply_threads_flag(const common::CliParser& cli,
+                               hfl::ExperimentConfig& config) {
+  const std::int64_t threads = cli.get_int("threads");
+  config.hfl.parallel.threads =
+      threads < 0 ? 1 : static_cast<std::size_t>(threads);
+}
+
 /// Opens a JSONL telemetry trace for a bench run, or returns nullptr when
 /// `path` is empty (tracing off). Bench traces skip the chatty per-device
 /// lines by default — the per-edge/cloud/eval granularity is what the

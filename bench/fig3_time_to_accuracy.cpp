@@ -18,13 +18,15 @@ int main(int argc, char** argv) {
   cli.add_flag("trace_prefix", std::string(""),
                "write one JSONL telemetry trace per task to "
                "<prefix>_<task>.jsonl (empty = off)");
+  bench::add_threads_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Figure 3: time-to-accuracy");
   const auto seeds = bench::bench_seeds();
 
   for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
-    const auto config = hfl::ExperimentConfig::preset(task);
+    auto config = hfl::ExperimentConfig::preset(task);
+    bench::apply_threads_flag(cli, config);
     std::cout << "--- " << data::task_name(task) << " (target "
               << config.target_accuracy << ", T_g=" << config.hfl.cloud_interval
               << ", horizon " << config.horizon << ") ---\n";

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
                "plateau below the 10-edge-calibrated targets; 0.85 keeps every "
                "cell informative)");
   cli.add_flag("csv", std::string("fig4_edge_count.csv"), "CSV output path");
+  bench::add_threads_flag(cli);
   cli.add_flag("trace", std::string(""),
                "write one JSONL telemetry trace of every run to this path "
                "(empty = off)");
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
     for (const std::size_t edges : edge_counts) {
       auto config = hfl::ExperimentConfig::preset(task);
+      bench::apply_threads_flag(cli, config);
       config.num_edges = edges;
       config.target_accuracy *= cli.get_double("target_scale");
       // Capacity derivation K_n = participation * |M| / |N| keeps ~50% of all

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   cli.add_flag("participation", std::string("0.4,0.5,0.6,0.7"),
                "comma-separated participation proportions");
   cli.add_flag("csv", std::string("fig5_participation.csv"), "CSV output path");
+  bench::add_threads_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Figure 5: varying participation proportion");
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
     for (const double participation : proportions) {
       auto config = hfl::ExperimentConfig::preset(task);
+      bench::apply_threads_flag(cli, config);
       config.hfl.participation = participation;
 
       auto& row =

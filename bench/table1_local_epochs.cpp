@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   common::CliParser cli("Table I: time steps under different local updating epochs.");
   cli.add_flag("task", std::string("all"), "task filter: all|mnist|fmnist|cifar10");
   cli.add_flag("csv", std::string("table1_local_epochs.csv"), "CSV output path");
+  bench::add_threads_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Table I: varying local updating epochs");
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
   common::Table table({"dataset", "target", "local epochs", "MACH", "US", "CS",
                        "SS", "saved %"});
   for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
-    const auto base = hfl::ExperimentConfig::preset(task);
+    auto base = hfl::ExperimentConfig::preset(task);
+    bench::apply_threads_flag(cli, base);
     const auto base_epochs = static_cast<double>(base.hfl.local_epochs);
     for (const double scale : epoch_scales) {
       auto config = base;

@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
   cli.add_flag("aggregation", std::string("literal"),
                "literal|self_normalized|update");
   cli.add_flag("cnn", false, "use the paper CNN instead of the smoke MLP");
+  cli.add_flag("threads", static_cast<std::int64_t>(1),
+               "worker threads for device training/evaluation "
+               "(1 = serial, 0 = all hardware threads; results are "
+               "bitwise identical at any value)");
   cli.add_flag("seed", static_cast<std::int64_t>(7), "run seed");
   cli.add_flag("data_seed", static_cast<std::int64_t>(42), "data/world seed");
   cli.add_flag("csv", std::string(""), "optional accuracy-curve CSV path");
@@ -106,6 +110,9 @@ int main(int argc, char** argv) {
     config.data_spec = mach::data::SyntheticSpec::preset(config.task);
   }
   config.hfl.aggregation = parse_aggregation(cli.get_string("aggregation"));
+  if (cli.get_int("threads") >= 0) {
+    config.hfl.parallel.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  }
   config.data_seed = static_cast<std::uint64_t>(cli.get_int("data_seed"));
   config = config.with_seed(static_cast<std::uint64_t>(cli.get_int("seed")));
 
@@ -137,7 +144,9 @@ int main(int argc, char** argv) {
             << " sampler=" << sampler->name() << " devices=" << config.num_devices
             << " edges=" << config.num_edges << " steps=" << config.horizon
             << " participation=" << config.hfl.participation
-            << " aggregation=" << cli.get_string("aggregation") << "\n\n";
+            << " aggregation=" << cli.get_string("aggregation")
+            << " threads=" << mach::runtime::resolve_threads(config.hfl.parallel)
+            << "\n\n";
 
   const auto metrics = simulator.run(*sampler, config.horizon);
 

@@ -5,6 +5,7 @@
 #
 #   ./scripts/ci.sh              # build into ./build (default)
 #   BUILD_DIR=ci-build ./scripts/ci.sh
+#   TSAN=0 ./scripts/ci.sh       # skip the ThreadSanitizer stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,5 +28,20 @@ trap 'rm -f "$trace"' EXIT
 "$BUILD_DIR/examples/experiment_runner" \
   --devices 8 --edges 2 --steps 10 --local_epochs 2 --trace "$trace" > /dev/null
 "$BUILD_DIR/tools/trace_summary" "$trace" > /dev/null
+
+if [ "${TSAN:-1}" != "0" ]; then
+  # Data-race check over the runtime subsystem: a separate TSan build of the
+  # thread-pool unit suite plus the parallel-determinism integration test
+  # (the only paths that run worker threads). Filtered rather than the full
+  # suite because TSan's ~10x slowdown would dominate CI otherwise.
+  echo "== thread sanitizer =="
+  TSAN_DIR="${TSAN_DIR:-${BUILD_DIR}-tsan}"
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl
+  "$TSAN_DIR/tests/test_runtime"
+  "$TSAN_DIR/tests/test_hfl" --gtest_filter='ParallelDeterminism.*'
+fi
 
 echo "CI OK"

@@ -5,8 +5,14 @@
 #include <stdexcept>
 
 #include "nn/sgd.h"
+#include "runtime/chunking.h"
 
 namespace mach::hfl {
+
+namespace {
+/// Examples per evaluation chunk — the shard unit of both evaluation paths.
+constexpr std::size_t kEvalChunk = 256;
+}  // namespace
 
 HflSimulator::HflSimulator(const data::Dataset& train, const data::Dataset& test,
                            data::Partition partition,
@@ -44,6 +50,11 @@ HflSimulator::HflSimulator(const data::Dataset& train, const data::Dataset& test
   for (std::size_t m = 0; m < partition_.size(); ++m) {
     device_rngs_.emplace_back(common::split_seed(options_.seed, 0xd00 + m));
   }
+  const std::size_t workers = runtime::resolve_threads(options_.parallel);
+  if (workers > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(workers);
+    replicas_ = std::make_unique<runtime::ModelReplicaPool>(model_factory, workers);
+  }
 }
 
 double HflSimulator::edge_capacity(std::size_t edge) const {
@@ -72,8 +83,10 @@ double HflSimulator::learning_rate_at(std::size_t t) const {
 TrainingObservation HflSimulator::train_device(std::size_t t, std::uint32_t device,
                                                std::size_t edge,
                                                const std::vector<float>& edge_model,
-                                               double learning_rate) {
-  model_.set_parameters(edge_model);
+                                               double learning_rate,
+                                               nn::Sequential& model,
+                                               std::vector<float>& params_out) {
+  model.set_parameters(edge_model);
   nn::Sgd sgd({.learning_rate = learning_rate, .momentum = 0.0, .weight_decay = 0.0});
   TrainingObservation obs;
   obs.t = t;
@@ -85,13 +98,13 @@ TrainingObservation HflSimulator::train_device(std::size_t t, std::uint32_t devi
   for (std::size_t tau = 0; tau < options_.local_epochs; ++tau) {
     const data::Batch batch =
         train_.sample_batch(partition_[device], options_.batch_size, rng);
-    const nn::StepStats stats = model_.forward_backward(batch.features, batch.labels);
-    sgd.step(model_);
+    const nn::StepStats stats = model.forward_backward(batch.features, batch.labels);
+    sgd.step(model);
     obs.local_grad_sq_norms.push_back(stats.grad_squared_norm);
     loss_total += stats.loss;
   }
   obs.mean_loss = loss_total / static_cast<double>(options_.local_epochs);
-  scratch_params_ = model_.get_parameters();
+  params_out = model.get_parameters();
   return obs;
 }
 
@@ -111,24 +124,38 @@ double HflSimulator::probe_gradient_norm(std::uint32_t device,
 }
 
 EvalPoint HflSimulator::evaluate_global(std::size_t t) {
-  model_.set_parameters(global_);
   EvalPoint point;
   point.t = t;
   std::size_t total = test_.size();
   if (options_.eval_max_examples != 0) {
     total = std::min(total, options_.eval_max_examples);
   }
-  constexpr std::size_t kChunk = 256;
+  // Test evaluation is sharded into fixed chunks; each chunk's statistics
+  // land in a slot and the fold below walks the slots in chunk order, so the
+  // serial and parallel paths produce bitwise-identical sums.
+  const std::size_t chunks = runtime::num_chunks(total, kEvalChunk);
+  eval_slots_.assign(chunks, nn::StepStats{});
+  const auto eval_chunk = [&](std::size_t c, nn::Sequential& model,
+                              std::vector<std::size_t>& indices) {
+    runtime::fill_iota(indices, runtime::chunk_range(c, total, kEvalChunk));
+    const data::Batch batch = test_.gather(indices);
+    eval_slots_[c] = model.evaluate(batch.features, batch.labels);
+  };
+  if (pool_ != nullptr && chunks > 1) {
+    replicas_->publish(&global_);
+    pool_->parallel_for(0, chunks, [&](std::size_t c, std::size_t slot) {
+      std::vector<std::size_t> indices;
+      eval_chunk(c, replicas_->synced_model(slot), indices);
+    });
+  } else {
+    model_.set_parameters(global_);
+    std::vector<std::size_t> indices;
+    for (std::size_t c = 0; c < chunks; ++c) eval_chunk(c, model_, indices);
+  }
   std::size_t correct = 0;
   double loss = 0.0;
   std::size_t seen = 0;
-  std::vector<std::size_t> indices;
-  for (std::size_t begin = 0; begin < total; begin += kChunk) {
-    const std::size_t end = std::min(begin + kChunk, total);
-    indices.resize(end - begin);
-    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
-    const data::Batch batch = test_.gather(indices);
-    const nn::StepStats stats = model_.evaluate(batch.features, batch.labels);
+  for (const nn::StepStats& stats : eval_slots_) {
     correct += stats.correct;
     loss += stats.loss * static_cast<double>(stats.batch_size);
     seen += stats.batch_size;
@@ -153,25 +180,43 @@ EvalPoint HflSimulator::evaluate_global(std::size_t t) {
 }
 
 ConfusionMatrix HflSimulator::evaluate_confusion() {
-  model_.set_parameters(global_);
   ConfusionMatrix confusion(test_.num_classes());
-  constexpr std::size_t kChunk = 256;
-  std::vector<std::size_t> indices;
-  for (std::size_t begin = 0; begin < test_.size(); begin += kChunk) {
-    const std::size_t end = std::min(begin + kChunk, test_.size());
-    indices.resize(end - begin);
-    for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+  const std::size_t total = test_.size();
+  const std::size_t chunks = runtime::num_chunks(total, kEvalChunk);
+  // Per-chunk (label, prediction) pairs; merged in chunk order below so the
+  // matrix fills identically at any thread count.
+  std::vector<std::vector<std::pair<int, int>>> predictions(chunks);
+  const auto classify_chunk = [&](std::size_t c, nn::Sequential& model,
+                                  std::vector<std::size_t>& indices) {
+    runtime::fill_iota(indices, runtime::chunk_range(c, total, kEvalChunk));
     const data::Batch batch = test_.gather(indices);
-    const tensor::Tensor& logits = model_.forward(batch.features);
+    model.set_training(false);
+    const tensor::Tensor& logits = model.forward(batch.features);
     const std::size_t classes = logits.dim(1);
+    auto& out = predictions[c];
+    out.reserve(batch.size());
     for (std::size_t row = 0; row < batch.size(); ++row) {
       const float* values = logits.data() + row * classes;
       std::size_t best = 0;
-      for (std::size_t c = 1; c < classes; ++c) {
-        if (values[c] > values[best]) best = c;
+      for (std::size_t cls = 1; cls < classes; ++cls) {
+        if (values[cls] > values[best]) best = cls;
       }
-      confusion.add(batch.labels[row], static_cast<int>(best));
+      out.emplace_back(batch.labels[row], static_cast<int>(best));
     }
+  };
+  if (pool_ != nullptr && chunks > 1) {
+    replicas_->publish(&global_);
+    pool_->parallel_for(0, chunks, [&](std::size_t c, std::size_t slot) {
+      std::vector<std::size_t> indices;
+      classify_chunk(c, replicas_->synced_model(slot), indices);
+    });
+  } else {
+    model_.set_parameters(global_);
+    std::vector<std::size_t> indices;
+    for (std::size_t c = 0; c < chunks; ++c) classify_chunk(c, model_, indices);
+  }
+  for (const auto& chunk : predictions) {
+    for (const auto& [label, predicted] : chunk) confusion.add(label, predicted);
   }
   return confusion;
 }
@@ -286,27 +331,65 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         sampler_seconds = timer.elapsed_seconds();
       }
 
-      // Device sampling (independent Bernoulli trials) + local updating.
+      // Device sampling: independent Bernoulli trials drawn in device-index
+      // order, so the engine RNG stream is identical at any thread count.
+      sampled_.clear();
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        if (engine_rng_.bernoulli(probs[i])) {
+          sampled_.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      cost_.device_downloads += sampled_.size();  // devices fetch w_n^t (Eq. 4)
+      cost_.device_uploads += sampled_.size();    // devices return w_m^{t+1}
+
+      // Local updating (Eq. 4): each sampled device trains into its own
+      // result slot. Sampled devices are independent — each touches only its
+      // shard and RNG stream plus a private scratch model — so the parallel
+      // path dispatches them across the worker replicas and is bitwise
+      // identical to the serial path (the reduction below never reorders).
+      if (device_slots_.size() < sampled_.size()) {
+        device_slots_.resize(sampled_.size());
+      }
+      if (pool_ != nullptr && sampled_.size() > 1) {
+        // One DeviceTraining scope per edge round: the accumulator records
+        // the wall time of the whole parallel section, so the phase
+        // breakdown shows the realised speedup; per-device wall times are
+        // kept in the slots for the trace events.
+        obs::ScopedTimer section_timer(timers_, obs::Phase::DeviceTraining);
+        pool_->parallel_for(
+            0, sampled_.size(), [&](std::size_t k, std::size_t slot) {
+              DeviceSlot& out = device_slots_[k];
+              const obs::Stopwatch watch;
+              out.observation =
+                  train_device(t, devices[sampled_[k]], n, edge_model, lr,
+                               replicas_->model(slot), out.params);
+              out.seconds = watch.seconds();
+            });
+      } else {
+        for (std::size_t k = 0; k < sampled_.size(); ++k) {
+          DeviceSlot& out = device_slots_[k];
+          obs::ScopedTimer timer(timers_, obs::Phase::DeviceTraining);
+          out.observation = train_device(t, devices[sampled_[k]], n, edge_model,
+                                         lr, model_, out.params);
+          out.seconds = timer.elapsed_seconds();
+        }
+      }
+
+      // Ordered reduction: observer events, sampler experience and the
+      // Horvitz-Thompson accumulation all walk the slots in device-index
+      // order — float addition order matches the serial path exactly.
       std::fill(aggregate.begin(), aggregate.end(), 0.0f);
       const double inv_edge_size = 1.0 / static_cast<double>(devices.size());
       double weight_total = 0.0;
       double weight_sq_total = 0.0;  // for the HT-variance diagnostic
-      std::size_t num_sampled = 0;
+      const std::size_t num_sampled = sampled_.size();
       double train_seconds = 0.0;
       double aggregate_seconds = 0.0;
-      for (std::size_t i = 0; i < devices.size(); ++i) {
-        if (!engine_rng_.bernoulli(probs[i])) continue;
-        ++num_sampled;
-        ++cost_.device_downloads;  // device fetches w_n^t (Eq. 4 start)
-        ++cost_.device_uploads;    // device returns w_m^{t+1}
-        TrainingObservation observation;
-        double device_seconds = 0.0;
-        {
-          obs::ScopedTimer timer(timers_, obs::Phase::DeviceTraining);
-          observation = train_device(t, devices[i], n, edge_model, lr);
-          device_seconds = timer.elapsed_seconds();
-        }
-        train_seconds += device_seconds;
+      for (std::size_t k = 0; k < num_sampled; ++k) {
+        const std::size_t i = sampled_[k];
+        const DeviceSlot& device_slot = device_slots_[k];
+        const TrainingObservation& observation = device_slot.observation;
+        train_seconds += device_slot.seconds;
         ctr_trained.add();
         window_train_loss += observation.mean_loss;
         ++window_participants;
@@ -320,7 +403,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           event.last_grad_sq_norm = observation.local_grad_sq_norms.empty()
                                         ? 0.0
                                         : observation.local_grad_sq_norms.back();
-          event.seconds = device_seconds;
+          event.seconds = device_slot.seconds;
           observer_->on_device_trained(event);
         }
         sampler.observe_training(observation);
@@ -332,12 +415,12 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         if (options_.aggregation == AggregationForm::UpdateForm) {
           // HT-weighted deltas (the form the paper's proof analyses).
           for (std::size_t j = 0; j < param_count_; ++j) {
-            aggregate[j] += weight * (scratch_params_[j] - edge_model[j]);
+            aggregate[j] += weight * (device_slot.params[j] - edge_model[j]);
           }
         } else {
           // HT-weighted parameters (Eq. 5).
           for (std::size_t j = 0; j < param_count_; ++j) {
-            aggregate[j] += weight * scratch_params_[j];
+            aggregate[j] += weight * device_slot.params[j];
           }
         }
         aggregate_seconds += accumulate_watch.seconds();

@@ -35,6 +35,9 @@
 #include "obs/observer.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
+#include "runtime/parallel_config.h"
+#include "runtime/thread_pool.h"
+#include "runtime/worker_context.h"
 
 namespace mach::hfl {
 
@@ -83,10 +86,19 @@ struct HflOptions {
   /// derive from `seed`. Lets tests vary the sampling realisation while
   /// keeping model init and minibatch draws fixed (Lemma 1 Monte-Carlo).
   std::uint64_t sampling_seed = 0;
+  /// Worker threads for device training and evaluation sharding (1 = the
+  /// classic serial path, 0 = hardware_concurrency). Any value produces
+  /// bitwise-identical runs: sampled devices train on per-worker model
+  /// replicas against their own RNG streams, and every floating-point
+  /// reduction (Eq. 5 edge aggregation, evaluation chunk folds) happens
+  /// serially in index order afterwards.
+  runtime::ParallelConfig parallel;
 };
 
-/// Builds a fresh untrained model; invoked once (the simulator reuses one
-/// model object for every device, swapping flat parameter vectors).
+/// Builds a fresh untrained model; invoked once for the serial scratch model
+/// and, when HflOptions::parallel asks for workers, once more per worker
+/// replica (the simulator reuses these model objects for every device,
+/// swapping flat parameter vectors).
 using ModelFactory = std::function<nn::Sequential()>;
 
 class HflSimulator {
@@ -137,14 +149,24 @@ class HflSimulator {
   FederationInfo federation_info() const;
 
  private:
-  struct StepAccumulator;
+  /// Per-sampled-device result slot for one edge round: the parallel path
+  /// trains into slots from workers, then the coordinator reduces them in
+  /// device-index order (the serial path fills the same slots in order, so
+  /// both paths share one reduction).
+  struct DeviceSlot {
+    TrainingObservation observation;
+    std::vector<float> params;  // trained parameters w_m^{t+1}
+    double seconds = 0.0;       // wall time of this device's local updates
+  };
 
-  /// One local-update phase for a device (Eq. 4); returns its observation
-  /// and leaves the trained parameters in `scratch_params_`.
+  /// One local-update phase for a device (Eq. 4) on the given scratch model
+  /// (the shared serial model or a worker replica); returns its observation
+  /// and leaves the trained parameters in `params_out`.
   TrainingObservation train_device(std::size_t t, std::uint32_t device,
                                    std::size_t edge,
                                    const std::vector<float>& edge_model,
-                                   double learning_rate);
+                                   double learning_rate, nn::Sequential& model,
+                                   std::vector<float>& params_out);
 
   /// ||g||^2 probe used for samplers with needs_oracle() (MACH-P).
   double probe_gradient_norm(std::uint32_t device, const std::vector<float>& params);
@@ -157,14 +179,20 @@ class HflSimulator {
   const mobility::MobilitySchedule& schedule_;
   HflOptions options_;
 
-  nn::Sequential model_;            // shared scratch model
+  nn::Sequential model_;            // shared scratch model (serial path)
   std::size_t param_count_ = 0;
   std::vector<float> global_;       // w^t
   std::vector<std::vector<float>> edge_models_;  // w_n^t
-  std::vector<float> scratch_params_;
   CommunicationCost cost_;
   common::Rng engine_rng_;
   std::vector<common::Rng> device_rngs_;  // local minibatch randomness
+
+  // Parallel execution runtime (null in serial mode, i.e. threads <= 1).
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<runtime::ModelReplicaPool> replicas_;
+  std::vector<std::uint32_t> sampled_;     // per-edge realised Bernoulli draws
+  std::vector<DeviceSlot> device_slots_;   // one per sampled device, reused
+  std::vector<nn::StepStats> eval_slots_;  // one per evaluation chunk, reused
 
   obs::RunObserver* observer_ = nullptr;  // non-owning; see set_observer
   obs::PhaseTimerSet timers_;

@@ -71,7 +71,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  for (auto& [name, counter] : counter_index_) *counter = Counter{};
+  for (auto& [name, counter] : counter_index_) counter->reset();
   for (auto& [name, gauge] : gauge_index_) *gauge = Gauge{};
   for (auto& [name, histogram] : histogram_index_) {
     *histogram = Histogram(histogram->bounds());

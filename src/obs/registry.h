@@ -9,6 +9,7 @@
 // the JSONL trace writer embeds a snapshot in its run_end record.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -17,14 +18,22 @@
 
 namespace mach::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Increments are lock-free and safe
+/// from concurrent threads (the runtime subsystem's parallel sections may
+/// touch counters from workers); reads are exact once the incrementing
+/// section has joined.
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
-  std::uint64_t value() const noexcept { return value_; }
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-write-wins scalar (e.g. "current learning rate").

@@ -1,0 +1,98 @@
+#include "runtime/thread_pool.h"
+
+#include <stdexcept>
+
+namespace mach::runtime {
+
+namespace {
+/// Set for the lifetime of every pool worker thread; parallel_for consults
+/// it to reject nested sections from any pool.
+thread_local bool tls_inside_worker = false;
+}  // namespace
+
+bool ThreadPool::inside_worker() noexcept { return tls_inside_worker; }
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    throw std::invalid_argument("ThreadPool: zero workers (resolve_threads first)");
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_inside_worker = true;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, and nothing left to drain
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    run_task(task);
+  }
+}
+
+void ThreadPool::run_task(const Task& task) {
+  std::exception_ptr error;
+  try {
+    for (std::size_t i = task.begin; i < task.end; ++i) (*fn_)(i, task.slot);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  bool section_finished = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !first_error_) first_error_ = error;
+    section_finished = --unfinished_ == 0;
+  }
+  if (section_finished) section_done_.notify_all();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (tls_inside_worker) {
+    throw std::logic_error("ThreadPool: nested parallel_for from a worker");
+  }
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t slices = std::min(count, num_workers());
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    first_error_ = nullptr;
+    unfinished_ = slices;
+    for (std::size_t k = 0; k < slices; ++k) {
+      // Even static partition: slice k covers the half-open index range
+      // [begin + k*count/slices, begin + (k+1)*count/slices).
+      queue_.push_back(Task{begin + k * count / slices,
+                            begin + (k + 1) * count / slices, k});
+    }
+  }
+  work_available_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    section_done_.wait(lock, [this] { return unfinished_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+    fn_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mach::runtime

@@ -1,0 +1,28 @@
+#include "runtime/worker_context.h"
+
+#include <stdexcept>
+
+namespace mach::runtime {
+
+ModelReplicaPool::ModelReplicaPool(const ModelBuilder& build, std::size_t slots) {
+  if (slots == 0) throw std::invalid_argument("ModelReplicaPool: zero slots");
+  if (!build) throw std::invalid_argument("ModelReplicaPool: empty model builder");
+  replicas_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    replicas_.push_back(Replica{build(), 0});
+  }
+}
+
+nn::Sequential& ModelReplicaPool::synced_model(std::size_t slot) {
+  if (published_ == nullptr) {
+    throw std::logic_error("ModelReplicaPool: synced_model before publish");
+  }
+  Replica& replica = replicas_[slot];
+  if (replica.seen_generation != generation_) {
+    replica.model.set_parameters(*published_);
+    replica.seen_generation = generation_;
+  }
+  return replica.model;
+}
+
+}  // namespace mach::runtime

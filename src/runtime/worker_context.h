@@ -1,0 +1,68 @@
+// Per-slot model replicas for parallel sections.
+//
+// The simulator historically reused ONE scratch nn::Sequential for every
+// device (swapping flat parameter vectors in and out). Under the thread
+// pool each slice needs its own scratch model — forward/backward scribbles
+// on layer activations — so this pool builds one structurally identical
+// replica per slot from the same factory the simulator's own model came
+// from. Replicas are never He-initialised: callers always set_parameters()
+// before use (directly for device training, or lazily via synced_model()
+// for evaluation sharding), so a replica's compute is bit-identical to the
+// serial scratch model's.
+//
+// Thread-safety contract: publish() runs on the coordinating thread strictly
+// between parallel sections; synced_model(slot)/model(slot) are called with
+// distinct slots by distinct slices inside a section. The ThreadPool's queue
+// mutex orders publish() before any worker reads, so no further
+// synchronisation is needed here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace mach::runtime {
+
+/// Builds one fresh untrained model (mirrors hfl::ModelFactory without
+/// depending on the hfl layer).
+using ModelBuilder = std::function<nn::Sequential()>;
+
+class ModelReplicaPool {
+ public:
+  /// Builds `slots` replicas up front (>= 1).
+  ModelReplicaPool(const ModelBuilder& build, std::size_t slots);
+
+  std::size_t size() const noexcept { return replicas_.size(); }
+
+  /// Publishes the flat parameter vector every subsequent synced_model()
+  /// call must see. `params` is borrowed: it must outlive the sections run
+  /// against it and stay unchanged while they run.
+  void publish(const std::vector<float>* params) noexcept {
+    published_ = params;
+    ++generation_;
+  }
+
+  /// The slot's replica, parameters lazily synced to the published vector
+  /// (a replica that already saw this publish() generation is returned
+  /// as-is, so repeated sections against the same parameters pay one copy
+  /// per slot in total).
+  nn::Sequential& synced_model(std::size_t slot);
+
+  /// The slot's replica untouched — for callers that set parameters
+  /// themselves (device training sets the edge model per device anyway).
+  nn::Sequential& model(std::size_t slot) noexcept { return replicas_[slot].model; }
+
+ private:
+  struct Replica {
+    nn::Sequential model;
+    std::uint64_t seen_generation = 0;
+  };
+
+  std::vector<Replica> replicas_;
+  const std::vector<float>* published_ = nullptr;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace mach::runtime
