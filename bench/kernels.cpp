@@ -1,0 +1,214 @@
+// Kernel-layer microbench: blocked GEMM vs the retained reference kernels
+// over the paper-shaped sizes (every conv/dense GEMM of the MNIST cnn2 and
+// CIFAR-10 cnn3 forward and backward passes, plus a square point), with a
+// per-shape exact-equality spot check. Results are printed as a table and
+// written as BENCH_kernels.json.
+//
+//   ./kernels [--min_ms 150] [--out BENCH_kernels.json]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "obs/json.h"
+#include "tensor/kernels/kernels.h"
+
+namespace {
+
+using namespace mach;
+namespace kern = tensor::kernels;
+
+enum class Op { Nn, Tn, Nt };
+
+struct Case {
+  std::string name;   // e.g. "cifar_conv2_fwd"
+  std::string group;  // "mnist", "cifar" or "square"
+  Op op;
+  std::size_t m, k, n;
+};
+
+struct Result {
+  Case shape;
+  double ref_gflops = 0.0;
+  double blocked_gflops = 0.0;
+  double speedup = 0.0;
+  bool exact = false;
+};
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Nn: return "nn";
+    case Op::Tn: return "tn";
+    case Op::Nt: return "nt";
+  }
+  return "?";
+}
+
+// A and B storage sizes depend on the op (tn stores A as [k,m], nt stores B
+// as [n,k]); C is always m x n.
+void run_op(Op op, bool blocked, const float* a, const float* b, float* c,
+            std::size_t m, std::size_t k, std::size_t n) {
+  switch (op) {
+    case Op::Nn:
+      (blocked ? kern::gemm_nn : kern::ref::gemm_nn)(
+          {a, m, k}, {b, k, n}, {c, m, n}, false, nullptr, nullptr);
+      break;
+    case Op::Tn:
+      (blocked ? kern::gemm_tn : kern::ref::gemm_tn)({a, k, m}, {b, k, n},
+                                                     {c, m, n}, false);
+      break;
+    case Op::Nt:
+      (blocked ? kern::gemm_nt : kern::ref::gemm_nt)({a, m, k}, {b, n, k},
+                                                     {c, m, n}, false);
+      break;
+  }
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Times one implementation: doubles the repetition count until the batch
+/// takes at least min_ms, then reports seconds per call from the final batch.
+double time_impl(Op op, bool blocked, const float* a, const float* b, float* c,
+                 std::size_t m, std::size_t k, std::size_t n, double min_ms) {
+  run_op(op, blocked, a, b, c, m, k, n);  // warm-up (pack buffers, caches)
+  for (std::size_t reps = 1;; reps *= 2) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) run_op(op, blocked, a, b, c, m, k, n);
+    const double elapsed = seconds_since(start);
+    if (elapsed * 1000.0 >= min_ms || reps > (1u << 28)) {
+      return elapsed / static_cast<double>(reps);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Kernel microbench: blocked vs reference GEMM over paper-shaped sizes.");
+  cli.add_flag("min_ms", static_cast<std::int64_t>(150),
+               "minimum milliseconds of measured work per timing point");
+  cli.add_flag("out", std::string("BENCH_kernels.json"), "JSON output path");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  const double min_ms = static_cast<double>(cli.get_int("min_ms"));
+
+  // GEMM shapes of the paper's models (batch 32 for the dense layers):
+  //   mnist cnn2 on 1x28x28, cifar cnn3 on 3x32x32 (see nn/factory.cpp).
+  // Forward = nn, weight-gradient = nt, column-gradient = tn.
+  const std::vector<Case> cases = {
+      {"mnist_conv1_fwd", "mnist", Op::Nn, 8, 9, 784},
+      {"mnist_conv2_fwd", "mnist", Op::Nn, 16, 72, 196},
+      {"mnist_dense1_fwd", "mnist", Op::Nn, 32, 784, 32},
+      {"mnist_dense2_fwd", "mnist", Op::Nn, 32, 32, 10},
+      {"mnist_conv2_dw", "mnist", Op::Nt, 16, 196, 72},
+      {"mnist_conv2_dcols", "mnist", Op::Tn, 72, 16, 196},
+      {"cifar_conv1_fwd", "cifar", Op::Nn, 8, 27, 1024},
+      {"cifar_conv2_fwd", "cifar", Op::Nn, 16, 72, 256},
+      {"cifar_conv3_fwd", "cifar", Op::Nn, 32, 144, 64},
+      {"cifar_dense1_fwd", "cifar", Op::Nn, 32, 512, 64},
+      {"cifar_conv1_dw", "cifar", Op::Nt, 8, 1024, 27},
+      {"cifar_conv2_dw", "cifar", Op::Nt, 16, 256, 72},
+      {"cifar_conv2_dcols", "cifar", Op::Tn, 72, 16, 256},
+      {"cifar_dense1_dw", "cifar", Op::Tn, 512, 32, 64},
+      {"cifar_dense1_dx", "cifar", Op::Nt, 32, 64, 512},
+      {"square_256", "square", Op::Nn, 256, 256, 256},
+  };
+
+  common::Rng rng(99);
+  std::vector<Result> results;
+  for (const auto& c : cases) {
+    std::vector<float> a(c.m * c.k), b(c.k * c.n);
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+    std::vector<float> c_ref(c.m * c.n, 0.0f), c_blk(c.m * c.n, 0.0f);
+
+    Result r;
+    r.shape = c;
+    run_op(c.op, false, a.data(), b.data(), c_ref.data(), c.m, c.k, c.n);
+    run_op(c.op, true, a.data(), b.data(), c_blk.data(), c.m, c.k, c.n);
+    r.exact = c_ref == c_blk;
+
+    const double ref_s = time_impl(c.op, false, a.data(), b.data(),
+                                   c_ref.data(), c.m, c.k, c.n, min_ms);
+    const double blk_s = time_impl(c.op, true, a.data(), b.data(),
+                                   c_blk.data(), c.m, c.k, c.n, min_ms);
+    const double flops =
+        2.0 * static_cast<double>(c.m) * static_cast<double>(c.k) *
+        static_cast<double>(c.n);
+    r.ref_gflops = flops / ref_s * 1e-9;
+    r.blocked_gflops = flops / blk_s * 1e-9;
+    r.speedup = ref_s / blk_s;
+    results.push_back(r);
+  }
+
+  common::Table table(
+      {"case", "op", "m", "k", "n", "ref GF/s", "blk GF/s", "speedup", "exact"});
+  double min_cifar_speedup = 1e9;
+  bool all_exact = true;
+  for (const auto& r : results) {
+    table.row()
+        .cell(r.shape.name)
+        .cell(op_name(r.shape.op))
+        .cell(r.shape.m)
+        .cell(r.shape.k)
+        .cell(r.shape.n)
+        .cell(r.ref_gflops, 2)
+        .cell(r.blocked_gflops, 2)
+        .cell(r.speedup, 2)
+        .cell(r.exact ? "yes" : "NO");
+    if (r.shape.group == "cifar") {
+      min_cifar_speedup = std::min(min_cifar_speedup, r.speedup);
+    }
+    all_exact = all_exact && r.exact;
+  }
+  std::cout << "=== kernel microbench (blocked vs reference) ===\n";
+  table.print(std::cout);
+  std::cout << "\nmin speedup over CIFAR-shaped GEMMs: " << min_cifar_speedup
+            << "x; exact equality: " << (all_exact ? "yes" : "NO") << "\n";
+
+  std::string json_results = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    obs::JsonObjectWriter w;
+    w.begin();
+    w.field("case", r.shape.name);
+    w.field("group", r.shape.group);
+    w.field("op", op_name(r.shape.op));
+    w.field("m", static_cast<std::uint64_t>(r.shape.m));
+    w.field("k", static_cast<std::uint64_t>(r.shape.k));
+    w.field("n", static_cast<std::uint64_t>(r.shape.n));
+    w.field("ref_gflops", r.ref_gflops);
+    w.field("blocked_gflops", r.blocked_gflops);
+    w.field("speedup", r.speedup);
+    w.field("exact_match", r.exact);
+    if (i != 0) json_results += ',';
+    json_results += w.end();
+  }
+  json_results += ']';
+
+  obs::JsonObjectWriter w;
+  w.begin();
+  w.field("bench", "kernels");
+  w.field("min_ms", min_ms);
+  w.field("min_cifar_speedup", min_cifar_speedup);
+  w.field("all_exact", all_exact);
+  w.raw_field("results", json_results);
+
+  const std::string out_path = cli.get_string("out");
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << w.end() << "\n";
+  std::cout << "results written to " << out_path << "\n";
+  return all_exact ? 0 : 1;
+}

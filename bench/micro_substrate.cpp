@@ -45,7 +45,7 @@ void BM_Conv2dForward(benchmark::State& state) {
   const auto weight = random_tensor({16, 8, 3, 3}, rng);
   const auto bias = random_tensor({16}, rng);
   tensor::Tensor output({8, 16, 12, 12});
-  tensor::Tensor scratch;
+  tensor::ScratchArena scratch;
   for (auto _ : state) {
     tensor::conv2d_forward(input, weight, bias, spec, output, scratch);
     benchmark::DoNotOptimize(output.data());

@@ -6,6 +6,7 @@
 #   ./scripts/ci.sh              # build into ./build (default)
 #   BUILD_DIR=ci-build ./scripts/ci.sh
 #   TSAN=0 ./scripts/ci.sh       # skip the ThreadSanitizer stage
+#   UBSAN=0 ./scripts/ci.sh      # skip the UBSan kernels-equivalence stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +29,27 @@ trap 'rm -f "$trace"' EXIT
 "$BUILD_DIR/examples/experiment_runner" \
   --devices 8 --edges 2 --steps 10 --local_epochs 2 --trace "$trace" > /dev/null
 "$BUILD_DIR/tools/trace_summary" "$trace" > /dev/null
+
+echo "== kernels microbench smoke =="
+# Tiny time budget: checks the bench runs end-to-end and that blocked and
+# reference kernels agree exactly (nonzero exit on mismatch). The committed
+# BENCH_kernels.json is produced by a full run (default --min_ms).
+kernels_json="$(mktemp -t hfl_kernels_XXXXXX.json)"
+trap 'rm -f "$trace" "$kernels_json"' EXIT
+"$BUILD_DIR/bench/kernels" --min_ms 2 --out "$kernels_json" > /dev/null
+
+if [ "${UBSAN:-1}" != "0" ]; then
+  # Undefined-behaviour check over the kernel layer: a separate UBSan build
+  # running the blocked-vs-reference equivalence suite (pointer arithmetic,
+  # masked edge tiles and the packed-panel indexing are the risky parts).
+  echo "== undefined behaviour sanitizer (kernels) =="
+  UBSAN_DIR="${UBSAN_DIR:-${BUILD_DIR}-ubsan}"
+  cmake -B "$UBSAN_DIR" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor
+  "$UBSAN_DIR/tests/test_tensor"
+fi
 
 if [ "${TSAN:-1}" != "0" ]; then
   # Data-race check over the runtime subsystem: a separate TSan build of the

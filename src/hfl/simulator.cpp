@@ -6,6 +6,7 @@
 
 #include "nn/sgd.h"
 #include "runtime/chunking.h"
+#include "tensor/kernels/kernels.h"
 
 namespace mach::hfl {
 
@@ -414,14 +415,13 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         const obs::Stopwatch accumulate_watch;
         if (options_.aggregation == AggregationForm::UpdateForm) {
           // HT-weighted deltas (the form the paper's proof analyses).
-          for (std::size_t j = 0; j < param_count_; ++j) {
-            aggregate[j] += weight * (device_slot.params[j] - edge_model[j]);
-          }
+          tensor::kernels::axpy_delta(param_count_, weight,
+                                      device_slot.params.data(),
+                                      edge_model.data(), aggregate.data());
         } else {
           // HT-weighted parameters (Eq. 5).
-          for (std::size_t j = 0; j < param_count_; ++j) {
-            aggregate[j] += weight * device_slot.params[j];
-          }
+          tensor::kernels::axpy(param_count_, weight,
+                                device_slot.params.data(), aggregate.data());
         }
         aggregate_seconds += accumulate_watch.seconds();
       }
@@ -436,15 +436,13 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
             break;
           case AggregationForm::SelfNormalized: {
             const auto inv = static_cast<float>(1.0 / weight_total);
-            for (std::size_t j = 0; j < param_count_; ++j) {
-              edge_model[j] = aggregate[j] * inv;
-            }
+            tensor::kernels::scale_copy(param_count_, inv, aggregate.data(),
+                                        edge_model.data());
             break;
           }
           case AggregationForm::UpdateForm:
-            for (std::size_t j = 0; j < param_count_; ++j) {
-              edge_model[j] += aggregate[j];
-            }
+            tensor::kernels::vadd(param_count_, aggregate.data(),
+                                  edge_model.data());
             break;
         }
         aggregate_seconds += fold_watch.seconds();
@@ -485,9 +483,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           if (weight == 0.0) continue;
           const auto w = static_cast<float>(weight);
           const auto& edge_model = edge_models_[n];
-          for (std::size_t j = 0; j < param_count_; ++j) {
-            global_[j] += w * edge_model[j];
-          }
+          tensor::kernels::axpy(param_count_, w, edge_model.data(),
+                                global_.data());
         }
         for (auto& edge_model : edge_models_) edge_model = global_;
         cloud_seconds = timer.elapsed_seconds();

@@ -1,5 +1,6 @@
 #include "nn/activations.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "tensor/ops.h"
@@ -46,8 +47,10 @@ const tensor::Tensor& Flatten::forward(const tensor::Tensor& input) {
   input_shape_ = input.shape();
   const std::size_t batch = input.dim(0);
   const std::size_t features = input.numel() / batch;
-  output_ = tensor::Tensor({batch, features},
-                           std::vector<float>(input.flat().begin(), input.flat().end()));
+  if (output_.rank() != 2 || output_.dim(0) != batch || output_.dim(1) != features) {
+    output_ = tensor::Tensor({batch, features});
+  }
+  std::copy(input.flat().begin(), input.flat().end(), output_.flat().begin());
   return output_;
 }
 
@@ -55,9 +58,11 @@ const tensor::Tensor& Flatten::backward(const tensor::Tensor& grad_output) {
   if (grad_output.numel() != tensor::Tensor::shape_numel(input_shape_)) {
     throw std::invalid_argument("Flatten::backward: element count mismatch");
   }
-  grad_input_ = tensor::Tensor(
-      input_shape_,
-      std::vector<float>(grad_output.flat().begin(), grad_output.flat().end()));
+  if (grad_input_.shape() != input_shape_) {
+    grad_input_ = tensor::Tensor(input_shape_);
+  }
+  std::copy(grad_output.flat().begin(), grad_output.flat().end(),
+            grad_input_.flat().begin());
   return grad_input_;
 }
 

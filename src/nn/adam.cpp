@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "tensor/kernels/kernels.h"
+
 namespace mach::nn {
 
 void Adam::step(Sequential& model) {
-  auto refs = model.params();
+  const auto& refs = model.param_refs();
   if (first_moments_.size() != refs.size()) {
     first_moments_.assign(refs.size(), {});
     second_moments_.assign(refs.size(), {});
@@ -28,14 +30,9 @@ void Adam::step(Sequential& model) {
       m.assign(values.size(), 0.0f);
       v.assign(values.size(), 0.0f);
     }
-    for (std::size_t j = 0; j < values.size(); ++j) {
-      const float g = grads[j] + wd * values[j];
-      m[j] = static_cast<float>(b1 * m[j] + (1.0 - b1) * g);
-      v[j] = static_cast<float>(b2 * v[j] + (1.0 - b2) * g * g);
-      const double m_hat = m[j] / correction1;
-      const double v_hat = v[j] / correction2;
-      values[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
-    }
+    tensor::kernels::adam_step(values.size(), lr, b1, b2, correction1,
+                               correction2, eps, wd, grads.data(), m.data(),
+                               v.data(), values.data());
   }
 }
 

@@ -39,7 +39,7 @@ const tensor::Tensor& Conv2D::forward(const tensor::Tensor& input) {
       output_.dim(3) != ow) {
     output_ = tensor::Tensor({batch, spec_.out_channels, oh, ow});
   }
-  tensor::conv2d_forward(input_, weight_, bias_, spec_, output_, scratch_cols_);
+  tensor::conv2d_forward(input_, weight_, bias_, spec_, output_, arena_);
   return output_;
 }
 
@@ -51,8 +51,7 @@ const tensor::Tensor& Conv2D::backward(const tensor::Tensor& grad_output) {
     grad_input_ = tensor::Tensor(input_.shape());
   }
   tensor::conv2d_backward(input_, weight_, grad_output, spec_, grad_input_,
-                          grad_weight_, grad_bias_, scratch_cols_,
-                          scratch_grad_cols_);
+                          grad_weight_, grad_bias_, arena_);
   return grad_input_;
 }
 

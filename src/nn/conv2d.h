@@ -19,6 +19,7 @@ class Conv2D final : public Layer {
   std::string name() const override { return "Conv2D"; }
 
   const tensor::ConvSpec& spec() const noexcept { return spec_; }
+  const tensor::ScratchArena* scratch_arena() const override { return &arena_; }
 
  private:
   tensor::ConvSpec spec_;
@@ -29,8 +30,7 @@ class Conv2D final : public Layer {
   tensor::Tensor input_;
   tensor::Tensor output_;
   tensor::Tensor grad_input_;
-  tensor::Tensor scratch_cols_;
-  tensor::Tensor scratch_grad_cols_;
+  tensor::ScratchArena arena_;  // im2col cols + grad-cols scratch
 };
 
 }  // namespace mach::nn

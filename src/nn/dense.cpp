@@ -32,8 +32,7 @@ const tensor::Tensor& Dense::forward(const tensor::Tensor& input) {
   if (output_.rank() != 2 || output_.dim(0) != batch || output_.dim(1) != out_) {
     output_ = tensor::Tensor({batch, out_});
   }
-  tensor::gemm(input_, weight_, output_);
-  tensor::add_row_bias(output_, bias_);
+  tensor::linear_forward(input_, weight_, bias_, output_);
   return output_;
 }
 

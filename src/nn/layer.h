@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace mach::nn {
@@ -46,6 +47,11 @@ class Layer {
   /// Toggles training-time behaviour (Dropout noise on/off). Most layers
   /// behave identically in both modes and ignore this.
   virtual void set_training(bool /*training*/) {}
+
+  /// The layer's scratch arena, if it owns one (Conv2D does). Exposed so the
+  /// allocation test can assert the arenas stop growing once training is
+  /// warm.
+  virtual const tensor::ScratchArena* scratch_arena() const { return nullptr; }
 
   virtual std::string name() const = 0;
 

@@ -8,6 +8,7 @@ namespace mach::nn {
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
+  param_refs_valid_ = false;
   return *this;
 }
 
@@ -46,7 +47,9 @@ StepStats Sequential::forward_backward(const tensor::Tensor& input,
     grad = &(*it)->backward(*grad);
   }
 
-  for (ParamRef ref : params()) stats.grad_squared_norm += ref.grad->squared_norm();
+  for (const ParamRef& ref : param_refs()) {
+    stats.grad_squared_norm += ref.grad->squared_norm();
+  }
   return stats;
 }
 
@@ -70,16 +73,34 @@ std::vector<ParamRef> Sequential::params() {
   return refs;
 }
 
+const std::vector<ParamRef>& Sequential::param_refs() {
+  if (!param_refs_valid_) {
+    cached_param_refs_ = params();
+    param_refs_valid_ = true;
+  }
+  return cached_param_refs_;
+}
+
+std::size_t Sequential::scratch_grow_events() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    if (const tensor::ScratchArena* arena = layer->scratch_arena()) {
+      total += arena->stats().grow_events;
+    }
+  }
+  return total;
+}
+
 std::size_t Sequential::num_parameters() {
   std::size_t total = 0;
-  for (ParamRef ref : params()) total += ref.value->numel();
+  for (const ParamRef& ref : param_refs()) total += ref.value->numel();
   return total;
 }
 
 std::vector<float> Sequential::get_parameters() {
   std::vector<float> flat;
   flat.reserve(num_parameters());
-  for (ParamRef ref : params()) {
+  for (const ParamRef& ref : param_refs()) {
     flat.insert(flat.end(), ref.value->flat().begin(), ref.value->flat().end());
   }
   return flat;
@@ -87,7 +108,7 @@ std::vector<float> Sequential::get_parameters() {
 
 void Sequential::set_parameters(std::span<const float> flat) {
   std::size_t offset = 0;
-  for (ParamRef ref : params()) {
+  for (const ParamRef& ref : param_refs()) {
     const std::size_t count = ref.value->numel();
     if (offset + count > flat.size()) {
       throw std::invalid_argument("Sequential::set_parameters: vector too short");
@@ -105,7 +126,7 @@ void Sequential::set_parameters(std::span<const float> flat) {
 std::vector<float> Sequential::get_gradients() {
   std::vector<float> flat;
   flat.reserve(num_parameters());
-  for (ParamRef ref : params()) {
+  for (const ParamRef& ref : param_refs()) {
     flat.insert(flat.end(), ref.grad->flat().begin(), ref.grad->flat().end());
   }
   return flat;

@@ -50,6 +50,16 @@ class Sequential {
   /// All parameter handles across layers, in layer order.
   std::vector<ParamRef> params();
 
+  /// Cached parameter handles (built once, invalidated by add()). The hot
+  /// path — forward_backward's grad-norm reduction and the optimiser steps —
+  /// uses this instead of params() so steady-state training allocates
+  /// nothing.
+  const std::vector<ParamRef>& param_refs();
+
+  /// Sum of scratch-arena grow events across layers. Flat once training is
+  /// warm; the allocation test asserts this.
+  std::size_t scratch_grow_events() const;
+
   /// Total number of scalar parameters.
   std::size_t num_parameters();
 
@@ -64,6 +74,8 @@ class Sequential {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<ParamRef> cached_param_refs_;
+  bool param_refs_valid_ = false;
   tensor::Tensor probs_;
   tensor::Tensor grad_logits_;
 };

@@ -1,9 +1,11 @@
 #include "nn/sgd.h"
 
+#include "tensor/kernels/kernels.h"
+
 namespace mach::nn {
 
 void Sgd::step(Sequential& model) {
-  auto refs = model.params();
+  const auto& refs = model.param_refs();
   if (options_.momentum != 0.0 && velocities_.size() != refs.size()) {
     velocities_.assign(refs.size(), {});
   }
@@ -16,15 +18,12 @@ void Sgd::step(Sequential& model) {
     if (mu != 0.0f) {
       auto& velocity = velocities_[i];
       if (velocity.size() != values.size()) velocity.assign(values.size(), 0.0f);
-      for (std::size_t j = 0; j < values.size(); ++j) {
-        const float g = grads[j] + wd * values[j];
-        velocity[j] = mu * velocity[j] + g;
-        values[j] -= lr * velocity[j];
-      }
+      tensor::kernels::sgd_momentum_step(values.size(), lr, mu, wd,
+                                         grads.data(), velocity.data(),
+                                         values.data());
     } else {
-      for (std::size_t j = 0; j < values.size(); ++j) {
-        values[j] -= lr * (grads[j] + wd * values[j]);
-      }
+      tensor::kernels::sgd_step(values.size(), lr, wd, grads.data(),
+                                values.data());
     }
   }
 }

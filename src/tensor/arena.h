@@ -1,0 +1,63 @@
+// Bump-allocated float scratch space for the conv/dense hot path.
+//
+// A ScratchArena owns one contiguous float buffer and hands out sub-spans via
+// a bump pointer. Layers reserve their worst-case footprint on first use (or
+// when the batch shape grows); afterwards every training step re-uses the
+// same storage — reset() just rewinds the bump pointer — so the steady-state
+// hot path performs zero heap allocations (asserted by
+// tests/nn/test_allocation.cpp).
+//
+// Pointer-stability rule: alloc() grows the backing store when the request
+// exceeds the remaining capacity, which invalidates pointers from earlier
+// alloc() calls in the same reset() cycle. Callers that take multiple
+// allocations per cycle must reserve() the combined footprint first; the
+// grow-event counter in stats() makes violations observable (it must stay
+// flat once training is warm).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mach::tensor {
+
+class ScratchArena {
+ public:
+  struct Stats {
+    std::size_t capacity_floats = 0;   // backing-store size
+    std::size_t high_water_floats = 0; // max bytes live at once (in floats)
+    std::size_t grow_events = 0;       // backing-store reallocations
+  };
+
+  /// Ensures the backing store holds at least `floats` floats. Growing counts
+  /// as a grow event; shrinking never happens.
+  void reserve(std::size_t floats) {
+    if (floats > storage_.size()) {
+      storage_.resize(floats);
+      ++stats_.grow_events;
+      stats_.capacity_floats = storage_.size();
+    }
+  }
+
+  /// Returns a `floats`-sized span of uninitialised scratch. Grows on demand
+  /// (see the pointer-stability rule above).
+  float* alloc(std::size_t floats) {
+    const std::size_t offset = used_;
+    used_ += floats;
+    if (used_ > storage_.size()) reserve(used_);
+    if (used_ > stats_.high_water_floats) stats_.high_water_floats = used_;
+    return storage_.data() + offset;
+  }
+
+  /// Rewinds the bump pointer; the backing store is retained.
+  void reset() noexcept { used_ = 0; }
+
+  std::size_t used() const noexcept { return used_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<float> storage_;
+  std::size_t used_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mach::tensor

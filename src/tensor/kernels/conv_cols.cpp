@@ -1,0 +1,138 @@
+// Production im2col / col2im with the padded border split from the interior.
+//
+// The reference kernels test `iy`/`ix` bounds per element inside the inner
+// loop. Here, for each (channel, ky, kx) row of the cols matrix we solve the
+// bounds once:
+//
+//   iy = oy * stride + ky - pad  must lie in [0, height)
+//   ix = ox * stride + kx - pad  must lie in [0, width)
+//
+// giving half-open valid ranges [oy_lo, oy_hi) x [ox_lo, ox_hi). Everything
+// outside is the zero-padded border (zero-filled by im2col, contributing
+// nothing in col2im); the interior is a contiguous row copy for stride 1 and
+// a branch-free strided copy otherwise.
+//
+// Determinism: im2col writes each destination element exactly once (same
+// values as the reference); col2im performs exactly the additions the
+// reference performs — the skipped border iterations are precisely the ones
+// the reference `continue`d past — in the same (ch, ky, kx, oy, ox) order,
+// so the accumulation chains into grad_image are identical.
+#include "tensor/kernels/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mach::tensor::kernels {
+
+namespace {
+
+/// Valid half-open output range [lo, hi) for one kernel offset: the set of
+/// `o` with 0 <= o * stride + offset < extent, clamped to [0, out_extent).
+struct ValidRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+ValidRange valid_range(std::ptrdiff_t offset, std::size_t stride,
+                       std::size_t extent, std::size_t out_extent) {
+  const auto sstride = static_cast<std::ptrdiff_t>(stride);
+  std::ptrdiff_t lo = 0;
+  if (offset < 0) lo = (-offset + sstride - 1) / sstride;
+  const std::ptrdiff_t last = static_cast<std::ptrdiff_t>(extent) - 1 - offset;
+  if (last < 0) return {0, 0};
+  const std::ptrdiff_t hi =
+      std::min(last / sstride + 1, static_cast<std::ptrdiff_t>(out_extent));
+  if (hi <= lo) return {0, 0};
+  return {static_cast<std::size_t>(lo), static_cast<std::size_t>(hi)};
+}
+
+}  // namespace
+
+void im2col(const float* image, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t pad,
+            std::size_t stride, float* cols) {
+  const std::size_t oh = (height + 2 * pad - kernel) / stride + 1;
+  const std::size_t ow = (width + 2 * pad - kernel) / stride + 1;
+  const std::size_t ncols = oh * ow;
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    const float* plane = image + ch * height * width;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      const auto dy = static_cast<std::ptrdiff_t>(ky) -
+                      static_cast<std::ptrdiff_t>(pad);
+      const ValidRange ry = valid_range(dy, stride, height, oh);
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        const auto dx = static_cast<std::ptrdiff_t>(kx) -
+                        static_cast<std::ptrdiff_t>(pad);
+        const ValidRange rx = valid_range(dx, stride, width, ow);
+        float* dst = cols + ((ch * kernel + ky) * kernel + kx) * ncols;
+        if (ry.lo == ry.hi || rx.lo == rx.hi) {
+          std::fill_n(dst, ncols, 0.0f);
+          continue;
+        }
+        std::fill_n(dst, ry.lo * ow, 0.0f);
+        std::fill_n(dst + ry.hi * ow, (oh - ry.hi) * ow, 0.0f);
+        for (std::size_t oy = ry.lo; oy < ry.hi; ++oy) {
+          const std::size_t iy = static_cast<std::size_t>(
+              static_cast<std::ptrdiff_t>(oy * stride) + dy);
+          const float* src_row = plane + iy * width;
+          float* dst_row = dst + oy * ow;
+          std::fill_n(dst_row, rx.lo, 0.0f);
+          std::fill_n(dst_row + rx.hi, ow - rx.hi, 0.0f);
+          if (stride == 1) {
+            const std::size_t ix0 = static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(rx.lo) + dx);
+            std::memcpy(dst_row + rx.lo, src_row + ix0,
+                        (rx.hi - rx.lo) * sizeof(float));
+          } else {
+            for (std::size_t ox = rx.lo; ox < rx.hi; ++ox) {
+              dst_row[ox] = src_row[static_cast<std::size_t>(
+                  static_cast<std::ptrdiff_t>(ox * stride) + dx)];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t pad,
+            std::size_t stride, float* grad_image) {
+  const std::size_t oh = (height + 2 * pad - kernel) / stride + 1;
+  const std::size_t ow = (width + 2 * pad - kernel) / stride + 1;
+  const std::size_t ncols = oh * ow;
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    float* plane = grad_image + ch * height * width;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      const auto dy = static_cast<std::ptrdiff_t>(ky) -
+                      static_cast<std::ptrdiff_t>(pad);
+      const ValidRange ry = valid_range(dy, stride, height, oh);
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        const auto dx = static_cast<std::ptrdiff_t>(kx) -
+                        static_cast<std::ptrdiff_t>(pad);
+        const ValidRange rx = valid_range(dx, stride, width, ow);
+        const float* src = cols + ((ch * kernel + ky) * kernel + kx) * ncols;
+        for (std::size_t oy = ry.lo; oy < ry.hi; ++oy) {
+          const std::size_t iy =
+              static_cast<std::size_t>(static_cast<std::ptrdiff_t>(oy * stride) + dy);
+          float* dst_row = plane + iy * width;
+          const float* src_row = src + oy * ow;
+          if (stride == 1) {
+            const std::size_t base = static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(rx.lo) + dx);
+            for (std::size_t ox = rx.lo; ox < rx.hi; ++ox) {
+              dst_row[base + (ox - rx.lo)] += src_row[ox];
+            }
+          } else {
+            for (std::size_t ox = rx.lo; ox < rx.hi; ++ox) {
+              dst_row[static_cast<std::size_t>(
+                  static_cast<std::ptrdiff_t>(ox * stride) + dx)] += src_row[ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mach::tensor::kernels

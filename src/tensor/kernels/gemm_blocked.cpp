@@ -1,0 +1,328 @@
+// Register-blocked, cache-tiled GEMM kernels.
+//
+// Structure (classic BLIS-style, single-threaded):
+//   * the driver tiles N into NC panels, K into KC blocks and M into MC
+//     blocks, packing the B panel (KC x NC, interleaved in NR-wide strips)
+//     and the A block (MC x KC, interleaved in MR-wide strips) into
+//     thread-local scratch so the micro-kernel streams contiguous memory;
+//   * the micro-kernel computes an MR x NR register tile with branch-free
+//     constant-trip-count loops the compiler auto-vectorises (no zero-skip
+//     branch in the inner loop);
+//   * edge tiles are handled by zero-padding the packs and masking only the
+//     loads/stores, so the arithmetic stays branch-free everywhere.
+//
+// Determinism: every C element accumulates its k contributions in strictly
+// increasing p order. KC blocking spills the exact partial sum to C between
+// blocks (a lossless store/reload), so the float addition chain is identical
+// to the retained reference kernels — the equivalence suite asserts exact
+// equality, and serial-vs-parallel runs stay bitwise identical because the
+// kernels are single-threaded with a fixed order at any thread count.
+//
+// This TU is compiled with -O3 -ffp-contract=off (see src/tensor/CMakeLists):
+// contraction stays off so a fused multiply-add can never round differently
+// from the reference's separate mul+add. The kernels deliberately avoid
+// function multi-versioning (target_clones): on GCC 12 cloning de-optimises
+// the register-tiled micro-kernel (the accumulator tile is spilled to the
+// stack in the cloned bodies, costing ~10x). Baseline-ISA auto-vectorisation
+// of the constant-trip-count tile loops already beats the reference several
+// times over; builds that want host-wide vectors opt in via the
+// MACH_NATIVE_ARCH CMake option, which keeps -ffp-contract=off so results
+// stay bitwise identical.
+#include "tensor/kernels/kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+#define MACH_INLINE inline __attribute__((always_inline))
+
+namespace mach::tensor::kernels {
+
+namespace {
+
+// Thread-local pack buffers: grown on first use per thread, then reused —
+// steady-state GEMM calls perform zero heap allocations.
+std::vector<float>& tls_apack() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+std::vector<float>& tls_bpack() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+MACH_INLINE float* ensure(std::vector<float>& buf, std::size_t count) {
+  if (buf.size() < count) buf.resize(count);
+  return buf.data();
+}
+
+/// Packs an mc x kc block of A (row-major, leading dimension lda) into
+/// MR-wide strips: apack[strip][(p * kMR) + r] = block[i0 + r][p], with rows
+/// beyond mc zero-padded so the micro-kernel never branches on mr.
+MACH_INLINE void pack_a_n(const float* block, std::size_t lda, std::size_t mc,
+                          std::size_t kc, float* apack) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += kMR) {
+    const std::size_t mr = std::min(kMR, mc - i0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* dst = apack + p * kMR;
+      for (std::size_t r = 0; r < mr; ++r) dst[r] = block[(i0 + r) * lda + p];
+      for (std::size_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
+    }
+    apack += kc * kMR;
+  }
+}
+
+/// Same strip layout for a transposed-A block: the source is stored [k, m]
+/// and we pack columns ic..ic+mc of rows pc..pc+kc. Reads are contiguous.
+MACH_INLINE void pack_a_t(const float* block, std::size_t lda, std::size_t mc,
+                          std::size_t kc, float* apack) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += kMR) {
+    const std::size_t mr = std::min(kMR, mc - i0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* src = block + p * lda + i0;
+      float* dst = apack + p * kMR;
+      for (std::size_t r = 0; r < mr; ++r) dst[r] = src[r];
+      for (std::size_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
+    }
+    apack += kc * kMR;
+  }
+}
+
+/// Packs a kc x nc block of B (leading dimension ldb) into NR-wide strips:
+/// bpack[strip][(p * kNR) + j] = block[p][j0 + j], zero-padded past nc.
+MACH_INLINE void pack_b(const float* block, std::size_t ldb, std::size_t kc,
+                        std::size_t nc, float* bpack) {
+  for (std::size_t j0 = 0; j0 < nc; j0 += kNR) {
+    const std::size_t nr = std::min(kNR, nc - j0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* src = block + p * ldb + j0;
+      float* dst = bpack + p * kNR;
+      for (std::size_t j = 0; j < nr; ++j) dst[j] = src[j];
+      for (std::size_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+    }
+    bpack += kc * kNR;
+  }
+}
+
+/// Packs NR rows of B (stored [n, k], i.e. B-transposed access) over the
+/// full k into bpack[p * kNR + j] = b[(j0 + j) * k + p].
+MACH_INLINE void pack_bt(const float* rows, std::size_t k, std::size_t nr,
+                         float* bpack) {
+  for (std::size_t j = 0; j < nr; ++j) {
+    const float* src = rows + j * k;
+    for (std::size_t p = 0; p < k; ++p) bpack[p * kNR + j] = src[p];
+  }
+  for (std::size_t j = nr; j < kNR; ++j) {
+    for (std::size_t p = 0; p < k; ++p) bpack[p * kNR + j] = 0.0f;
+  }
+}
+
+/// The MR x NR micro-kernel for gemm_nn / gemm_tn. Loads the current C tile
+/// (or zero on the first k-block of a non-accumulating call), accumulates kc
+/// rank-1 updates in increasing p order, applies the optional fused bias on
+/// the final k-block, and stores.
+///
+/// kFull is the compile-time "interior tile" flag: with it set, EVERY access
+/// to the accumulator array uses constant bounds and constant indices, which
+/// lets the compiler promote the whole MR x NR tile into vector registers
+/// (4 x 8-wide) instead of spilling it to the stack each p iteration. The
+/// edge variant (kFull=false) masks loads/stores with the runtime mr/nr and
+/// only runs on the tile fringe.
+template <bool kFull>
+MACH_INLINE void micro_nn(std::size_t kc, const float* ap, const float* bp,
+                          float* ct, std::size_t ldc, std::size_t mr,
+                          std::size_t nr, bool zero_init, bool last,
+                          const float* bias_row, const float* bias_col) {
+  float acc[kMR * kNR];
+  for (std::size_t i = 0; i < kMR * kNR; ++i) acc[i] = 0.0f;
+  if (!zero_init) {
+    if constexpr (kFull) {
+      for (std::size_t r = 0; r < kMR; ++r) {
+        for (std::size_t j = 0; j < kNR; ++j) {
+          acc[r * kNR + j] = ct[r * ldc + j];
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < mr; ++r) {
+        for (std::size_t j = 0; j < nr; ++j) acc[r * kNR + j] = ct[r * ldc + j];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* apr = ap + p * kMR;
+    const float* bpr = bp + p * kNR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = apr[r];
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc[r * kNR + j] += av * bpr[j];
+      }
+    }
+  }
+  if (last && bias_row != nullptr) {
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float brv = (kFull || r < mr) ? bias_row[r] : 0.0f;
+      for (std::size_t j = 0; j < kNR; ++j) acc[r * kNR + j] += brv;
+    }
+  }
+  if (last && bias_col != nullptr) {
+    for (std::size_t r = 0; r < kMR; ++r) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc[r * kNR + j] += (kFull || j < nr) ? bias_col[j] : 0.0f;
+      }
+    }
+  }
+  if constexpr (kFull) {
+    for (std::size_t r = 0; r < kMR; ++r) {
+      for (std::size_t j = 0; j < kNR; ++j) ct[r * ldc + j] = acc[r * kNR + j];
+    }
+  } else {
+    for (std::size_t r = 0; r < mr; ++r) {
+      for (std::size_t j = 0; j < nr; ++j) ct[r * ldc + j] = acc[r * kNR + j];
+    }
+  }
+}
+
+/// Shared packed-panel driver for gemm_nn and gemm_tn (they differ only in
+/// how the A block is packed). Loop order jc -> pc -> ic keeps the k-blocks
+/// of any C element in increasing order, which the determinism contract
+/// requires.
+template <bool kTransposedA>
+MACH_INLINE void gemm_nn_tn_driver(ConstMat a, ConstMat b, Mat c,
+                                   bool accumulate, const float* bias_row,
+                                   const float* bias_col) {
+  const std::size_t m = c.rows, n = c.cols;
+  const std::size_t k = kTransposedA ? a.rows : a.cols;
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::fill_n(c.data, m * n, 0.0f);
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c.data + i * n;
+      if (bias_row != nullptr) {
+        for (std::size_t j = 0; j < n; ++j) crow[j] += bias_row[i];
+      }
+      if (bias_col != nullptr) {
+        for (std::size_t j = 0; j < n; ++j) crow[j] += bias_col[j];
+      }
+    }
+    return;
+  }
+  float* apack = ensure(tls_apack(), kMC * kKC);
+  float* bpack = ensure(tls_bpack(), kKC * kNC);
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      const bool first = pc == 0;
+      const bool last = pc + kc == k;
+      pack_b(b.data + pc * b.cols + jc, b.cols, kc, nc, bpack);
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        if constexpr (kTransposedA) {
+          pack_a_t(a.data + pc * a.cols + ic, a.cols, mc, kc, apack);
+        } else {
+          pack_a_n(a.data + ic * a.cols + pc, a.cols, mc, kc, apack);
+        }
+        for (std::size_t j0 = 0; j0 < nc; j0 += kNR) {
+          const std::size_t nr = std::min(kNR, nc - j0);
+          const float* bp = bpack + (j0 / kNR) * kc * kNR;
+          for (std::size_t i0 = 0; i0 < mc; i0 += kMR) {
+            const std::size_t mr = std::min(kMR, mc - i0);
+            const float* ap = apack + (i0 / kMR) * kc * kMR;
+            float* ct = c.data + (ic + i0) * c.cols + jc + j0;
+            const float* br = bias_row != nullptr ? bias_row + ic + i0 : nullptr;
+            const float* bc = bias_col != nullptr ? bias_col + jc + j0 : nullptr;
+            if (mr == kMR && nr == kNR) {
+              micro_nn<true>(kc, ap, bp, ct, c.cols, mr, nr,
+                             first && !accumulate, last, br, bc);
+            } else {
+              micro_nn<false>(kc, ap, bp, ct, c.cols, mr, nr,
+                              first && !accumulate, last, br, bc);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Micro-kernel for gemm_nt (dot-product form). The reference sums each
+/// element's k products into a fresh accumulator and adds it to C exactly
+/// once, so this kernel never spills partial sums to C — it runs the full k
+/// per tile (the packed full-k panels of our workload sizes stay cache
+/// resident). kFull plays the same register-promotion role as in micro_nn.
+template <bool kFull>
+MACH_INLINE void micro_nt(std::size_t k, const float* ap, const float* bp,
+                          float* ct, std::size_t ldc, std::size_t mr,
+                          std::size_t nr, bool accumulate) {
+  float acc[kMR * kNR];
+  for (std::size_t i = 0; i < kMR * kNR; ++i) acc[i] = 0.0f;
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* apr = ap + p * kMR;
+    const float* bpr = bp + p * kNR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = apr[r];
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc[r * kNR + j] += av * bpr[j];
+      }
+    }
+  }
+  if constexpr (kFull) {
+    for (std::size_t r = 0; r < kMR; ++r) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        const float base = accumulate ? ct[r * ldc + j] : 0.0f;
+        ct[r * ldc + j] = base + acc[r * kNR + j];
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < mr; ++r) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        const float base = accumulate ? ct[r * ldc + j] : 0.0f;
+        ct[r * ldc + j] = base + acc[r * kNR + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn(ConstMat a, ConstMat b, Mat c, bool accumulate,
+             const float* bias_row, const float* bias_col) {
+  gemm_nn_tn_driver<false>(a, b, c, accumulate, bias_row, bias_col);
+}
+
+void gemm_tn(ConstMat a, ConstMat b, Mat c, bool accumulate) {
+  gemm_nn_tn_driver<true>(a, b, c, accumulate, nullptr, nullptr);
+}
+
+void gemm_nt(ConstMat a, ConstMat b, Mat c, bool accumulate) {
+  const std::size_t m = a.rows, k = a.cols, n = b.rows;
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    for (std::size_t i = 0; i < m * n; ++i) {
+      const float base = accumulate ? c.data[i] : 0.0f;
+      c.data[i] = base + 0.0f;
+    }
+    return;
+  }
+  // A is packed once over the full k (rows are reused for every column
+  // panel); B rows are packed per NR panel.
+  const std::size_t mpanels = (m + kMR - 1) / kMR;
+  float* apack = ensure(tls_apack(), mpanels * kMR * k);
+  float* bpack = ensure(tls_bpack(), kNR * k);
+  pack_a_n(a.data, k, m, k, apack);
+  for (std::size_t j0 = 0; j0 < n; j0 += kNR) {
+    const std::size_t nr = std::min(kNR, n - j0);
+    pack_bt(b.data + j0 * k, k, nr, bpack);
+    for (std::size_t i0 = 0; i0 < m; i0 += kMR) {
+      const std::size_t mr = std::min(kMR, m - i0);
+      const float* ap = apack + (i0 / kMR) * k * kMR;
+      float* ct = c.data + i0 * c.cols + j0;
+      if (mr == kMR && nr == kNR) {
+        micro_nt<true>(k, ap, bpack, ct, c.cols, mr, nr, accumulate);
+      } else {
+        micro_nt<false>(k, ap, bpack, ct, c.cols, mr, nr, accumulate);
+      }
+    }
+  }
+}
+
+}  // namespace mach::tensor::kernels

@@ -5,13 +5,20 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/kernels/kernels.h"
+
 namespace mach::tensor {
 
 namespace {
 
+namespace kern = kernels;
+
 void check_rank2(const Tensor& t, const char* what) {
   if (t.rank() != 2) throw std::invalid_argument(std::string(what) + ": rank must be 2");
 }
+
+kern::ConstMat view2d(const Tensor& t) { return {t.data(), t.dim(0), t.dim(1)}; }
+kern::Mat view2d(Tensor& t) { return {t.data(), t.dim(0), t.dim(1)}; }
 
 }  // namespace
 
@@ -23,20 +30,7 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
     throw std::invalid_argument("gemm: shape mismatch");
   }
-  if (!accumulate) c.zero();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  // ikj loop order: streams B and C rows, keeps a[i*k+p] in register.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aval = ad[i * k + p];
-      if (aval == 0.0f) continue;
-      const float* brow = bd + p * n;
-      float* crow = cd + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  kern::gemm_nn(view2d(a), view2d(b), view2d(c), accumulate);
 }
 
 void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -47,20 +41,7 @@ void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
     throw std::invalid_argument("gemm_at_b: shape mismatch");
   }
-  if (!accumulate) c.zero();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = ad + p * m;
-    const float* brow = bd + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0f) continue;
-      float* crow = cd + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  kern::gemm_tn(view2d(a), view2d(b), view2d(c), accumulate);
 }
 
 void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -71,118 +52,60 @@ void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   if (b.dim(1) != k || c.dim(0) != m || c.dim(1) != n) {
     throw std::invalid_argument("gemm_a_bt: shape mismatch");
   }
-  if (!accumulate) c.zero();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = ad + i * k;
-    float* crow = cd + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = bd + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
+  kern::gemm_nt(view2d(a), view2d(b), view2d(c), accumulate);
+}
+
+void linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    Tensor& output) {
+  check_rank2(input, "linear_forward input");
+  check_rank2(weight, "linear_forward weight");
+  check_rank2(output, "linear_forward output");
+  const std::size_t m = input.dim(0), k = input.dim(1), n = weight.dim(1);
+  if (weight.dim(0) != k || output.dim(0) != m || output.dim(1) != n ||
+      bias.numel() != n) {
+    throw std::invalid_argument("linear_forward: shape mismatch");
   }
+  kern::gemm_nn(view2d(input), view2d(weight), view2d(output),
+                /*accumulate=*/false, /*bias_row=*/nullptr,
+                /*bias_col=*/bias.data());
 }
 
 void add_row_bias(Tensor& x, const Tensor& bias) {
   check_rank2(x, "add_row_bias x");
   const std::size_t m = x.dim(0), n = x.dim(1);
   if (bias.numel() != n) throw std::invalid_argument("add_row_bias: bias size mismatch");
-  float* xd = x.data();
-  const float* bd = bias.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* row = xd + i * n;
-    for (std::size_t j = 0; j < n; ++j) row[j] += bd[j];
-  }
+  kern::add_bias_rows(m, n, bias.data(), x.data());
 }
 
 void sum_rows(const Tensor& grad, Tensor& bias_grad, bool accumulate) {
   check_rank2(grad, "sum_rows grad");
   const std::size_t m = grad.dim(0), n = grad.dim(1);
   if (bias_grad.numel() != n) throw std::invalid_argument("sum_rows: size mismatch");
-  if (!accumulate) bias_grad.zero();
-  const float* gd = grad.data();
-  float* bd = bias_grad.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* row = gd + i * n;
-    for (std::size_t j = 0; j < n; ++j) bd[j] += row[j];
-  }
+  kern::col_sums(m, n, grad.data(), bias_grad.data(), accumulate);
 }
 
 void im2col(const Tensor& input, std::size_t image_index, const ConvSpec& spec,
             Tensor& columns) {
   const std::size_t c = input.dim(1), h = input.dim(2), w = input.dim(3);
   const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
-  const std::size_t kh = spec.kernel, kw = spec.kernel;
-  const std::size_t rows = c * kh * kw;
+  const std::size_t rows = c * spec.kernel * spec.kernel;
   const std::size_t cols = oh * ow;
   if (columns.rank() != 2 || columns.dim(0) != rows || columns.dim(1) != cols) {
     columns = Tensor({rows, cols});
   }
-  const float* in = input.data() + image_index * c * h * w;
-  float* out = columns.data();
-  for (std::size_t ch = 0; ch < c; ++ch) {
-    for (std::size_t ky = 0; ky < kh; ++ky) {
-      for (std::size_t kx = 0; kx < kw; ++kx) {
-        float* dst = out + ((ch * kh + ky) * kw + kx) * cols;
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          const std::ptrdiff_t iy =
-              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
-              static_cast<std::ptrdiff_t>(spec.pad);
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
-                static_cast<std::ptrdiff_t>(spec.pad);
-            float value = 0.0f;
-            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) && ix >= 0 &&
-                ix < static_cast<std::ptrdiff_t>(w)) {
-              value = in[(ch * h + static_cast<std::size_t>(iy)) * w +
-                         static_cast<std::size_t>(ix)];
-            }
-            dst[oy * ow + ox] = value;
-          }
-        }
-      }
-    }
-  }
+  kern::im2col(input.data() + image_index * c * h * w, c, h, w, spec.kernel,
+               spec.pad, spec.stride, columns.data());
 }
 
 void col2im(const Tensor& columns, std::size_t image_index, const ConvSpec& spec,
             Tensor& grad_input) {
   const std::size_t c = grad_input.dim(1), h = grad_input.dim(2), w = grad_input.dim(3);
-  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
-  const std::size_t kh = spec.kernel, kw = spec.kernel;
-  const std::size_t cols = oh * ow;
-  float* out = grad_input.data() + image_index * c * h * w;
-  const float* in = columns.data();
-  for (std::size_t ch = 0; ch < c; ++ch) {
-    for (std::size_t ky = 0; ky < kh; ++ky) {
-      for (std::size_t kx = 0; kx < kw; ++kx) {
-        const float* src = in + ((ch * kh + ky) * kw + kx) * cols;
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          const std::ptrdiff_t iy =
-              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
-              static_cast<std::ptrdiff_t>(spec.pad);
-          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
-                static_cast<std::ptrdiff_t>(spec.pad);
-            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-            out[(ch * h + static_cast<std::size_t>(iy)) * w +
-                static_cast<std::size_t>(ix)] += src[oy * ow + ox];
-          }
-        }
-      }
-    }
-  }
+  kern::col2im(columns.data(), c, h, w, spec.kernel, spec.pad, spec.stride,
+               grad_input.data() + image_index * c * h * w);
 }
 
 void conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
-                    const ConvSpec& spec, Tensor& output, Tensor& scratch) {
+                    const ConvSpec& spec, Tensor& output, ScratchArena& arena) {
   const std::size_t batch = input.dim(0);
   const std::size_t h = input.dim(2), w = input.dim(3);
   const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
@@ -195,27 +118,28 @@ void conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bia
       output.dim(2) != oh || output.dim(3) != ow) {
     throw std::invalid_argument("conv2d_forward: bad output shape");
   }
-  // weight viewed as [out_c, patch]; columns as [patch, oh*ow].
-  Tensor weight2d({out_c, patch}, std::vector<float>(weight.flat().begin(),
-                                                     weight.flat().end()));
+  // In-place views: weight as [out_c, patch], each image's output plane as
+  // [out_c, oh*ow]; the im2col buffer lives in the arena. Bias is fused into
+  // the GEMM epilogue (same float chain as GEMM-then-add).
+  arena.reset();
+  arena.reserve(patch * oh * ow);
+  float* cols = arena.alloc(patch * oh * ow);
+  const kern::ConstMat weight2d{weight.data(), out_c, patch};
   for (std::size_t img = 0; img < batch; ++img) {
-    im2col(input, img, spec, scratch);
-    Tensor out2d({out_c, oh * ow});
-    gemm(weight2d, scratch, out2d);
-    float* dst = output.data() + img * out_c * oh * ow;
-    const float* src = out2d.data();
-    const float* bd = bias.data();
-    for (std::size_t oc = 0; oc < out_c; ++oc) {
-      const float b = bd[oc];
-      for (std::size_t i = 0; i < oh * ow; ++i) dst[oc * oh * ow + i] = src[oc * oh * ow + i] + b;
-    }
+    kern::im2col(input.data() + img * spec.in_channels * h * w,
+                 spec.in_channels, h, w, spec.kernel, spec.pad, spec.stride,
+                 cols);
+    kern::gemm_nn(weight2d, {cols, patch, oh * ow},
+                  {output.data() + img * out_c * oh * ow, out_c, oh * ow},
+                  /*accumulate=*/false, /*bias_row=*/bias.data(),
+                  /*bias_col=*/nullptr);
   }
 }
 
 void conv2d_backward(const Tensor& input, const Tensor& weight,
                      const Tensor& grad_output, const ConvSpec& spec,
                      Tensor& grad_input, Tensor& grad_weight, Tensor& grad_bias,
-                     Tensor& scratch_cols, Tensor& scratch_grad_cols) {
+                     ScratchArena& arena) {
   const std::size_t batch = input.dim(0);
   const std::size_t h = input.dim(2), w = input.dim(3);
   const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
@@ -224,35 +148,33 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
   grad_input.zero();
   grad_weight.zero();
   grad_bias.zero();
-  Tensor weight2d({out_c, patch}, std::vector<float>(weight.flat().begin(),
-                                                     weight.flat().end()));
-  Tensor grad_weight2d({out_c, patch});
+  // Two arena spans: im2col columns and the W^T*gout column gradients.
+  // Reserve the combined footprint up front so the second alloc cannot move
+  // the first (ScratchArena pointer-stability rule).
+  arena.reset();
+  arena.reserve(2 * patch * oh * ow);
+  float* cols = arena.alloc(patch * oh * ow);
+  float* gcols = arena.alloc(patch * oh * ow);
+  const kern::ConstMat weight2d{weight.data(), out_c, patch};
+  const kern::Mat grad_weight2d{grad_weight.data(), out_c, patch};
   for (std::size_t img = 0; img < batch; ++img) {
-    im2col(input, img, spec, scratch_cols);
-    // View this image's grad_output as [out_c, oh*ow].
-    Tensor gout2d({out_c, oh * ow},
-                  std::vector<float>(grad_output.data() + img * out_c * oh * ow,
-                                     grad_output.data() + (img + 1) * out_c * oh * ow));
+    kern::im2col(input.data() + img * spec.in_channels * h * w,
+                 spec.in_channels, h, w, spec.kernel, spec.pad, spec.stride,
+                 cols);
+    // This image's grad_output viewed in place as [out_c, oh*ow].
+    const kern::ConstMat gout2d{grad_output.data() + img * out_c * oh * ow,
+                                out_c, oh * ow};
     // dW += gout2d * cols^T
-    gemm_a_bt(gout2d, scratch_cols, grad_weight2d, /*accumulate=*/true);
+    kern::gemm_nt(gout2d, {cols, patch, oh * ow}, grad_weight2d,
+                  /*accumulate=*/true);
     // dcols = W^T * gout2d
-    if (scratch_grad_cols.rank() != 2 || scratch_grad_cols.dim(0) != patch ||
-        scratch_grad_cols.dim(1) != oh * ow) {
-      scratch_grad_cols = Tensor({patch, oh * ow});
-    }
-    gemm_at_b(weight2d, gout2d, scratch_grad_cols);
-    col2im(scratch_grad_cols, img, spec, grad_input);
-    // dbias
-    const float* gd = gout2d.data();
-    float* bg = grad_bias.data();
-    for (std::size_t oc = 0; oc < out_c; ++oc) {
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < oh * ow; ++i) acc += gd[oc * oh * ow + i];
-      bg[oc] += acc;
-    }
+    kern::gemm_tn(weight2d, gout2d, {gcols, patch, oh * ow});
+    kern::col2im(gcols, spec.in_channels, h, w, spec.kernel, spec.pad,
+                 spec.stride,
+                 grad_input.data() + img * spec.in_channels * h * w);
+    // dbias: each channel row summed into a fresh accumulator, added once.
+    kern::row_sums(out_c, oh * ow, gout2d.data, grad_bias.data());
   }
-  std::copy(grad_weight2d.flat().begin(), grad_weight2d.flat().end(),
-            grad_weight.flat().begin());
 }
 
 void maxpool2x2_forward(const Tensor& input, Tensor& output,
@@ -317,21 +239,14 @@ void maxpool2x2_backward(const Tensor& grad_output,
 
 void relu_forward(const Tensor& input, Tensor& output) {
   if (!input.same_shape(output)) throw std::invalid_argument("relu: shape mismatch");
-  const float* in = input.data();
-  float* out = output.data();
-  for (std::size_t i = 0; i < input.numel(); ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  kern::relu(input.numel(), input.data(), output.data());
 }
 
 void relu_backward(const Tensor& input, const Tensor& grad_output, Tensor& grad_input) {
   if (!input.same_shape(grad_output) || !input.same_shape(grad_input)) {
     throw std::invalid_argument("relu_backward: shape mismatch");
   }
-  const float* in = input.data();
-  const float* gout = grad_output.data();
-  float* gin = grad_input.data();
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    gin[i] = in[i] > 0.0f ? gout[i] : 0.0f;
-  }
+  kern::relu_bwd(input.numel(), input.data(), grad_output.data(), grad_input.data());
 }
 
 void softmax(const Tensor& logits, Tensor& probs) {

@@ -2,12 +2,17 @@
 // convolution, pooling, activations and the softmax cross-entropy head.
 //
 // All kernels are single-threaded (the simulator runs many small models, not
-// one big one) and written for cache-friendly row-major access.
+// one big one). Since PR 3 the Tensor-level entry points here are thin
+// shape-checked adapters over the register-blocked kernel layer in
+// tensor/kernels/ (see kernels.h for the blocking scheme and the determinism
+// contract); the conv path runs over raw views + a caller-owned ScratchArena
+// so steady-state training allocates nothing.
 #pragma once
 
 #include <cstddef>
 #include <span>
 
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace mach::tensor {
@@ -20,6 +25,12 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
 void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
 /// C = A * B^T. Shapes: A[m,k], B[n,k], C[m,n].
 void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// Dense-layer forward with fused bias epilogue: out[m,n] = in[m,k] *
+/// W[k,n] + bias[n] (bias added once after the final k contribution — the
+/// float chain is identical to gemm followed by add_row_bias).
+void linear_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                    Tensor& output);
 
 /// Adds a row vector bias[n] to every row of x[m,n].
 void add_row_bias(Tensor& x, const Tensor& bias);
@@ -49,15 +60,19 @@ void im2col(const Tensor& input, std::size_t image_index, const ConvSpec& spec,
 void col2im(const Tensor& columns, std::size_t image_index, const ConvSpec& spec,
             Tensor& grad_input);
 
-/// Forward convolution. output must be [n, out_c, out_h, out_w].
-/// `scratch` holds the im2col buffer and is resized as needed.
+/// Forward convolution. output must be [n, out_c, out_h, out_w]. `arena`
+/// provides the im2col scratch (reset + reserved internally); the weight is
+/// viewed in place as [out_c, patch] and each image's output plane as
+/// [out_c, oh*ow] — no copies, no per-call heap allocations once the arena
+/// is warm. Bias is fused into the GEMM epilogue.
 void conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
-                    const ConvSpec& spec, Tensor& output, Tensor& scratch);
+                    const ConvSpec& spec, Tensor& output, ScratchArena& arena);
 /// Backward convolution: fills grad_input / accumulates grad_weight, grad_bias.
+/// `arena` provides both the cols and grad-cols scratch buffers.
 void conv2d_backward(const Tensor& input, const Tensor& weight,
                      const Tensor& grad_output, const ConvSpec& spec,
                      Tensor& grad_input, Tensor& grad_weight, Tensor& grad_bias,
-                     Tensor& scratch_cols, Tensor& scratch_grad_cols);
+                     ScratchArena& arena);
 
 // ---------------------------------------------------------------------------
 // 2x2 max pooling, stride 2 (dimensions must be even).

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels/kernels.h"
+
 namespace mach::tensor {
 
 std::size_t Tensor::shape_numel(std::span<const std::size_t> shape) noexcept {
@@ -66,17 +68,15 @@ void Tensor::reshape(std::vector<std::size_t> new_shape) {
 
 void Tensor::axpy(float alpha, const Tensor& other) {
   if (!same_shape(other)) throw std::invalid_argument("Tensor::axpy: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  kernels::axpy(data_.size(), alpha, other.data_.data(), data_.data());
 }
 
 void Tensor::scale(float alpha) noexcept {
-  for (auto& x : data_) x *= alpha;
+  kernels::scale(data_.size(), alpha, data_.data());
 }
 
 double Tensor::squared_norm() const noexcept {
-  double total = 0.0;
-  for (float x : data_) total += static_cast<double>(x) * static_cast<double>(x);
-  return total;
+  return kernels::squared_norm(data_.size(), data_.data());
 }
 
 std::string Tensor::shape_string() const {

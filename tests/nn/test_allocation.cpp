@@ -1,0 +1,140 @@
+// Steady-state allocation test: once training is warm, a full MNIST-CNN
+// training step (forward + backward + SGD update) must perform ZERO heap
+// allocations. The conv scratch lives in per-layer arenas, GEMM pack buffers
+// are thread-local and grown once, layer activations are cached tensors, and
+// the optimiser walks the model's cached parameter refs — so after a few
+// warm-up steps nothing on the hot path should touch the allocator.
+//
+// Mechanism: this TU replaces the global allocation functions with counting
+// wrappers (affecting the whole test binary, which is fine — we only compare
+// the counter across a region that runs nothing but the hot path).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/factory.h"
+#include "nn/sgd.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto alignment = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(alignment, (size + alignment - 1) / alignment * alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace mach::nn {
+namespace {
+
+TEST(SteadyStateAllocation, MnistCnnTrainingStepAllocatesNothing) {
+  common::Rng rng(42);
+  Sequential model = make_cnn2(1, 28, 28, 10);
+  model.init_params(rng);
+  Sgd sgd({.learning_rate = 0.01, .momentum = 0.9, .weight_decay = 1e-4});
+
+  const std::size_t batch = 32;
+  tensor::Tensor input({batch, 1, 28, 28});
+  for (auto& v : input.flat()) v = static_cast<float>(rng.normal());
+  std::vector<int> labels(batch);
+  for (auto& l : labels) l = static_cast<int>(rng.uniform_index(10));
+  const std::span<const int> label_span(labels);
+
+  // Warm-up: grows arenas, pack buffers, cached activations, velocity
+  // buffers and the cached param refs.
+  for (int step = 0; step < 3; ++step) {
+    model.forward_backward(input, label_span);
+    sgd.step(model);
+  }
+
+  const std::size_t grow_events_before = model.scratch_grow_events();
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (int step = 0; step < 5; ++step) {
+    const StepStats stats = model.forward_backward(input, label_span);
+    sgd.step(model);
+    ASSERT_GT(stats.batch_size, 0u);
+  }
+  const std::uint64_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(allocs_after - allocs_before, 0u)
+      << "warm MNIST-CNN training steps must not allocate";
+  EXPECT_EQ(model.scratch_grow_events(), grow_events_before)
+      << "scratch arenas must not grow once warm";
+}
+
+TEST(SteadyStateAllocation, EvaluationIsAllocationFreeWhenWarm) {
+  common::Rng rng(7);
+  Sequential model = make_cnn2(1, 28, 28, 10);
+  model.init_params(rng);
+
+  const std::size_t batch = 16;
+  tensor::Tensor input({batch, 1, 28, 28});
+  for (auto& v : input.flat()) v = static_cast<float>(rng.normal());
+  std::vector<int> labels(batch);
+  for (auto& l : labels) l = static_cast<int>(rng.uniform_index(10));
+  const std::span<const int> label_span(labels);
+
+  for (int i = 0; i < 2; ++i) model.evaluate(input, label_span);
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 3; ++i) model.evaluate(input, label_span);
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace mach::nn

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "tensor/arena.h"
+
+namespace mach::tensor {
+namespace {
+
+TEST(ScratchArena, BumpAllocationAndReset) {
+  ScratchArena arena;
+  arena.reserve(100);
+  float* a = arena.alloc(40);
+  float* b = arena.alloc(60);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(b, a + 40);
+  EXPECT_EQ(arena.used(), 100u);
+
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  // Same storage handed out again after reset.
+  EXPECT_EQ(arena.alloc(40), a);
+}
+
+TEST(ScratchArena, StatsTrackCapacityHighWaterAndGrowth) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.stats().capacity_floats, 0u);
+  EXPECT_EQ(arena.stats().grow_events, 0u);
+
+  arena.reserve(64);
+  EXPECT_EQ(arena.stats().capacity_floats, 64u);
+  EXPECT_EQ(arena.stats().grow_events, 1u);
+
+  // Re-reserving within capacity is not a grow event.
+  arena.reserve(32);
+  EXPECT_EQ(arena.stats().grow_events, 1u);
+
+  arena.alloc(48);
+  EXPECT_EQ(arena.stats().high_water_floats, 48u);
+  arena.reset();
+  arena.alloc(20);
+  EXPECT_EQ(arena.stats().high_water_floats, 48u);  // high-water is sticky
+
+  // alloc beyond capacity grows on demand (and counts it).
+  arena.reset();
+  arena.alloc(200);
+  EXPECT_EQ(arena.stats().grow_events, 2u);
+  EXPECT_GE(arena.stats().capacity_floats, 200u);
+  EXPECT_EQ(arena.stats().high_water_floats, 200u);
+}
+
+TEST(ScratchArena, WarmSteadyStateNeverGrows) {
+  ScratchArena arena;
+  arena.reserve(256);
+  const auto grows = arena.stats().grow_events;
+  for (int step = 0; step < 100; ++step) {
+    arena.reset();
+    arena.reserve(256);
+    arena.alloc(128);
+    arena.alloc(128);
+  }
+  EXPECT_EQ(arena.stats().grow_events, grows);
+}
+
+}  // namespace
+}  // namespace mach::tensor

@@ -59,8 +59,8 @@ TEST(Conv2D, ForwardMatchesNaiveReference) {
   const Tensor weight = random_tensor({3, 2, 3, 3}, rng);
   const Tensor bias = random_tensor({3}, rng);
   Tensor output({2, 3, 6, 6});
-  Tensor scratch;
-  conv2d_forward(input, weight, bias, spec, output, scratch);
+  ScratchArena arena;
+  conv2d_forward(input, weight, bias, spec, output, arena);
   const Tensor expected = naive_conv(input, weight, bias, spec);
   for (std::size_t i = 0; i < output.numel(); ++i) {
     ASSERT_NEAR(output[i], expected[i], 1e-4f) << "i=" << i;
@@ -74,8 +74,8 @@ TEST(Conv2D, ForwardNoPadding) {
   const Tensor weight = random_tensor({2, 1, 3, 3}, rng);
   const Tensor bias = random_tensor({2}, rng);
   Tensor output({1, 2, 3, 3});
-  Tensor scratch;
-  conv2d_forward(input, weight, bias, spec, output, scratch);
+  ScratchArena arena;
+  conv2d_forward(input, weight, bias, spec, output, arena);
   const Tensor expected = naive_conv(input, weight, bias, spec);
   for (std::size_t i = 0; i < output.numel(); ++i) {
     ASSERT_NEAR(output[i], expected[i], 1e-4f);
@@ -113,19 +113,18 @@ TEST(Conv2D, BackwardMatchesNumericalGradient) {
   const Tensor bias = random_tensor({2}, rng);
   // Loss = sum of outputs, so grad_output is all ones.
   Tensor output({1, 2, 4, 4});
-  Tensor scratch;
+  ScratchArena arena;
   Tensor grad_output(output.shape());
   grad_output.fill(1.0f);
   Tensor grad_input(input.shape());
   Tensor grad_weight(weight.shape());
   Tensor grad_bias(bias.shape());
-  Tensor scratch2;
   conv2d_backward(input, weight, grad_output, spec, grad_input, grad_weight,
-                  grad_bias, scratch, scratch2);
+                  grad_bias, arena);
 
   auto loss = [&](const Tensor& in, const Tensor& wt) {
     Tensor out({1, 2, 4, 4});
-    Tensor s;
+    ScratchArena s;
     conv2d_forward(in, wt, bias, spec, out, s);
     double total = 0.0;
     for (std::size_t i = 0; i < out.numel(); ++i) total += out[i];

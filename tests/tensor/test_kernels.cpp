@@ -1,0 +1,300 @@
+// Property-style equivalence suite: blocked kernels vs the retained
+// reference kernels over randomized and adversarial shapes.
+//
+// Tolerance policy: EXACT bitwise equality (EXPECT_EQ on floats, no
+// epsilon). The blocked kernels are required to reproduce the reference's
+// per-element float addition chains exactly (see kernels.h): cache blocking
+// only spills/reloads exact partial sums, the kernel TUs are built with
+// -ffp-contract=off, and reductions are never reassociated. Exactness is
+// what PR 2's serial-vs-parallel bitwise-equality contract rests on, so a
+// near-miss here is a real defect, not rounding noise.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/kernels/kernels.h"
+
+namespace mach::tensor::kernels {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, common::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// Sprinkles exact zeros so the reference's `if (aval == 0.0f) continue;`
+/// fast path is exercised (the blocked kernels are branch-free; 0*b adds
+/// must be value-identical to skipping).
+void sprinkle_zeros(std::vector<float>& v, common::Rng& rng) {
+  for (auto& x : v) {
+    if (rng.uniform_index(4) == 0) x = 0.0f;
+  }
+}
+
+struct GemmCase {
+  std::size_t m, k, n;
+};
+
+std::vector<GemmCase> gemm_cases() {
+  std::vector<GemmCase> cases = {
+      // Degenerate / tiny.
+      {1, 1, 1},
+      {1, 5, 9},
+      {7, 1, 3},  // k = 1
+      // Off-by-one around the register tile (kMR=4, kNR=8).
+      {kMR - 1, 3, kNR - 1},
+      {kMR + 1, 17, kNR + 1},
+      {2 * kMR, 5, 2 * kNR},
+      // Around the cache panels (kKC=256, kMC=64, kNC=256).
+      {kMC, kKC, kNC},
+      {kMC + 1, kKC + 1, 13},
+      {3, kKC + 7, kNC + 9},
+      {257, 1, 8},
+      // Tall / wide / skinny.
+      {80, 3, 2},
+      {2, 3, 80},
+      {1, 300, 1},
+      // Paper-shaped layers (MNIST cnn2 + CIFAR cnn3 conv/dense GEMMs).
+      {8, 9, 784},
+      {16, 72, 196},
+      {32, 784, 32},
+      {8, 27, 1024},
+      {16, 72, 256},
+      {32, 144, 64},
+      {32, 512, 64},
+  };
+  common::Rng rng(20240806);
+  for (int i = 0; i < 40; ++i) {
+    cases.push_back({rng.uniform_index(80) + 1, rng.uniform_index(80) + 1,
+                     rng.uniform_index(80) + 1});
+  }
+  return cases;
+}
+
+TEST(KernelEquivalence, GemmNnExact) {
+  common::Rng rng(1);
+  for (const auto& c : gemm_cases()) {
+    for (bool accumulate : {false, true}) {
+      auto a = random_vec(c.m * c.k, rng);
+      auto b = random_vec(c.k * c.n, rng);
+      sprinkle_zeros(a, rng);
+      auto c_ref = random_vec(c.m * c.n, rng);
+      auto c_blk = c_ref;
+      ref::gemm_nn({a.data(), c.m, c.k}, {b.data(), c.k, c.n},
+                   {c_ref.data(), c.m, c.n}, accumulate);
+      gemm_nn({a.data(), c.m, c.k}, {b.data(), c.k, c.n},
+              {c_blk.data(), c.m, c.n}, accumulate);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        ASSERT_EQ(c_blk[i], c_ref[i])
+            << "m=" << c.m << " k=" << c.k << " n=" << c.n
+            << " accumulate=" << accumulate << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, GemmNnFusedBiasExact) {
+  common::Rng rng(2);
+  for (const auto& c : gemm_cases()) {
+    const auto a = random_vec(c.m * c.k, rng);
+    const auto b = random_vec(c.k * c.n, rng);
+    const auto bias_row = random_vec(c.m, rng);
+    const auto bias_col = random_vec(c.n, rng);
+    for (int variant = 0; variant < 3; ++variant) {
+      const float* br = (variant == 0) ? bias_row.data() : nullptr;
+      const float* bc = (variant == 1) ? bias_col.data() : nullptr;
+      if (variant == 2) {
+        br = bias_row.data();
+        bc = bias_col.data();
+      }
+      std::vector<float> c_ref(c.m * c.n, 0.0f), c_blk(c.m * c.n, 0.0f);
+      ref::gemm_nn({a.data(), c.m, c.k}, {b.data(), c.k, c.n},
+                   {c_ref.data(), c.m, c.n}, false, br, bc);
+      gemm_nn({a.data(), c.m, c.k}, {b.data(), c.k, c.n},
+              {c_blk.data(), c.m, c.n}, false, br, bc);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        ASSERT_EQ(c_blk[i], c_ref[i])
+            << "m=" << c.m << " k=" << c.k << " n=" << c.n
+            << " variant=" << variant << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, GemmTnExact) {
+  common::Rng rng(3);
+  for (const auto& c : gemm_cases()) {
+    for (bool accumulate : {false, true}) {
+      auto a = random_vec(c.k * c.m, rng);  // stored [k, m]
+      auto b = random_vec(c.k * c.n, rng);
+      sprinkle_zeros(a, rng);
+      auto c_ref = random_vec(c.m * c.n, rng);
+      auto c_blk = c_ref;
+      ref::gemm_tn({a.data(), c.k, c.m}, {b.data(), c.k, c.n},
+                   {c_ref.data(), c.m, c.n}, accumulate);
+      gemm_tn({a.data(), c.k, c.m}, {b.data(), c.k, c.n},
+              {c_blk.data(), c.m, c.n}, accumulate);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        ASSERT_EQ(c_blk[i], c_ref[i])
+            << "m=" << c.m << " k=" << c.k << " n=" << c.n
+            << " accumulate=" << accumulate << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, GemmNtExact) {
+  common::Rng rng(4);
+  for (const auto& c : gemm_cases()) {
+    for (bool accumulate : {false, true}) {
+      auto a = random_vec(c.m * c.k, rng);
+      auto b = random_vec(c.n * c.k, rng);  // stored [n, k]
+      sprinkle_zeros(a, rng);
+      auto c_ref = random_vec(c.m * c.n, rng);
+      auto c_blk = c_ref;
+      ref::gemm_nt({a.data(), c.m, c.k}, {b.data(), c.n, c.k},
+                   {c_ref.data(), c.m, c.n}, accumulate);
+      gemm_nt({a.data(), c.m, c.k}, {b.data(), c.n, c.k},
+              {c_blk.data(), c.m, c.n}, accumulate);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        ASSERT_EQ(c_blk[i], c_ref[i])
+            << "m=" << c.m << " k=" << c.k << " n=" << c.n
+            << " accumulate=" << accumulate << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, Im2ColCol2ImExact) {
+  common::Rng rng(5);
+  for (std::size_t kernel : {1u, 3u, 5u}) {
+    for (std::size_t pad : {0u, 1u, 2u}) {
+      for (std::size_t stride : {1u, 2u}) {
+        for (std::size_t hw : {4u, 7u, 12u}) {
+          const std::size_t channels = 3;
+          if (hw + 2 * pad < kernel) continue;
+          const std::size_t oh = (hw + 2 * pad - kernel) / stride + 1;
+          const std::size_t ncols = oh * oh;
+          const std::size_t rows = channels * kernel * kernel;
+          const auto image = random_vec(channels * hw * hw, rng);
+
+          // Poison the destination: im2col must overwrite every element.
+          std::vector<float> cols_ref(rows * ncols, -7.5f);
+          std::vector<float> cols_blk(rows * ncols, 7.5f);
+          ref::im2col(image.data(), channels, hw, hw, kernel, pad, stride,
+                      cols_ref.data());
+          im2col(image.data(), channels, hw, hw, kernel, pad, stride,
+                 cols_blk.data());
+          for (std::size_t i = 0; i < cols_ref.size(); ++i) {
+            ASSERT_EQ(cols_blk[i], cols_ref[i])
+                << "kernel=" << kernel << " pad=" << pad
+                << " stride=" << stride << " hw=" << hw << " i=" << i;
+          }
+
+          const auto gcols = random_vec(rows * ncols, rng);
+          // col2im accumulates into a caller-zeroed image; seed both with
+          // the same nonzero values to check pure accumulation too.
+          auto gimg_ref = random_vec(channels * hw * hw, rng);
+          auto gimg_blk = gimg_ref;
+          ref::col2im(gcols.data(), channels, hw, hw, kernel, pad, stride,
+                      gimg_ref.data());
+          col2im(gcols.data(), channels, hw, hw, kernel, pad, stride,
+                 gimg_blk.data());
+          for (std::size_t i = 0; i < gimg_ref.size(); ++i) {
+            ASSERT_EQ(gimg_blk[i], gimg_ref[i])
+                << "kernel=" << kernel << " pad=" << pad
+                << " stride=" << stride << " hw=" << hw << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, ElementwiseExact) {
+  common::Rng rng(6);
+  const std::size_t n = 1037;  // non-multiple of any vector width
+  const auto x = random_vec(n, rng);
+  const auto y0 = random_vec(n, rng);
+
+  std::vector<float> got(n), want(n);
+  relu(n, x.data(), got.data());
+  for (std::size_t i = 0; i < n; ++i) want[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  EXPECT_EQ(got, want);
+
+  relu_bwd(n, x.data(), y0.data(), got.data());
+  for (std::size_t i = 0; i < n; ++i) want[i] = x[i] > 0.0f ? y0[i] : 0.0f;
+  EXPECT_EQ(got, want);
+
+  got = y0;
+  want = y0;
+  axpy(n, 0.37f, x.data(), got.data());
+  for (std::size_t i = 0; i < n; ++i) want[i] += 0.37f * x[i];
+  EXPECT_EQ(got, want);
+
+  const auto base = random_vec(n, rng);
+  got = y0;
+  want = y0;
+  axpy_delta(n, -1.25f, x.data(), base.data(), got.data());
+  for (std::size_t i = 0; i < n; ++i) want[i] += -1.25f * (x[i] - base[i]);
+  EXPECT_EQ(got, want);
+
+  got = y0;
+  want = y0;
+  scale(n, 0.81f, got.data());
+  for (std::size_t i = 0; i < n; ++i) want[i] *= 0.81f;
+  EXPECT_EQ(got, want);
+
+  scale_copy(n, -0.5f, x.data(), got.data());
+  for (std::size_t i = 0; i < n; ++i) want[i] = -0.5f * x[i];
+  EXPECT_EQ(got, want);
+
+  got = y0;
+  want = y0;
+  vadd(n, x.data(), got.data());
+  for (std::size_t i = 0; i < n; ++i) want[i] = y0[i] + x[i];
+  EXPECT_EQ(got, want);
+}
+
+TEST(KernelEquivalence, ReductionsMatchStrictOrderChains) {
+  common::Rng rng(7);
+  const std::size_t n = 517;
+  const auto x = random_vec(n, rng);
+  const auto y = random_vec(n, rng);
+
+  double want = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    want += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  EXPECT_EQ(dot(n, x.data(), y.data()), want);
+
+  want = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    want += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  EXPECT_EQ(squared_norm(n, x.data()), want);
+
+  const std::size_t m = 13, cols = 29;
+  const auto mat = random_vec(m * cols, rng);
+  std::vector<float> got_cols(cols, 1.5f), want_cols(cols, 1.5f);
+  col_sums(m, cols, mat.data(), got_cols.data(), /*accumulate=*/true);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) want_cols[j] += mat[i * cols + j];
+  }
+  EXPECT_EQ(got_cols, want_cols);
+
+  std::vector<float> got_rows(m, -2.0f), want_rows(m, -2.0f);
+  row_sums(m, cols, mat.data(), got_rows.data());
+  for (std::size_t i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) acc += mat[i * cols + j];
+    want_rows[i] += acc;
+  }
+  EXPECT_EQ(got_rows, want_rows);
+}
+
+}  // namespace
+}  // namespace mach::tensor::kernels
