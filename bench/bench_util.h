@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/registry.h"
+#include "fault/schedule.h"
 #include "hfl/experiment.h"
 #include "obs/jsonl_writer.h"
 
@@ -60,6 +62,31 @@ inline void apply_threads_flag(const common::CliParser& cli,
   const std::int64_t threads = cli.get_int("threads");
   config.hfl.parallel.threads =
       threads < 0 ? 1 : static_cast<std::size_t>(threads);
+}
+
+/// Registers the shared --faults flag: robustness sweeps rerun any figure
+/// under an injected failure schedule (fault/schedule.h spec grammar). The
+/// empty default leaves every bench bitwise identical to a fault-free build.
+inline void add_faults_flag(common::CliParser& cli) {
+  cli.add_flag("faults", std::string(""),
+               "fault-injection spec, e.g. "
+               "'dropout:p=0.1;straggler:p=0.2,timeout=1.5' (empty = none)");
+}
+
+/// Applies the parsed --faults flag to one experiment config. A bad spec or
+/// a device/edge id outside the config's topology exits with the offending
+/// clause named — benches fail fast instead of aborting mid-sweep.
+inline void apply_faults_flag(const common::CliParser& cli,
+                              hfl::ExperimentConfig& config) {
+  const std::string spec = cli.get_string("faults");
+  if (spec.empty()) return;
+  try {
+    config.hfl.faults = fault::FaultSchedule::parse(spec);
+    config.hfl.faults.validate_topology(config.num_devices, config.num_edges);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "--faults: " << error.what() << "\n";
+    std::exit(1);
+  }
 }
 
 /// Opens a JSONL telemetry trace for a bench run, or returns nullptr when

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
                "write one JSONL telemetry trace per task to "
                "<prefix>_<task>.jsonl (empty = off)");
   bench::add_threads_flag(cli);
+  bench::add_faults_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Figure 3: time-to-accuracy");
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
     auto config = hfl::ExperimentConfig::preset(task);
     bench::apply_threads_flag(cli, config);
+    bench::apply_faults_flag(cli, config);
     std::cout << "--- " << data::task_name(task) << " (target "
               << config.target_accuracy << ", T_g=" << config.hfl.cloud_interval
               << ", horizon " << config.horizon << ") ---\n";

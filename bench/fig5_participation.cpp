@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
                "comma-separated participation proportions");
   cli.add_flag("csv", std::string("fig5_participation.csv"), "CSV output path");
   bench::add_threads_flag(cli);
+  bench::add_faults_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Figure 5: varying participation proportion");
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
     for (const double participation : proportions) {
       auto config = hfl::ExperimentConfig::preset(task);
       bench::apply_threads_flag(cli, config);
+      bench::apply_faults_flag(cli, config);
       config.hfl.participation = participation;
 
       auto& row =

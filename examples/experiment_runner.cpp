@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "core/registry.h"
+#include "fault/schedule.h"
 #include "hfl/experiment.h"
 #include "obs/jsonl_writer.h"
 
@@ -59,6 +60,10 @@ int main(int argc, char** argv) {
                "worker threads for device training/evaluation "
                "(1 = serial, 0 = all hardware threads; results are "
                "bitwise identical at any value)");
+  cli.add_flag("faults", std::string(""),
+               "fault-injection spec, e.g. "
+               "'dropout:p=0.1;straggler:p=0.2,timeout=1.5;cloud_loss:p=0.05' "
+               "(empty = fault-free; runs stay deterministic and replayable)");
   cli.add_flag("seed", static_cast<std::int64_t>(7), "run seed");
   cli.add_flag("data_seed", static_cast<std::int64_t>(42), "data/world seed");
   cli.add_flag("csv", std::string(""), "optional accuracy-curve CSV path");
@@ -113,6 +118,16 @@ int main(int argc, char** argv) {
   if (cli.get_int("threads") >= 0) {
     config.hfl.parallel.threads = static_cast<std::size_t>(cli.get_int("threads"));
   }
+  const std::string fault_spec = cli.get_string("faults");
+  if (!fault_spec.empty()) {
+    try {
+      config.hfl.faults = mach::fault::FaultSchedule::parse(fault_spec);
+      config.hfl.faults.validate_topology(config.num_devices, config.num_edges);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "--faults: " << error.what() << "\n";
+      return 1;
+    }
+  }
   config.data_seed = static_cast<std::uint64_t>(cli.get_int("data_seed"));
   config = config.with_seed(static_cast<std::uint64_t>(cli.get_int("seed")));
 
@@ -145,8 +160,11 @@ int main(int argc, char** argv) {
             << " edges=" << config.num_edges << " steps=" << config.horizon
             << " participation=" << config.hfl.participation
             << " aggregation=" << cli.get_string("aggregation")
-            << " threads=" << mach::runtime::resolve_threads(config.hfl.parallel)
-            << "\n\n";
+            << " threads=" << mach::runtime::resolve_threads(config.hfl.parallel);
+  if (!config.hfl.faults.empty()) {
+    std::cout << " faults=" << config.hfl.faults.to_string();
+  }
+  std::cout << "\n\n";
 
   const auto metrics = simulator.run(*sampler, config.horizon);
 
@@ -169,6 +187,18 @@ int main(int argc, char** argv) {
             << cost.device_downloads << " downloads, " << cost.probe_downloads
             << " probes, " << cost.edge_uploads + cost.cloud_broadcasts
             << " edge-cloud messages (" << cost.total_bytes() / 1024 << " KiB)\n";
+  if (!config.hfl.faults.empty()) {
+    const auto& reg = simulator.metrics_registry().snapshot();
+    std::cout << "faults:         ";
+    bool first = true;
+    for (const auto& entry : reg.counters) {
+      if (entry.name.rfind("fault_", 0) != 0) continue;
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << entry.name.substr(6) << "=" << entry.value;
+    }
+    std::cout << " (" << cost.retry_uploads << " retry uploads)\n";
+  }
 
   if (cli.get_bool("confusion")) {
     const auto confusion = simulator.evaluate_confusion();

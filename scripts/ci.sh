@@ -38,17 +38,30 @@ kernels_json="$(mktemp -t hfl_kernels_XXXXXX.json)"
 trap 'rm -f "$trace" "$kernels_json"' EXIT
 "$BUILD_DIR/bench/kernels" --min_ms 2 --out "$kernels_json" > /dev/null
 
+echo "== faults smoke =="
+# End-to-end fault injection: a faulted run must complete, carry its fault
+# history in the trace, and the summary tool must render it.
+fault_trace="$(mktemp -t hfl_faults_XXXXXX.jsonl)"
+trap 'rm -f "$trace" "$kernels_json" "$fault_trace"' EXIT
+"$BUILD_DIR/examples/experiment_runner" \
+  --devices 8 --edges 2 --steps 10 --local_epochs 2 --trace "$fault_trace" \
+  --faults 'dropout:p=0.2;straggler:p=0.3,delay=1.5,timeout=1;edge_outage:edge=0,from=2,to=4;cloud_loss:p=0.2;seed=5' \
+  | grep -q '^faults:'
+grep -q '"faults"' "$fault_trace"
+"$BUILD_DIR/tools/trace_summary" "$fault_trace" | grep -q 'fault injection'
+
 if [ "${UBSAN:-1}" != "0" ]; then
   # Undefined-behaviour check over the kernel layer: a separate UBSan build
   # running the blocked-vs-reference equivalence suite (pointer arithmetic,
   # masked edge tiles and the packed-panel indexing are the risky parts).
-  echo "== undefined behaviour sanitizer (kernels) =="
+  echo "== undefined behaviour sanitizer (kernels + faults) =="
   UBSAN_DIR="${UBSAN_DIR:-${BUILD_DIR}-ubsan}"
   cmake -B "$UBSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
-  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor
+  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault
   "$UBSAN_DIR/tests/test_tensor"
+  "$UBSAN_DIR/tests/test_fault"
 fi
 
 if [ "${TSAN:-1}" != "0" ]; then
@@ -61,9 +74,12 @@ if [ "${TSAN:-1}" != "0" ]; then
   cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault
   "$TSAN_DIR/tests/test_runtime"
   "$TSAN_DIR/tests/test_hfl" --gtest_filter='ParallelDeterminism.*'
+  # The fault replay/determinism suites drive 2- and 4-worker runs with the
+  # injector active — the only new code reachable from worker threads.
+  "$TSAN_DIR/tests/test_fault" --gtest_filter='FaultDeterminism.*:FailureReplay.*'
 fi
 
 echo "CI OK"

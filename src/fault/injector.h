@@ -1,0 +1,89 @@
+// Deterministic fault realisation.
+//
+// FaultInjector turns a declarative FaultSchedule into concrete per-event
+// decisions. Every decision is a pure function of (schedule seed, event
+// coordinates): each query hashes its coordinates into a private
+// counter-based RNG stream (common::split_seed chains), so
+//   * the answer never depends on query order or thread count,
+//   * re-running the same schedule + seed replays the exact fault history
+//     (the failure-replay harness in tests/fault/ relies on this), and
+//   * the engine's sampling RNG stream is never touched — an all-zero
+//     schedule leaves runs bitwise identical.
+//
+// The injector also exposes the analytic arrival probability implied by the
+// schedule. The engine divides Horvitz-Thompson weights by it (Eq. 5 over
+// the surviving set): device survival is an independent thinning with known
+// probability, so 1/(|M_n| q_m a_m) keeps the edge aggregate unbiased —
+// the property tests/hfl/test_ht_unbiased.cpp checks by Monte Carlo.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/schedule.h"
+
+namespace mach::fault {
+
+enum class DeviceFate {
+  /// Trained and reported on time (no fault fired).
+  Completed,
+  /// Dropped mid-round: the update never arrives.
+  Dropped,
+  /// Straggled but an attempt fit the timeout budget (possibly a retry).
+  StragglerArrived,
+  /// Straggled and every attempt exceeded the budget: update lost.
+  StragglerTimedOut,
+};
+
+struct DeviceFaultDecision {
+  DeviceFate fate = DeviceFate::Completed;
+  /// True when the device's update reaches the edge in time.
+  bool arrived = true;
+  /// Retransmissions consumed (stragglers; arrived or exhausted).
+  std::size_t retries = 0;
+  /// Virtual delay of the final (accepted or last) attempt, seconds.
+  double delay_seconds = 0.0;
+  /// Total virtual time spent across every attempt, seconds.
+  double virtual_seconds = 0.0;
+};
+
+class FaultInjector {
+ public:
+  /// Disabled injector: enabled() is false and no query may assume faults.
+  FaultInjector() = default;
+
+  /// `run_seed` feeds the derived fault stream when the schedule does not
+  /// pin its own seed. The schedule must already be validated.
+  FaultInjector(FaultSchedule schedule, std::uint64_t run_seed);
+
+  bool enabled() const noexcept { return enabled_; }
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+  /// Arrival budget for `edge` (per-edge override or the straggler default).
+  double edge_timeout(std::size_t edge) const noexcept;
+
+  /// True when `edge` is inside an outage window at step `t`.
+  bool edge_out(std::size_t t, std::size_t edge) const noexcept;
+
+  /// Fate of one sampled device at (t, edge). Pure: same inputs, same answer.
+  DeviceFaultDecision device_fate(std::size_t t, std::size_t edge,
+                                  std::uint32_t device) const;
+
+  /// True when `edge`'s model upload is lost at the cloud round of step `t`.
+  bool cloud_upload_lost(std::size_t t, std::size_t edge) const;
+
+  /// P(update arrives | sampled) for a device on `edge` under the schedule:
+  /// (1 - p_drop) * (1 - p_straggle * P(every attempt misses the budget)).
+  /// Matches the sampling procedure of device_fate exactly.
+  double arrival_probability(std::size_t edge, std::uint32_t device) const;
+
+ private:
+  bool dropout_targets(std::uint32_t device) const noexcept;
+  std::uint64_t event_seed(std::uint64_t domain, std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c) const noexcept;
+
+  FaultSchedule schedule_;
+  std::uint64_t seed_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace mach::fault

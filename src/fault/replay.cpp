@@ -1,0 +1,112 @@
+#include "fault/replay.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace mach::fault {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
+  throw std::runtime_error("parse_fault_log: line " + std::to_string(line_number) +
+                           ": " + message);
+}
+
+std::uint64_t read_count(std::size_t line_number, const obs::JsonValue& object,
+                         std::string_view key) {
+  const obs::JsonValue& value = object[key];
+  if (value.is_null()) return 0;
+  if (!value.is_number()) fail(line_number, "'" + std::string(key) + "' not a number");
+  return static_cast<std::uint64_t>(value.as_number());
+}
+
+std::vector<std::uint64_t> read_id_array(std::size_t line_number,
+                                         const obs::JsonValue& object,
+                                         std::string_view key) {
+  std::vector<std::uint64_t> out;
+  const obs::JsonValue& value = object[key];
+  if (value.is_null()) return out;
+  if (!value.is_array()) fail(line_number, "'" + std::string(key) + "' not an array");
+  for (const obs::JsonValue& item : value.as_array()) {
+    if (!item.is_number()) {
+      fail(line_number, "'" + std::string(key) + "' holds a non-numeric id");
+    }
+    out.push_back(static_cast<std::uint64_t>(item.as_number()));
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultReplayLog::Totals FaultReplayLog::totals() const {
+  Totals totals;
+  for (const EdgeFaultRecord& record : edges) {
+    totals.dropped += record.dropped;
+    totals.straggler_arrivals += record.straggler_arrivals;
+    totals.straggler_timeouts += record.straggler_timeouts;
+    totals.retries += record.retries;
+    if (record.outage) ++totals.outage_rounds;
+    totals.updates_lost += record.lost.size();
+  }
+  for (const CloudFaultRecord& record : clouds) {
+    totals.cloud_uploads_lost += record.lost_edges.size();
+  }
+  return totals;
+}
+
+FaultReplayLog parse_fault_log(std::istream& trace) {
+  FaultReplayLog log;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(trace, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string error;
+    const auto parsed = obs::parse_json(line, &error);
+    if (!parsed) fail(line_number, error);
+    const obs::JsonValue& event = *parsed;
+    const std::string kind = event.string_or("event", "");
+    if (kind == "run_begin") {
+      const obs::JsonValue& spec = event["faults"];
+      if (spec.is_string()) log.specs.push_back(spec.as_string());
+      continue;
+    }
+    if (kind == "edge_agg") {
+      const obs::JsonValue& faults = event["faults"];
+      if (faults.is_null()) continue;
+      if (!faults.is_object()) fail(line_number, "'faults' not an object");
+      EdgeFaultRecord record;
+      record.t = static_cast<std::size_t>(event.number_or("t", 0.0));
+      record.edge = static_cast<std::size_t>(event.number_or("edge", 0.0));
+      const obs::JsonValue& outage = faults["outage"];
+      record.outage = outage.is_bool() && outage.as_bool();
+      record.survivors = read_id_array(line_number, faults, "survivors");
+      record.lost = read_id_array(line_number, faults, "lost");
+      record.dropped = read_count(line_number, faults, "dropped");
+      record.straggler_arrivals = read_count(line_number, faults, "straggler_arrivals");
+      record.straggler_timeouts = read_count(line_number, faults, "straggler_timeouts");
+      record.retries = read_count(line_number, faults, "retries");
+      log.edges.push_back(std::move(record));
+      continue;
+    }
+    if (kind == "cloud_round") {
+      const obs::JsonValue& lost = event["uploads_lost"];
+      if (lost.is_null()) continue;  // fault layer inactive for this run
+      CloudFaultRecord record;
+      record.t = static_cast<std::size_t>(event.number_or("t", 0.0));
+      record.lost_edges = read_id_array(line_number, event, "uploads_lost");
+      log.clouds.push_back(std::move(record));
+    }
+  }
+  return log;
+}
+
+FaultReplayLog parse_fault_log_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_fault_log: cannot open " + path);
+  return parse_fault_log(in);
+}
+
+}  // namespace mach::fault

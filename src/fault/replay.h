@@ -1,0 +1,79 @@
+// Failure-replay support: reconstructs the realised fault history of a run
+// from its JSONL telemetry trace (obs::JsonlTraceWriter output).
+//
+// The engine reports per-round survivor/lost sets, outages and cloud upload
+// losses inside its trace events whenever the fault layer is active. This
+// module parses a trace back into a structured FaultReplayLog so a harness
+// can (a) compare two runs' fault histories for exact equality — the
+// determinism contract says the same schedule + seed replays identically at
+// any thread count — and (b) cross-check the aggregate fault counters the
+// engine reported at run_end.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace mach::fault {
+
+/// One edge round's realised faults (from an "edge_agg" trace line).
+struct EdgeFaultRecord {
+  std::size_t t = 0;
+  std::size_t edge = 0;
+  bool outage = false;
+  std::vector<std::uint64_t> survivors;  // sampled devices whose updates arrived
+  std::vector<std::uint64_t> lost;       // sampled devices whose updates never did
+  std::uint64_t dropped = 0;
+  std::uint64_t straggler_arrivals = 0;
+  std::uint64_t straggler_timeouts = 0;
+  std::uint64_t retries = 0;
+
+  bool operator==(const EdgeFaultRecord&) const = default;
+};
+
+/// One cloud round's upload losses (from a "cloud_round" trace line).
+struct CloudFaultRecord {
+  std::size_t t = 0;
+  std::vector<std::uint64_t> lost_edges;
+
+  bool operator==(const CloudFaultRecord&) const = default;
+};
+
+struct FaultReplayLog {
+  /// Fault specs of the runs in the trace (one per run_begin carrying one).
+  std::vector<std::string> specs;
+  std::vector<EdgeFaultRecord> edges;
+  std::vector<CloudFaultRecord> clouds;
+
+  struct Totals {
+    std::uint64_t dropped = 0;
+    std::uint64_t straggler_arrivals = 0;
+    std::uint64_t straggler_timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t outage_rounds = 0;
+    std::uint64_t updates_lost = 0;       // dropped + straggler timeouts
+    std::uint64_t cloud_uploads_lost = 0;
+
+    bool operator==(const Totals&) const = default;
+  };
+  Totals totals() const;
+
+  bool empty() const noexcept {
+    return edges.empty() && clouds.empty() && specs.empty();
+  }
+
+  bool operator==(const FaultReplayLog&) const = default;
+};
+
+/// Parses a JSONL trace stream. Lines without fault payloads contribute
+/// nothing; cloud_round lines with an empty loss list are kept (they pin the
+/// cloud-loss draw history). Throws std::runtime_error naming the line
+/// number on malformed JSON or mistyped fault fields.
+FaultReplayLog parse_fault_log(std::istream& trace);
+
+/// Convenience: opens and parses a trace file. Throws std::runtime_error
+/// when the file cannot be read.
+FaultReplayLog parse_fault_log_file(const std::string& path);
+
+}  // namespace mach::fault

@@ -1,0 +1,399 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mach::fault {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("FaultSchedule: " + message);
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+double parse_double(std::string_view clause, std::string_view key,
+                    std::string_view value) {
+  double out = 0.0;
+  const auto result = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (result.ec != std::errc{} || result.ptr != value.data() + value.size()) {
+    fail(std::string(clause) + ": '" + std::string(key) +
+         "' expects a number, got '" + std::string(value) + "'");
+  }
+  return out;
+}
+
+std::uint64_t parse_uint(std::string_view clause, std::string_view key,
+                         std::string_view value) {
+  std::uint64_t out = 0;
+  const auto result = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (result.ec != std::errc{} || result.ptr != value.data() + value.size()) {
+    fail(std::string(clause) + ": '" + std::string(key) +
+         "' expects a non-negative integer, got '" + std::string(value) + "'");
+  }
+  return out;
+}
+
+double parse_probability(std::string_view clause, std::string_view key,
+                         std::string_view value) {
+  const double p = parse_double(clause, key, value);
+  if (!(p >= 0.0 && p <= 1.0)) {
+    fail(std::string(clause) + ": probability must be in [0, 1], got '" +
+         std::string(value) + "'");
+  }
+  return p;
+}
+
+/// Device list grammar: '/'-separated ids or inclusive 'a-b' ranges,
+/// e.g. "0/3/8-11".
+std::vector<std::uint32_t> parse_device_list(std::string_view value) {
+  std::vector<std::uint32_t> devices;
+  for (const std::string_view raw : split(value, '/')) {
+    const std::string_view item = trim(raw);
+    if (item.empty()) fail("dropout: empty entry in device list");
+    const std::size_t dash = item.find('-');
+    const auto parse_id = [&](std::string_view text) -> std::uint32_t {
+      std::uint32_t id = 0;
+      const auto result = std::from_chars(text.data(), text.data() + text.size(), id);
+      if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+        fail("dropout: bad device id '" + std::string(text) + "'");
+      }
+      return id;
+    };
+    if (dash == std::string_view::npos) {
+      devices.push_back(parse_id(item));
+      continue;
+    }
+    const std::uint32_t lo = parse_id(trim(item.substr(0, dash)));
+    const std::uint32_t hi = parse_id(trim(item.substr(dash + 1)));
+    if (lo > hi) {
+      fail("dropout: reversed device range '" + std::string(item) + "'");
+    }
+    for (std::uint32_t id = lo; id <= hi; ++id) devices.push_back(id);
+  }
+  std::sort(devices.begin(), devices.end());
+  devices.erase(std::unique(devices.begin(), devices.end()), devices.end());
+  return devices;
+}
+
+/// Key/value pairs of one clause body ("p=0.1,devices=0/2").
+std::vector<std::pair<std::string_view, std::string_view>> parse_kv(
+    std::string_view clause, std::string_view body) {
+  std::vector<std::pair<std::string_view, std::string_view>> out;
+  for (const std::string_view raw : split(body, ',')) {
+    const std::string_view item = trim(raw);
+    if (item.empty()) fail(std::string(clause) + ": empty key=value entry");
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      fail(std::string(clause) + ": expected key=value, got '" + std::string(item) +
+           "'");
+    }
+    out.emplace_back(trim(item.substr(0, eq)), trim(item.substr(eq + 1)));
+  }
+  return out;
+}
+
+/// Largest initial straggler delay that still arrives within `timeout` after
+/// all retransmissions: the smallest attempted delay is d * min(1, b^R).
+double arrival_threshold(const StragglerRule& rule, double timeout) {
+  const double shrink =
+      std::min(1.0, std::pow(rule.backoff, static_cast<double>(rule.max_retries)));
+  return timeout / shrink;
+}
+
+std::string format_number(double value) {
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
+constexpr double kMinArrivalProbability = 1e-6;
+constexpr std::size_t kMaxRetries = 16;
+
+}  // namespace
+
+bool FaultSchedule::empty() const noexcept {
+  return dropout.probability == 0.0 && straggler.probability == 0.0 &&
+         outages.empty() && cloud_loss.probability == 0.0;
+}
+
+void FaultSchedule::validate() const {
+  if (!(dropout.probability >= 0.0 && dropout.probability <= 1.0)) {
+    fail("dropout: probability must be in [0, 1]");
+  }
+  if (!(straggler.probability >= 0.0 && straggler.probability <= 1.0)) {
+    fail("straggler: probability must be in [0, 1]");
+  }
+  if (!(cloud_loss.probability >= 0.0 && cloud_loss.probability <= 1.0)) {
+    fail("cloud_loss: probability must be in [0, 1]");
+  }
+  if (straggler.probability > 0.0) {
+    if (!(straggler.delay_mean > 0.0)) fail("straggler: delay must be > 0");
+    if (!(straggler.timeout > 0.0)) fail("straggler: timeout must be > 0");
+    if (!(straggler.backoff > 0.0)) fail("straggler: backoff must be > 0");
+    if (straggler.max_retries > kMaxRetries) {
+      fail("straggler: retries must be <= " + std::to_string(kMaxRetries));
+    }
+  }
+  std::vector<std::size_t> timeout_edges;
+  for (const EdgeTimeout& entry : edge_timeouts) {
+    if (!(entry.timeout > 0.0)) {
+      fail("edge_timeout: timeout must be > 0 (edge " + std::to_string(entry.edge) +
+           ")");
+    }
+    timeout_edges.push_back(entry.edge);
+  }
+  std::sort(timeout_edges.begin(), timeout_edges.end());
+  if (std::adjacent_find(timeout_edges.begin(), timeout_edges.end()) !=
+      timeout_edges.end()) {
+    fail("edge_timeout: duplicate override for one edge");
+  }
+  std::vector<EdgeOutage> sorted = outages;
+  std::sort(sorted.begin(), sorted.end(), [](const EdgeOutage& a, const EdgeOutage& b) {
+    return a.edge != b.edge ? a.edge < b.edge : a.from_step < b.from_step;
+  });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].from_step >= sorted[i].to_step) {
+      fail("edge_outage: window must satisfy from < to (edge " +
+           std::to_string(sorted[i].edge) + ")");
+    }
+    if (i > 0 && sorted[i].edge == sorted[i - 1].edge &&
+        sorted[i].from_step < sorted[i - 1].to_step) {
+      fail("edge_outage: overlapping windows on edge " +
+           std::to_string(sorted[i].edge) + " ([" +
+           std::to_string(sorted[i - 1].from_step) + "," +
+           std::to_string(sorted[i - 1].to_step) + ") and [" +
+           std::to_string(sorted[i].from_step) + "," +
+           std::to_string(sorted[i].to_step) + "))");
+    }
+  }
+  // Horvitz-Thompson weights divide by the arrival probability; a schedule
+  // that makes survival nearly impossible would make them explode.
+  if (dropout.probability > 0.0 || straggler.probability > 0.0) {
+    double worst_straggler_arrival = 1.0;
+    if (straggler.probability > 0.0) {
+      double min_timeout = straggler.timeout;
+      for (const EdgeTimeout& entry : edge_timeouts) {
+        min_timeout = std::min(min_timeout, entry.timeout);
+      }
+      const double threshold = arrival_threshold(straggler, min_timeout);
+      // expm1 keeps tiny arrival rates from underflowing to exactly 0, which
+      // would sneak a near-impossible-but-not-impossible schedule past the
+      // floor below.
+      const double p_make_it = -std::expm1(-threshold / straggler.delay_mean);
+      worst_straggler_arrival =
+          1.0 - straggler.probability + straggler.probability * p_make_it;
+    }
+    const double arrival = (1.0 - dropout.probability) * worst_straggler_arrival;
+    // Exactly zero is fine: a deterministically-dead device (dropout p=1)
+    // never arrives, so its inverse weight is never computed. The dangerous
+    // band is (0, floor): arrivals are possible but absurdly over-weighted.
+    if (arrival > 0.0 && arrival < kMinArrivalProbability) {
+      fail("arrival probability " + format_number(arrival) +
+           " is below " + format_number(kMinArrivalProbability) +
+           "; inverse-probability weights would explode (raise the timeout or "
+           "lower the dropout/straggler rates)");
+    }
+  }
+}
+
+void FaultSchedule::validate_topology(std::size_t num_devices,
+                                      std::size_t num_edges) const {
+  for (const std::uint32_t id : dropout.devices) {
+    if (id >= num_devices) {
+      fail("dropout: device id " + std::to_string(id) + " out of range (" +
+           std::to_string(num_devices) + " devices)");
+    }
+  }
+  for (const EdgeTimeout& entry : edge_timeouts) {
+    if (entry.edge >= num_edges) {
+      fail("edge_timeout: edge " + std::to_string(entry.edge) + " out of range (" +
+           std::to_string(num_edges) + " edges)");
+    }
+  }
+  for (const EdgeOutage& outage : outages) {
+    if (outage.edge >= num_edges) {
+      fail("edge_outage: edge " + std::to_string(outage.edge) + " out of range (" +
+           std::to_string(num_edges) + " edges)");
+    }
+  }
+}
+
+FaultSchedule FaultSchedule::parse(std::string_view spec) {
+  FaultSchedule schedule;
+  bool seen_dropout = false, seen_straggler = false, seen_cloud = false,
+       seen_seed = false;
+  for (const std::string_view raw_clause : split(spec, ';')) {
+    const std::string_view clause = trim(raw_clause);
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string_view::npos) {
+      // Bare clause: only "seed=N".
+      const std::size_t eq = clause.find('=');
+      if (eq != std::string_view::npos && trim(clause.substr(0, eq)) == "seed") {
+        if (seen_seed) fail("duplicate seed clause");
+        seen_seed = true;
+        schedule.seed = parse_uint("seed", "seed", trim(clause.substr(eq + 1)));
+        continue;
+      }
+      fail("unknown clause '" + std::string(clause) +
+           "' (expected dropout:/straggler:/edge_timeout:/edge_outage:/"
+           "cloud_loss:/seed=)");
+    }
+    const std::string_view head = trim(clause.substr(0, colon));
+    const auto kv = parse_kv(head, clause.substr(colon + 1));
+    if (head == "dropout") {
+      if (seen_dropout) fail("duplicate dropout clause");
+      seen_dropout = true;
+      for (const auto& [key, value] : kv) {
+        if (key == "p") {
+          schedule.dropout.probability = parse_probability(head, key, value);
+        } else if (key == "devices") {
+          schedule.dropout.devices = parse_device_list(value);
+        } else {
+          fail("dropout: unknown key '" + std::string(key) + "'");
+        }
+      }
+    } else if (head == "straggler") {
+      if (seen_straggler) fail("duplicate straggler clause");
+      seen_straggler = true;
+      for (const auto& [key, value] : kv) {
+        if (key == "p") {
+          schedule.straggler.probability = parse_probability(head, key, value);
+        } else if (key == "delay") {
+          schedule.straggler.delay_mean = parse_double(head, key, value);
+        } else if (key == "timeout") {
+          schedule.straggler.timeout = parse_double(head, key, value);
+        } else if (key == "backoff") {
+          schedule.straggler.backoff = parse_double(head, key, value);
+        } else if (key == "retries") {
+          schedule.straggler.max_retries =
+              static_cast<std::size_t>(parse_uint(head, key, value));
+        } else {
+          fail("straggler: unknown key '" + std::string(key) + "'");
+        }
+      }
+    } else if (head == "edge_timeout") {
+      EdgeTimeout entry;
+      bool has_edge = false, has_timeout = false;
+      for (const auto& [key, value] : kv) {
+        if (key == "edge") {
+          entry.edge = static_cast<std::size_t>(parse_uint(head, key, value));
+          has_edge = true;
+        } else if (key == "timeout") {
+          entry.timeout = parse_double(head, key, value);
+          has_timeout = true;
+        } else {
+          fail("edge_timeout: unknown key '" + std::string(key) + "'");
+        }
+      }
+      if (!has_edge || !has_timeout) fail("edge_timeout: needs edge= and timeout=");
+      schedule.edge_timeouts.push_back(entry);
+    } else if (head == "edge_outage") {
+      EdgeOutage outage;
+      bool has_edge = false, has_from = false, has_to = false;
+      for (const auto& [key, value] : kv) {
+        if (key == "edge") {
+          outage.edge = static_cast<std::size_t>(parse_uint(head, key, value));
+          has_edge = true;
+        } else if (key == "from") {
+          outage.from_step = static_cast<std::size_t>(parse_uint(head, key, value));
+          has_from = true;
+        } else if (key == "to") {
+          outage.to_step = static_cast<std::size_t>(parse_uint(head, key, value));
+          has_to = true;
+        } else {
+          fail("edge_outage: unknown key '" + std::string(key) + "'");
+        }
+      }
+      if (!has_edge || !has_from || !has_to) {
+        fail("edge_outage: needs edge=, from= and to=");
+      }
+      schedule.outages.push_back(outage);
+    } else if (head == "cloud_loss") {
+      if (seen_cloud) fail("duplicate cloud_loss clause");
+      seen_cloud = true;
+      for (const auto& [key, value] : kv) {
+        if (key == "p") {
+          schedule.cloud_loss.probability = parse_probability(head, key, value);
+        } else {
+          fail("cloud_loss: unknown key '" + std::string(key) + "'");
+        }
+      }
+    } else {
+      fail("unknown clause '" + std::string(head) + "'");
+    }
+  }
+  schedule.validate();
+  return schedule;
+}
+
+std::string FaultSchedule::to_string() const {
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += ';';
+    out += text;
+  };
+  if (dropout.probability > 0.0 || !dropout.devices.empty()) {
+    std::string text = "dropout:p=" + format_number(dropout.probability);
+    if (!dropout.devices.empty()) {
+      text += ",devices=";
+      for (std::size_t i = 0; i < dropout.devices.size(); ++i) {
+        if (i != 0) text += '/';
+        text += std::to_string(dropout.devices[i]);
+      }
+    }
+    clause(text);
+  }
+  if (straggler.probability > 0.0) {
+    clause("straggler:p=" + format_number(straggler.probability) +
+           ",delay=" + format_number(straggler.delay_mean) +
+           ",timeout=" + format_number(straggler.timeout) +
+           ",backoff=" + format_number(straggler.backoff) +
+           ",retries=" + std::to_string(straggler.max_retries));
+  }
+  for (const EdgeTimeout& entry : edge_timeouts) {
+    clause("edge_timeout:edge=" + std::to_string(entry.edge) +
+           ",timeout=" + format_number(entry.timeout));
+  }
+  for (const EdgeOutage& outage : outages) {
+    clause("edge_outage:edge=" + std::to_string(outage.edge) +
+           ",from=" + std::to_string(outage.from_step) +
+           ",to=" + std::to_string(outage.to_step));
+  }
+  if (cloud_loss.probability > 0.0) {
+    clause("cloud_loss:p=" + format_number(cloud_loss.probability));
+  }
+  if (seed != 0) clause("seed=" + std::to_string(seed));
+  return out;
+}
+
+}  // namespace mach::fault

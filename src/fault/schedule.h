@@ -1,0 +1,127 @@
+// Declarative fault schedules for the HFL engine.
+//
+// A FaultSchedule describes *which* failures a run should experience —
+// device dropout mid-round, straggler delay against a per-edge timeout
+// budget, transient edge outages and cloud-round upload loss — without
+// saying anything about *when* each individual failure fires. The
+// realisation is produced by FaultInjector (injector.h) from the schedule
+// plus a seed, deterministically per (step, edge, device), so the same
+// schedule replays bit-for-bit at any thread count.
+//
+// Schedules are built in code or parsed from the compact spec strings the
+// CLI/bench `--faults` flag accepts:
+//
+//   dropout:p=0.1,devices=0/3/8-11;straggler:p=0.2,delay=2.0,timeout=1.5,
+//   backoff=0.5,retries=2;edge_timeout:edge=1,timeout=0.25;
+//   edge_outage:edge=0,from=10,to=20;cloud_loss:p=0.05;seed=7
+//
+// Clauses are ';'-separated, keys within a clause ','-separated. Every
+// clause is optional; an empty spec is the all-zero schedule (no fault path
+// is ever taken — runs are bitwise identical to a fault-free build).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mach::fault {
+
+/// Mid-round device dropout: a sampled device vanishes before its update
+/// reaches the edge (it downloaded the model and may have trained, but the
+/// upload never arrives).
+struct DropoutRule {
+  /// Per sampled device per round probability of dropping.
+  double probability = 0.0;
+  /// Sorted, deduplicated target device ids; empty = every device.
+  std::vector<std::uint32_t> devices;
+
+  bool operator==(const DropoutRule&) const = default;
+};
+
+/// Straggling: a sampled device's upload is delayed by a virtual
+/// Exp(delay_mean) time. The edge waits up to its timeout budget; late
+/// uploads are retransmitted with multiplicative backoff until they fit the
+/// budget or `max_retries` is exhausted (then the update counts as lost).
+struct StragglerRule {
+  /// Per sampled device per round probability of straggling.
+  double probability = 0.0;
+  /// Mean of the exponential initial-delay draw (virtual seconds).
+  double delay_mean = 1.0;
+  /// Default per-edge arrival budget (virtual seconds); see EdgeTimeout.
+  double timeout = 1.0;
+  /// Delay multiplier per retransmission (<1 models decongestion).
+  double backoff = 0.5;
+  /// Retransmissions attempted after the first late arrival.
+  std::size_t max_retries = 2;
+
+  bool operator==(const StragglerRule&) const = default;
+};
+
+/// Per-edge override of StragglerRule::timeout.
+struct EdgeTimeout {
+  std::size_t edge = 0;
+  double timeout = 1.0;
+
+  bool operator==(const EdgeTimeout&) const = default;
+};
+
+/// Transient edge outage over the step window [from_step, to_step): the edge
+/// runs no round at all (no sampling, no training, model carried over).
+struct EdgeOutage {
+  std::size_t edge = 0;
+  std::size_t from_step = 0;
+  std::size_t to_step = 0;
+
+  bool operator==(const EdgeOutage&) const = default;
+};
+
+/// Cloud-round message loss: an edge's model upload fails to reach the
+/// cloud (Eq. 6 folds over the surviving edges; the broadcast downlink is
+/// assumed reliable).
+struct CloudLossRule {
+  /// Per (cloud round, edge) probability of losing the upload.
+  double probability = 0.0;
+
+  bool operator==(const CloudLossRule&) const = default;
+};
+
+struct FaultSchedule {
+  /// Dedicated fault-randomness seed; 0 derives one from the run seed.
+  /// Fault draws never touch the engine's sampling RNG stream, so enabling
+  /// faults does not perturb which devices the Bernoulli trials select.
+  std::uint64_t seed = 0;
+  DropoutRule dropout;
+  StragglerRule straggler;
+  std::vector<EdgeTimeout> edge_timeouts;
+  std::vector<EdgeOutage> outages;
+  CloudLossRule cloud_loss;
+
+  /// True when no clause can ever fire — the engine takes the exact
+  /// fault-free code path (bitwise-identical outputs to a build without the
+  /// fault layer).
+  bool empty() const noexcept;
+
+  /// Semantic validation (probabilities, windows, arrival-probability
+  /// floor). Throws std::invalid_argument with a message naming the bad
+  /// clause. parse() always validates; call this after building in code.
+  void validate() const;
+
+  /// Checks every referenced device/edge id against the federation size.
+  /// Throws std::invalid_argument on out-of-range ids.
+  void validate_topology(std::size_t num_devices, std::size_t num_edges) const;
+
+  /// Parses the `--faults` spec grammar (see file comment) and validates.
+  /// Throws std::invalid_argument with a clear message on malformed input.
+  static FaultSchedule parse(std::string_view spec);
+
+  /// Canonical spec round-trip: parse(to_string()) == *this for any schedule
+  /// whose non-default knobs sit in active clauses (inactive clauses — e.g.
+  /// straggler knobs with p=0 — are not emitted). Empty string for the
+  /// all-zero schedule.
+  std::string to_string() const;
+
+  bool operator==(const FaultSchedule&) const = default;
+};
+
+}  // namespace mach::fault

@@ -19,6 +19,9 @@ namespace mach::hfl {
 struct CommunicationCost {
   std::size_t device_downloads = 0;   // edge model -> device
   std::size_t device_uploads = 0;     // local model -> edge
+  /// Straggler retransmissions (fault injection); these attempts are already
+  /// included in device_uploads — this counts the redundant share.
+  std::size_t retry_uploads = 0;
   std::size_t probe_downloads = 0;    // oracle probes (MACH-P)
   std::size_t edge_uploads = 0;       // edge model -> cloud
   std::size_t cloud_broadcasts = 0;   // global model -> edge
@@ -45,6 +48,7 @@ struct CommunicationCost {
   CommunicationCost& operator+=(const CommunicationCost& other) noexcept {
     device_downloads += other.device_downloads;
     device_uploads += other.device_uploads;
+    retry_uploads += other.retry_uploads;
     probe_downloads += other.probe_downloads;
     edge_uploads += other.edge_uploads;
     cloud_broadcasts += other.cloud_broadcasts;

@@ -69,6 +69,10 @@ class Sampler {
   virtual std::vector<double> edge_probabilities(const EdgeSamplingContext& ctx) = 0;
 
   /// Called after each participating device finishes its local updates.
+  /// Arrivals only: under fault injection, a sampled device whose update
+  /// never reaches the edge (dropout, straggler timeout, edge outage) is
+  /// invisible here — experience buffers must reflect what the edge actually
+  /// received, exactly as a deployed coordinator would see it.
   virtual void observe_training(const TrainingObservation& /*obs*/) {}
 
   /// Called at every cloud aggregation step (t mod T_g == 0), after

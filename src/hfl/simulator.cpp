@@ -42,6 +42,11 @@ HflSimulator::HflSimulator(const data::Dataset& train, const data::Dataset& test
   for (const auto& part : partition_) {
     if (part.empty()) throw std::invalid_argument("HflSimulator: empty device shard");
   }
+  if (!options_.faults.empty()) {
+    options_.faults.validate();
+    options_.faults.validate_topology(partition_.size(), schedule_.num_edges());
+    injector_ = fault::FaultInjector(options_.faults, options_.seed);
+  }
   common::Rng init_rng(common::split_seed(options_.seed, 0x1417));
   model_.init_params(init_rng);
   global_ = model_.get_parameters();
@@ -242,6 +247,27 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   obs::Histogram& hist_q = registry_.histogram(
       "sampling_probability", {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0});
 
+  // Fault instruments only exist when a schedule is active: an all-zero
+  // schedule must leave the registry snapshot (and thus the run_end trace
+  // line) byte-identical to a fault-free run.
+  const bool faults_on = injector_.enabled();
+  obs::Counter* ctr_fault_drops = nullptr;
+  obs::Counter* ctr_fault_straggler_arrivals = nullptr;
+  obs::Counter* ctr_fault_straggler_timeouts = nullptr;
+  obs::Counter* ctr_fault_retries = nullptr;
+  obs::Counter* ctr_fault_outages = nullptr;
+  obs::Counter* ctr_fault_cloud_lost = nullptr;
+  obs::Counter* ctr_fault_updates_lost = nullptr;
+  if (faults_on) {
+    ctr_fault_drops = &registry_.counter("fault_dropouts");
+    ctr_fault_straggler_arrivals = &registry_.counter("fault_straggler_arrivals");
+    ctr_fault_straggler_timeouts = &registry_.counter("fault_straggler_timeouts");
+    ctr_fault_retries = &registry_.counter("fault_retries");
+    ctr_fault_outages = &registry_.counter("fault_edge_outage_rounds");
+    ctr_fault_cloud_lost = &registry_.counter("fault_cloud_uploads_lost");
+    ctr_fault_updates_lost = &registry_.counter("fault_updates_lost");
+  }
+
   if (observer_ != nullptr) {
     obs::RunBeginEvent event;
     event.sampler = sampler.name();
@@ -250,6 +276,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     event.num_devices = num_devices();
     event.num_edges = num_edges();
     event.cloud_interval = options_.cloud_interval;
+    if (faults_on) event.fault_spec = options_.faults.to_string();
     observer_->on_run_begin(event);
   }
 
@@ -283,6 +310,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   std::vector<float> aggregate(param_count_);
   std::vector<double> probs;
   std::vector<double> oracle_norms;
+  std::vector<std::uint64_t> cloud_lost;  // edges whose upload was lost
+  std::vector<float> prev_global;         // w^t backup for all-lost rounds
 
   for (std::size_t t = 0; t < steps; ++t) {
     const double lr = learning_rate_at(t);
@@ -301,6 +330,25 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     for (std::size_t n = 0; n < per_edge.size(); ++n) {
       const auto& devices = per_edge[n];
       if (devices.empty()) continue;
+
+      // Transient edge outage: the edge runs no round at all — no sampling
+      // draws, no training, the edge model carries over unchanged. The
+      // Bernoulli stream is untouched because fault decisions never consume
+      // engine randomness.
+      if (faults_on && injector_.edge_out(t, n)) {
+        ctr_fault_outages->add();
+        if (observer_ != nullptr) {
+          obs::EdgeAggregatedEvent event;
+          event.t = t;
+          event.edge = n;
+          event.capacity = edge_capacity(n);
+          event.num_devices = devices.size();
+          event.faults.active = true;
+          event.faults.edge_outage = true;
+          observer_->on_edge_aggregated(event);
+        }
+        continue;
+      }
       std::vector<float>& edge_model = edge_models_[n];
 
       // Sampler decision phase (Alg. 3 + any oracle probing).
@@ -341,7 +389,32 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         }
       }
       cost_.device_downloads += sampled_.size();  // devices fetch w_n^t (Eq. 4)
-      cost_.device_uploads += sampled_.size();    // devices return w_m^{t+1}
+      if (!faults_on) {
+        cost_.device_uploads += sampled_.size();  // devices return w_m^{t+1}
+      } else {
+        // Fates are decided on the coordinator before training dispatch, one
+        // hashed RNG stream per (t, edge, device): thread-count independent
+        // and exactly replayable. Dropped devices vanish before uploading;
+        // stragglers pay one upload per attempt (counted even when every
+        // attempt misses the timeout budget).
+        fates_.resize(sampled_.size());
+        for (std::size_t k = 0; k < sampled_.size(); ++k) {
+          fates_[k] = injector_.device_fate(t, n, devices[sampled_[k]]);
+          const fault::DeviceFaultDecision& fate = fates_[k];
+          switch (fate.fate) {
+            case fault::DeviceFate::Completed:
+              cost_.device_uploads += 1;
+              break;
+            case fault::DeviceFate::Dropped:
+              break;
+            case fault::DeviceFate::StragglerArrived:
+            case fault::DeviceFate::StragglerTimedOut:
+              cost_.device_uploads += 1 + fate.retries;
+              cost_.retry_uploads += fate.retries;
+              break;
+          }
+        }
+      }
 
       // Local updating (Eq. 4): each sampled device trains into its own
       // result slot. Sampled devices are independent — each touches only its
@@ -359,6 +432,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         obs::ScopedTimer section_timer(timers_, obs::Phase::DeviceTraining);
         pool_->parallel_for(
             0, sampled_.size(), [&](std::size_t k, std::size_t slot) {
+              if (faults_on && !fates_[k].arrived) return;
               DeviceSlot& out = device_slots_[k];
               const obs::Stopwatch watch;
               out.observation =
@@ -368,6 +442,11 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
             });
       } else {
         for (std::size_t k = 0; k < sampled_.size(); ++k) {
+          // Non-arriving devices never train here: their update is lost
+          // either way, the sampler must not observe them, and skipping
+          // keeps their local RNG streams unconsumed (so a device's future
+          // minibatch draws do not depend on past fault outcomes).
+          if (faults_on && !fates_[k].arrived) continue;
           DeviceSlot& out = device_slots_[k];
           obs::ScopedTimer timer(timers_, obs::Phase::DeviceTraining);
           out.observation = train_device(t, devices[sampled_[k]], n, edge_model,
@@ -384,10 +463,37 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
       double weight_total = 0.0;
       double weight_sq_total = 0.0;  // for the HT-variance diagnostic
       const std::size_t num_sampled = sampled_.size();
+      std::size_t num_arrived = 0;
+      std::size_t round_dropped = 0;
+      std::size_t round_straggler_arrivals = 0;
+      std::size_t round_straggler_timeouts = 0;
+      std::size_t round_retries = 0;
+      survivors_.clear();
+      lost_.clear();
       double train_seconds = 0.0;
       double aggregate_seconds = 0.0;
       for (std::size_t k = 0; k < num_sampled; ++k) {
         const std::size_t i = sampled_[k];
+        if (faults_on) {
+          const fault::DeviceFaultDecision& fate = fates_[k];
+          round_retries += fate.retries;
+          if (!fate.arrived) {
+            // Update lost: no observer event, no sampler experience, no HT
+            // contribution. Survivor weights absorb the loss below.
+            lost_.push_back(devices[i]);
+            if (fate.fate == fault::DeviceFate::Dropped) {
+              ++round_dropped;
+            } else {
+              ++round_straggler_timeouts;
+            }
+            continue;
+          }
+          survivors_.push_back(devices[i]);
+          if (fate.fate == fault::DeviceFate::StragglerArrived) {
+            ++round_straggler_arrivals;
+          }
+        }
+        ++num_arrived;
         const DeviceSlot& device_slot = device_slots_[k];
         const TrainingObservation& observation = device_slot.observation;
         train_seconds += device_slot.seconds;
@@ -408,7 +514,15 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           observer_->on_device_trained(event);
         }
         sampler.observe_training(observation);
-        const double ht_weight = inv_edge_size / probs[i];
+        // Eq. 5's weight over the surviving set: the realised inclusion
+        // probability of an *arriving* device is q_m * a_m, where a_m is the
+        // schedule's analytic arrival probability (independent thinning), so
+        // dividing by it keeps the edge aggregate exactly unbiased.
+        double q_effective = probs[i];
+        if (faults_on) {
+          q_effective *= injector_.arrival_probability(n, devices[i]);
+        }
+        const double ht_weight = inv_edge_size / q_effective;
         weight_total += ht_weight;
         weight_sq_total += ht_weight * ht_weight;
         const auto weight = static_cast<float>(ht_weight);
@@ -425,9 +539,10 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         }
         aggregate_seconds += accumulate_watch.seconds();
       }
-      // Edge aggregation (Eq. 5). With no participant the edge model is
+      // Edge aggregation (Eq. 5). With no arriving participant (nothing
+      // sampled, or every sampled update lost to faults) the edge model is
       // carried over unchanged in every form.
-      const bool any_sampled = num_sampled > 0;
+      const bool any_sampled = num_arrived > 0;
       if (any_sampled) {
         const obs::Stopwatch fold_watch;
         switch (options_.aggregation) {
@@ -450,6 +565,17 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
       timers_[obs::Phase::EdgeAggregation].add(aggregate_seconds);
       ctr_edge_aggs.add();
       if (!any_sampled) ctr_empty_edges.add();
+      if (faults_on) {
+        if (round_dropped > 0) ctr_fault_drops->add(round_dropped);
+        if (round_straggler_arrivals > 0) {
+          ctr_fault_straggler_arrivals->add(round_straggler_arrivals);
+        }
+        if (round_straggler_timeouts > 0) {
+          ctr_fault_straggler_timeouts->add(round_straggler_timeouts);
+        }
+        if (round_retries > 0) ctr_fault_retries->add(round_retries);
+        if (!lost_.empty()) ctr_fault_updates_lost->add(lost_.size());
+      }
       if (observer_ != nullptr) {
         obs::EdgeAggregatedEvent event;
         event.t = t;
@@ -459,14 +585,23 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         event.num_sampled = num_sampled;
         event.q = obs::QSummary::from(probs, options_.min_probability);
         event.ht_weight_sum = weight_total;
-        if (num_sampled > 0) {
-          const double mean_w = weight_total / static_cast<double>(num_sampled);
+        if (num_arrived > 0) {
+          const double mean_w = weight_total / static_cast<double>(num_arrived);
           event.ht_weight_variance =
-              weight_sq_total / static_cast<double>(num_sampled) - mean_w * mean_w;
+              weight_sq_total / static_cast<double>(num_arrived) - mean_w * mean_w;
         }
         event.sampler_seconds = sampler_seconds;
         event.train_seconds = train_seconds;
         event.aggregate_seconds = aggregate_seconds;
+        if (faults_on) {
+          event.faults.active = true;
+          event.faults.num_dropped = round_dropped;
+          event.faults.num_straggler_arrivals = round_straggler_arrivals;
+          event.faults.num_straggler_timeouts = round_straggler_timeouts;
+          event.faults.num_retries = round_retries;
+          event.faults.survivors = survivors_;
+          event.faults.lost = lost_;
+        }
         observer_->on_edge_aggregated(event);
       }
     }
@@ -474,23 +609,53 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     // Edge-to-cloud communication (Eq. 6) on the paper's t mod T_g schedule.
     if (t % options_.cloud_interval == 0) {
       double cloud_seconds = 0.0;
+      cloud_lost.clear();
       {
         obs::ScopedTimer timer(timers_, obs::Phase::CloudAggregation);
+        // Losing every upload must keep the previous global model; back it
+        // up before the in-place fold (only when losses are possible).
+        const bool cloud_faults =
+            faults_on && options_.faults.cloud_loss.probability > 0.0;
+        if (cloud_faults) prev_global = global_;
         std::fill(global_.begin(), global_.end(), 0.0f);
         const double inv_all = 1.0 / static_cast<double>(num_devices());
+        double total_mass = 0.0;
+        double surviving_mass = 0.0;
         for (std::size_t n = 0; n < num_edges(); ++n) {
           const double weight = static_cast<double>(per_edge[n].size()) * inv_all;
           if (weight == 0.0) continue;
+          total_mass += weight;
+          if (cloud_faults && injector_.cloud_upload_lost(t, n)) {
+            cloud_lost.push_back(n);
+            continue;
+          }
+          surviving_mass += weight;
           const auto w = static_cast<float>(weight);
           const auto& edge_model = edge_models_[n];
           tensor::kernels::axpy(param_count_, w, edge_model.data(),
                                 global_.data());
         }
+        if (!cloud_lost.empty()) {
+          if (surviving_mass > 0.0) {
+            // Eq. 6 renormalised over the surviving edge mass: surviving
+            // edges keep their relative |M_n| weights, the overall scale
+            // matches the loss-free fold.
+            tensor::kernels::scale(
+                param_count_, static_cast<float>(total_mass / surviving_mass),
+                global_.data());
+          } else {
+            global_ = prev_global;  // every upload lost: keep w^t
+          }
+        }
+        // Broadcast (downlink assumed reliable, lost uploads included).
         for (auto& edge_model : edge_models_) edge_model = global_;
         cloud_seconds = timer.elapsed_seconds();
       }
       cost_.edge_uploads += num_edges();
       cost_.cloud_broadcasts += num_edges();
+      if (faults_on && !cloud_lost.empty()) {
+        ctr_fault_cloud_lost->add(cloud_lost.size());
+      }
       {
         // UCB refresh (Alg. 2) is sampler work, charged to its phase.
         obs::ScopedTimer timer(timers_, obs::Phase::SamplerDecision);
@@ -503,6 +668,10 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         event.round = cloud_rounds;
         event.num_edges = num_edges();
         event.seconds = cloud_seconds;
+        if (faults_on) {
+          event.faults_active = true;
+          event.lost_edges = cloud_lost;
+        }
         sampler.introspect(event.sampler);
         observer_->on_cloud_round(event);
       }

@@ -27,6 +27,8 @@
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "data/partition.h"
+#include "fault/injector.h"
+#include "fault/schedule.h"
 #include "hfl/cost.h"
 #include "hfl/metrics.h"
 #include "hfl/sampler.h"
@@ -93,6 +95,16 @@ struct HflOptions {
   /// reduction (Eq. 5 edge aggregation, evaluation chunk folds) happens
   /// serially in index order afterwards.
   runtime::ParallelConfig parallel;
+  /// Fault-injection schedule (device dropout, stragglers vs per-edge
+  /// timeouts, edge outages, cloud upload loss — see fault/schedule.h). The
+  /// default (empty) schedule takes the exact fault-free code path: every
+  /// output is bitwise identical to a run without the fault layer. With
+  /// faults active, survivors' Horvitz-Thompson weights are divided by the
+  /// schedule's analytic arrival probability, keeping Eq. 5 unbiased over
+  /// the surviving set; samplers only observe devices that actually
+  /// reported. Fault draws are deterministic per (t, edge, device) — runs
+  /// replay bitwise-identically at any thread count.
+  fault::FaultSchedule faults;
 };
 
 /// Builds a fresh untrained model; invoked once for the serial scratch model
@@ -193,6 +205,14 @@ class HflSimulator {
   std::vector<std::uint32_t> sampled_;     // per-edge realised Bernoulli draws
   std::vector<DeviceSlot> device_slots_;   // one per sampled device, reused
   std::vector<nn::StepStats> eval_slots_;  // one per evaluation chunk, reused
+
+  // Fault-injection runtime (inactive with an empty schedule). Fates are
+  // decided on the coordinator before training dispatch, from per-event
+  // hashed RNG streams — identical at any thread count.
+  fault::FaultInjector injector_;
+  std::vector<fault::DeviceFaultDecision> fates_;  // parallel to sampled_
+  std::vector<std::uint64_t> survivors_;           // device ids, per round
+  std::vector<std::uint64_t> lost_;                // device ids, per round
 
   obs::RunObserver* observer_ = nullptr;  // non-owning; see set_observer
   obs::PhaseTimerSet timers_;

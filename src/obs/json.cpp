@@ -307,7 +307,32 @@ class Parser {
     return std::nullopt;
   }
 
+  /// Recursive-descent guard: parsing depth is capped so adversarially deep
+  /// documents fail with a clear error instead of exhausting the stack.
+  bool enter() {
+    if (depth_ >= kMaxDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+      return false;
+    }
+    ++depth_;
+    return true;
+  }
+
   std::optional<JsonValue> parse_array() {
+    if (!enter()) return std::nullopt;
+    auto result = parse_array_body();
+    --depth_;
+    return result;
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!enter()) return std::nullopt;
+    auto result = parse_object_body();
+    --depth_;
+    return result;
+  }
+
+  std::optional<JsonValue> parse_array_body() {
     consume('[');
     JsonValue::Array items;
     skip_whitespace();
@@ -325,7 +350,7 @@ class Parser {
     }
   }
 
-  std::optional<JsonValue> parse_object() {
+  std::optional<JsonValue> parse_object_body() {
     consume('{');
     JsonValue::Object members;
     skip_whitespace();
@@ -351,8 +376,11 @@ class Parser {
     }
   }
 
+  static constexpr std::size_t kMaxDepth = 128;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   std::string error_;
 };
 

@@ -105,7 +105,8 @@ class JsonValue {
 };
 
 /// Parses one JSON document. Returns nullopt (with a message in `error` when
-/// provided) on malformed input or trailing garbage.
+/// provided) on malformed input, trailing garbage, or documents nested more
+/// than 128 levels deep (stack-exhaustion guard).
 std::optional<JsonValue> parse_json(std::string_view text,
                                     std::string* error = nullptr);
 

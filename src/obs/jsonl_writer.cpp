@@ -77,6 +77,23 @@ std::string registry_json(const MetricsRegistry& registry) {
   return w.end();
 }
 
+/// Realised-fault payload of one edge round (only emitted when the fault
+/// layer is active — fault-free traces keep their exact bytes).
+std::string fault_summary_json(const FaultSummary& faults) {
+  JsonObjectWriter w;
+  w.begin();
+  w.field("outage", faults.edge_outage);
+  w.field("dropped", static_cast<std::uint64_t>(faults.num_dropped));
+  w.field("straggler_arrivals",
+          static_cast<std::uint64_t>(faults.num_straggler_arrivals));
+  w.field("straggler_timeouts",
+          static_cast<std::uint64_t>(faults.num_straggler_timeouts));
+  w.field("retries", static_cast<std::uint64_t>(faults.num_retries));
+  w.field("survivors", faults.survivors);
+  w.field("lost", faults.lost);
+  return w.end();
+}
+
 /// min/mean/max summary of a per-device array (null-safe on empty).
 std::string summary_json(const std::vector<double>& values) {
   JsonObjectWriter w;
@@ -128,6 +145,7 @@ void JsonlTraceWriter::on_run_begin(const RunBeginEvent& event) {
   w.field("num_devices", event.num_devices);
   w.field("num_edges", event.num_edges);
   w.field("cloud_interval", event.cloud_interval);
+  if (!event.fault_spec.empty()) w.field("faults", event.fault_spec);
   write_line(w.end());
 }
 
@@ -172,6 +190,7 @@ void JsonlTraceWriter::on_edge_aggregated(const EdgeAggregatedEvent& event) {
   w.field("sampler_seconds", event.sampler_seconds);
   w.field("train_seconds", event.train_seconds);
   w.field("aggregate_seconds", event.aggregate_seconds);
+  if (event.faults.active) w.raw_field("faults", fault_summary_json(event.faults));
   write_line(w.end());
 }
 
@@ -183,6 +202,7 @@ void JsonlTraceWriter::on_cloud_round(const CloudRoundEvent& event) {
   w.field("round", event.round);
   w.field("num_edges", event.num_edges);
   w.field("seconds", event.seconds);
+  if (event.faults_active) w.field("uploads_lost", event.lost_edges);
   if (!event.sampler.empty()) {
     w.raw_field("g_squared_summary", summary_json(event.sampler.g_squared));
     if (options_.sampler_arrays) {

@@ -48,6 +48,23 @@ struct SamplerIntrospection {
   bool empty() const noexcept { return g_squared.empty(); }
 };
 
+/// Realised faults of one edge round (fault-injection layer, src/fault/).
+/// `active` is false — and nothing is emitted to traces — unless the run has
+/// a non-empty FaultSchedule, so fault-free traces keep their exact bytes.
+struct FaultSummary {
+  bool active = false;
+  /// The edge skipped this round entirely (transient outage window).
+  bool edge_outage = false;
+  std::size_t num_dropped = 0;
+  std::size_t num_straggler_arrivals = 0;   // late but inside the budget
+  std::size_t num_straggler_timeouts = 0;   // every attempt missed the budget
+  std::size_t num_retries = 0;              // retransmissions across devices
+  /// Sampled devices whose updates arrived (the Eq. 5 surviving set).
+  std::vector<std::uint64_t> survivors;
+  /// Sampled devices whose updates never arrived.
+  std::vector<std::uint64_t> lost;
+};
+
 struct RunBeginEvent {
   std::string sampler;
   std::uint64_t seed = 0;
@@ -55,6 +72,8 @@ struct RunBeginEvent {
   std::size_t num_devices = 0;
   std::size_t num_edges = 0;
   std::size_t cloud_interval = 0;  // T_g
+  /// Canonical fault spec (FaultSchedule::to_string); empty = faults off.
+  std::string fault_spec;
 };
 
 struct StepBeginEvent {
@@ -89,6 +108,9 @@ struct EdgeAggregatedEvent {
   double sampler_seconds = 0.0;    // decision time (incl. oracle probes)
   double train_seconds = 0.0;      // sum over this edge's sampled devices
   double aggregate_seconds = 0.0;  // HT accumulation + fold
+  /// Fault-injection outcome of this round (inactive when faults are off).
+  /// When active, ht_weight_* and the aggregation cover only `survivors`.
+  FaultSummary faults;
 };
 
 struct CloudRoundEvent {
@@ -100,6 +122,11 @@ struct CloudRoundEvent {
   /// the refreshed Eq. 15 estimates MACH will sample with next). Empty when
   /// the active sampler does not support introspection.
   SamplerIntrospection sampler;
+  /// Fault-injection layer state: set when a FaultSchedule is active, in
+  /// which case `lost_edges` lists the edges whose uploads the cloud fold
+  /// never received this round (possibly none).
+  bool faults_active = false;
+  std::vector<std::uint64_t> lost_edges;
 };
 
 struct EvalEvent {

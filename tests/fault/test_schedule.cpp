@@ -1,0 +1,155 @@
+// FaultSchedule spec grammar: parsing, canonical round-trips, and the
+// validation errors the CLI surfaces (bad device ids, overlapping outage
+// windows, out-of-range probabilities, arrival-probability floor).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/schedule.h"
+
+namespace mach::fault {
+namespace {
+
+TEST(FaultSchedule, EmptySpecIsAllZero) {
+  const FaultSchedule schedule = FaultSchedule::parse("");
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule, FaultSchedule{});
+  EXPECT_EQ(schedule.to_string(), "");
+}
+
+TEST(FaultSchedule, WhitespaceAndEmptyClausesAreIgnored) {
+  const FaultSchedule schedule = FaultSchedule::parse("  ; dropout: p=0.25 ;; ");
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_DOUBLE_EQ(schedule.dropout.probability, 0.25);
+}
+
+TEST(FaultSchedule, ParsesEveryClauseKind) {
+  const FaultSchedule schedule = FaultSchedule::parse(
+      "dropout:p=0.1,devices=0/3/8-11;"
+      "straggler:p=0.2,delay=2.0,timeout=1.5,backoff=0.5,retries=3;"
+      "edge_timeout:edge=1,timeout=0.25;"
+      "edge_outage:edge=0,from=10,to=20;"
+      "cloud_loss:p=0.05;seed=7");
+  EXPECT_DOUBLE_EQ(schedule.dropout.probability, 0.1);
+  EXPECT_EQ(schedule.dropout.devices,
+            (std::vector<std::uint32_t>{0, 3, 8, 9, 10, 11}));
+  EXPECT_DOUBLE_EQ(schedule.straggler.probability, 0.2);
+  EXPECT_DOUBLE_EQ(schedule.straggler.delay_mean, 2.0);
+  EXPECT_DOUBLE_EQ(schedule.straggler.timeout, 1.5);
+  EXPECT_DOUBLE_EQ(schedule.straggler.backoff, 0.5);
+  EXPECT_EQ(schedule.straggler.max_retries, 3u);
+  ASSERT_EQ(schedule.edge_timeouts.size(), 1u);
+  EXPECT_EQ(schedule.edge_timeouts[0].edge, 1u);
+  EXPECT_DOUBLE_EQ(schedule.edge_timeouts[0].timeout, 0.25);
+  ASSERT_EQ(schedule.outages.size(), 1u);
+  EXPECT_EQ(schedule.outages[0], (EdgeOutage{0, 10, 20}));
+  EXPECT_DOUBLE_EQ(schedule.cloud_loss.probability, 0.05);
+  EXPECT_EQ(schedule.seed, 7u);
+}
+
+TEST(FaultSchedule, ToStringRoundTrips) {
+  const char* specs[] = {
+      "dropout:p=0.1",
+      "dropout:p=0.5,devices=1/4/6",
+      "straggler:p=0.3,delay=2,timeout=1.5,backoff=0.5,retries=2",
+      "dropout:p=0.1;cloud_loss:p=0.2;seed=99",
+      "edge_outage:edge=2,from=0,to=5;edge_outage:edge=2,from=5,to=9",
+  };
+  for (const char* spec : specs) {
+    SCOPED_TRACE(spec);
+    const FaultSchedule parsed = FaultSchedule::parse(spec);
+    EXPECT_EQ(FaultSchedule::parse(parsed.to_string()), parsed);
+  }
+}
+
+TEST(FaultSchedule, DeviceListDeduplicatesAndSorts) {
+  const FaultSchedule schedule =
+      FaultSchedule::parse("dropout:p=0.5,devices=7/2/2-4/3");
+  EXPECT_EQ(schedule.dropout.devices, (std::vector<std::uint32_t>{2, 3, 4, 7}));
+}
+
+TEST(FaultSchedule, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "bogus:p=0.1",                 // unknown clause
+      "dropout",                     // clause without body
+      "dropout:p",                   // missing value
+      "dropout:p=nope",              // not a number
+      "dropout:p=1.5",               // probability out of range
+      "dropout:p=-0.1",              // negative probability
+      "dropout:q=0.5",               // unknown key
+      "dropout:p=0.1,devices=",      // empty device list entry
+      "dropout:p=0.1,devices=a-b",   // bad device id
+      "dropout:p=0.1,devices=9-3",   // reversed range
+      "dropout:p=0.1;dropout:p=0.2", // duplicate clause
+      "straggler:p=0.5,timeout=0",   // timeout must be > 0
+      "straggler:p=0.5,delay=-1",    // delay must be > 0
+      "straggler:p=0.5,retries=40",  // retries over the cap
+      "edge_timeout:edge=0",         // missing timeout
+      "edge_timeout:edge=0,timeout=1;edge_timeout:edge=0,timeout=2",  // dup edge
+      "edge_outage:edge=0,from=5,to=5",  // empty window
+      "edge_outage:edge=0,from=0,to=9;edge_outage:edge=0,from=4,to=12",  // overlap
+      "cloud_loss:p=2",              // probability out of range
+      "seed=x",                      // bad seed
+      "seed=1;seed=2",               // duplicate seed
+  };
+  for (const char* spec : bad) {
+    SCOPED_TRACE(spec);
+    EXPECT_THROW(FaultSchedule::parse(spec), std::invalid_argument);
+  }
+}
+
+TEST(FaultSchedule, ErrorsNameTheOffendingClause) {
+  try {
+    FaultSchedule::parse("edge_outage:edge=3,from=2,to=8;edge_outage:edge=3,from=7,to=9");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("overlapping windows"), std::string::npos) << message;
+    EXPECT_NE(message.find("edge 3"), std::string::npos) << message;
+  }
+  try {
+    FaultSchedule::parse("dropout:p=0.1,devices=5x");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("bad device id"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(FaultSchedule, RejectsVanishingArrivalProbability) {
+  // Near-certain dropout: HT weights 1/(q a) would explode on the rare
+  // arrival.
+  EXPECT_THROW(FaultSchedule::parse("dropout:p=0.9999999"),
+               std::invalid_argument);
+  // Certain straggling with a timeout the backoff ladder can never meet.
+  EXPECT_THROW(
+      FaultSchedule::parse(
+          "straggler:p=1,delay=1e9,timeout=1e-9,backoff=1.0,retries=0"),
+      std::invalid_argument);
+  // High-but-sane rates pass; so does *certain* dropout (deterministically
+  // dead devices never arrive, so no inverse weight is ever computed).
+  EXPECT_NO_THROW(FaultSchedule::parse("dropout:p=0.9"));
+  EXPECT_NO_THROW(FaultSchedule::parse("dropout:p=1"));
+}
+
+TEST(FaultSchedule, TopologyValidation) {
+  const FaultSchedule schedule = FaultSchedule::parse(
+      "dropout:p=0.1,devices=0/7;edge_timeout:edge=1,timeout=1;"
+      "edge_outage:edge=1,from=0,to=4");
+  EXPECT_NO_THROW(schedule.validate_topology(8, 2));
+  EXPECT_THROW(schedule.validate_topology(7, 2), std::invalid_argument);  // device 7
+  EXPECT_THROW(schedule.validate_topology(8, 1), std::invalid_argument);  // edge 1
+}
+
+TEST(FaultSchedule, EmptinessIgnoresInactiveKnobs) {
+  // A straggler clause with p=0 never fires; edge_timeouts alone are inert.
+  FaultSchedule schedule;
+  schedule.straggler.delay_mean = 99.0;
+  schedule.edge_timeouts.push_back({0, 0.5});
+  EXPECT_TRUE(schedule.empty());
+  schedule.outages.push_back({0, 0, 1});
+  EXPECT_FALSE(schedule.empty());
+}
+
+}  // namespace
+}  // namespace mach::fault

@@ -1,0 +1,150 @@
+// Golden-trace regression test: a fixed-seed smoke run's metrics CSV and
+// canonicalised JSONL trace are pinned byte-for-byte under tests/hfl/golden/.
+// Any drift — a reordered field, a renamed counter, a changed default, a
+// float produced by a different op sequence — fails with a diff-sized hint.
+//
+// Two runs are pinned: a fault-free baseline (guards the core engine and the
+// all-zero bitwise-identity contract) and a faulted run (guards the fault
+// JSONL schema and the realised fault history of the pinned schedule).
+//
+// To regenerate after an *intentional* change:
+//   MACH_UPDATE_GOLDEN=1 ./test_hfl --gtest_filter='GoldenTrace.*'
+// then commit the rewritten files alongside the change that justified them.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/registry.h"
+#include "fault/schedule.h"
+#include "hfl/experiment.h"
+#include "hfl/trace_canon.h"
+#include "obs/jsonl_writer.h"
+
+#ifndef MACH_GOLDEN_DIR
+#error "MACH_GOLDEN_DIR must point at tests/hfl/golden"
+#endif
+
+namespace mach::hfl {
+namespace {
+
+using mach::test::canonical_trace;
+using mach::test::slurp;
+
+ExperimentConfig golden_scenario() {
+  ExperimentConfig config = ExperimentConfig::smoke(data::TaskKind::MnistLike);
+  config.num_devices = 8;
+  config.num_edges = 2;
+  config.train_per_device = 24;
+  config.test_examples = 120;
+  config.mlp_hidden = 12;
+  config.hfl.local_epochs = 1;
+  config.hfl.participation = 0.6;
+  config.horizon = 6;
+  config.num_stations = 6;
+  config.num_hotspots = 2;
+  return config.with_seed(1234);
+}
+
+struct GoldenArtifacts {
+  std::string csv;
+  std::string trace;  // canonicalised, newline-terminated
+};
+
+GoldenArtifacts run_scenario(const fault::FaultSchedule& faults) {
+  const ExperimentConfig config = golden_scenario();
+  const ExperimentArtifacts artifacts = build_experiment(config);
+
+  HflOptions options = config.hfl;
+  options.seed = config.seed;
+  options.parallel.threads = 1;
+  options.faults = faults;
+  HflSimulator simulator(artifacts.train, artifacts.test, artifacts.partition,
+                         artifacts.schedule, make_model_factory(config),
+                         options);
+
+  std::ostringstream trace_stream;
+  obs::JsonlTraceOptions trace_options;
+  trace_options.device_events = true;
+  obs::JsonlTraceWriter trace(trace_stream, trace_options);
+  simulator.set_observer(&trace);
+  auto sampler = core::make_sampler("mach");
+  const MetricsRecorder metrics = simulator.run(*sampler, config.horizon);
+  simulator.set_observer(nullptr);
+
+  GoldenArtifacts result;
+  const std::string csv_path = ::testing::TempDir() + "golden_scratch.csv";
+  EXPECT_TRUE(metrics.write_csv(csv_path));
+  result.csv = slurp(csv_path);
+  std::remove(csv_path.c_str());
+
+  std::string canon;
+  for (const std::string& event : canonical_trace(trace_stream.str())) {
+    canon += event;
+    canon += '\n';
+  }
+  result.trace = std::move(canon);
+  return result;
+}
+
+bool updating_golden() {
+  const char* flag = std::getenv("MACH_UPDATE_GOLDEN");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+void check_or_update(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(MACH_GOLDEN_DIR) + "/" + name;
+  if (updating_golden()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    ASSERT_TRUE(out.good());
+    std::cout << "[golden] rewrote " << path << " (" << actual.size()
+              << " bytes)\n";
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << path << " missing — run with MACH_UPDATE_GOLDEN=1 once "
+                  << "and commit the generated files";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  const std::string want = expected.str();
+  if (actual == want) return;
+  // Byte-level drift: locate the first divergence for a useful message.
+  std::size_t at = 0;
+  while (at < actual.size() && at < want.size() && actual[at] == want[at]) ++at;
+  const auto context = [&](const std::string& text) {
+    const std::size_t from = at > 40 ? at - 40 : 0;
+    return text.substr(from, 80);
+  };
+  FAIL() << name << " drifted at byte " << at << " (golden " << want.size()
+         << " bytes, actual " << actual.size() << " bytes)\n  golden:  ..."
+         << context(want) << "...\n  actual:  ..." << context(actual)
+         << "...\nIf the change is intentional, regenerate with "
+         << "MACH_UPDATE_GOLDEN=1 and commit the diff.";
+}
+
+TEST(GoldenTrace, BaselineRunMatchesPinnedArtifacts) {
+  const GoldenArtifacts run = run_scenario(fault::FaultSchedule{});
+  ASSERT_FALSE(run.csv.empty());
+  ASSERT_FALSE(run.trace.empty());
+  check_or_update("baseline_metrics.csv", run.csv);
+  check_or_update("baseline_trace.jsonl", run.trace);
+}
+
+TEST(GoldenTrace, FaultedRunMatchesPinnedArtifacts) {
+  const fault::FaultSchedule schedule = fault::FaultSchedule::parse(
+      "dropout:p=0.25;straggler:p=0.3,delay=1.5,timeout=1,backoff=0.5,"
+      "retries=2;edge_outage:edge=0,from=2,to=3;cloud_loss:p=0.25;seed=99");
+  const GoldenArtifacts run = run_scenario(schedule);
+  ASSERT_NE(run.trace.find("\"faults\""), std::string::npos)
+      << "pinned schedule never fired";
+  check_or_update("faulted_metrics.csv", run.csv);
+  check_or_update("faulted_trace.jsonl", run.trace);
+}
+
+}  // namespace
+}  // namespace mach::hfl

@@ -6,14 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/registry.h"
 #include "hfl/experiment.h"
-#include "obs/json.h"
+#include "hfl/trace_canon.h"
 #include "obs/jsonl_writer.h"
 
 namespace mach::hfl {
@@ -36,66 +35,10 @@ ExperimentConfig parallel_scenario(std::uint64_t seed) {
   return config.with_seed(seed);
 }
 
-bool is_timing_key(const std::string& key) {
-  // Wall-clock fields: legitimately different between runs.
-  return key == "seconds" || key == "sampler_seconds" ||
-         key == "train_seconds" || key == "aggregate_seconds" ||
-         key == "phases" || key == "phase_total_s";
-}
-
-std::string canonical(const obs::JsonValue& value);
-
-std::string canonical_object(const obs::JsonValue::Object& object) {
-  std::string out = "{";
-  bool first = true;
-  for (const auto& [key, member] : object) {
-    if (is_timing_key(key)) continue;
-    if (!first) out += ',';
-    first = false;
-    out += '"' + obs::json_escape(key) + "\":" + canonical(member);
-  }
-  return out + "}";
-}
-
-// Re-serialises a parsed value with sorted keys and timing fields dropped,
-// so two traces compare equal iff their deterministic content matches.
-std::string canonical(const obs::JsonValue& value) {
-  switch (value.kind()) {
-    case obs::JsonValue::Kind::Null:
-      return "null";
-    case obs::JsonValue::Kind::Bool:
-      return value.as_bool() ? "true" : "false";
-    case obs::JsonValue::Kind::Number:
-      return obs::json_number(value.as_number());
-    case obs::JsonValue::Kind::String:
-      return '"' + obs::json_escape(value.as_string()) + '"';
-    case obs::JsonValue::Kind::Array: {
-      std::string out = "[";
-      for (std::size_t i = 0; i < value.as_array().size(); ++i) {
-        if (i != 0) out += ',';
-        out += canonical(value.as_array()[i]);
-      }
-      return out + "]";
-    }
-    case obs::JsonValue::Kind::Object:
-      return canonical_object(value.as_object());
-  }
-  return "null";
-}
-
-std::vector<std::string> canonical_trace(const std::string& jsonl) {
-  std::vector<std::string> events;
-  std::istringstream lines(jsonl);
-  std::string line;
-  while (std::getline(lines, line)) {
-    if (line.empty()) continue;
-    std::string error;
-    const auto parsed = obs::parse_json(line, &error);
-    EXPECT_TRUE(parsed.has_value()) << error << " in: " << line;
-    if (parsed) events.push_back(canonical(*parsed));
-  }
-  return events;
-}
+// Canonicalisation (sorted keys, timing fields dropped) lives in
+// tests/hfl/trace_canon.h, shared with the fault and golden-trace suites.
+using mach::test::canonical_trace;
+using mach::test::slurp;
 
 struct RunArtifacts {
   std::vector<float> params;
@@ -103,13 +46,6 @@ struct RunArtifacts {
   std::vector<std::string> trace;
   std::vector<std::size_t> confusion;
 };
-
-std::string slurp(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
 
 RunArtifacts run_with_threads(const ExperimentArtifacts& artifacts,
                               const ExperimentConfig& config,

@@ -83,6 +83,61 @@ TEST(ParseJson, RejectsMalformedInput) {
   EXPECT_FALSE(parse_json("nul").has_value());
 }
 
+TEST(ParseJson, RejectsTruncatedInput) {
+  // Every prefix of a valid document must fail cleanly, never crash or
+  // accept — this is what a half-written trace line looks like after a
+  // killed run.
+  const std::string full =
+      R"({"event":"edge_agg","t":3,"faults":{"survivors":[1,2],"lost":[]}})";
+  std::string error;
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::string prefix = full.substr(0, len);
+    EXPECT_FALSE(parse_json(prefix, &error).has_value()) << "prefix: " << prefix;
+    EXPECT_FALSE(error.empty());
+  }
+  EXPECT_TRUE(parse_json(full).has_value());
+  // Truncation inside a string literal and inside an escape sequence.
+  EXPECT_FALSE(parse_json(R"({"s":"unterminated)").has_value());
+  EXPECT_FALSE(parse_json("{\"s\":\"half-escape\\").has_value());
+}
+
+TEST(ParseJson, EscapedStringsRoundTrip) {
+  const auto v = parse_json(
+      R"({"s":"tab\tnl\nquote\"back\\slash\/cr\rbs\bff\f"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)["s"].as_string(), "tab\tnl\nquote\"back\\slash/cr\rbs\bff\f");
+  // Unknown escapes are rejected, not passed through silently.
+  EXPECT_FALSE(parse_json(R"({"s":"\q"})").has_value());
+}
+
+TEST(ParseJson, DeepNestingIsCappedAt128Levels) {
+  const auto nested = [](std::size_t depth) {
+    std::string text(depth, '[');
+    text += "1";
+    text.append(depth, ']');
+    return text;
+  };
+  // One level under the cap parses; one level over fails with the guard's
+  // message instead of blowing the parser stack.
+  EXPECT_TRUE(parse_json(nested(127)).has_value());
+  std::string error;
+  EXPECT_FALSE(parse_json(nested(129), &error).has_value());
+  EXPECT_NE(error.find("nesting deeper than 128 levels"), std::string::npos)
+      << error;
+  // Same guard on the object side.
+  std::string objects;
+  for (std::size_t i = 0; i < 200; ++i) objects += "{\"k\":";
+  objects += "1";
+  objects.append(200, '}');
+  EXPECT_FALSE(parse_json(objects, &error).has_value());
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+  // Mixed nesting exactly at the cap still parses.
+  std::string mixed = "{\"k\":";
+  mixed += nested(126);
+  mixed += "}";
+  EXPECT_TRUE(parse_json(mixed).has_value()) << mixed.substr(0, 40);
+}
+
 TEST(JsonValue, LenientLookupsNeverThrow) {
   const auto v = parse_json(R"({"x": 1.5, "s": "hi"})");
   ASSERT_TRUE(v.has_value());

@@ -49,6 +49,21 @@ struct PhaseStats {
   double max_s = 0.0;
 };
 
+/// Realised fault tallies (edge_agg "faults" payloads + cloud_round
+/// "uploads_lost"); the section only prints when a trace carries them.
+struct FaultStats {
+  bool seen = false;
+  std::uint64_t outage_rounds = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t straggler_arrivals = 0;
+  std::uint64_t straggler_timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t survivors = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t cloud_uploads_lost = 0;
+  std::uint64_t cloud_rounds_with_loss = 0;
+};
+
 void print_usage() {
   std::cout
       << "usage: trace_summary [--devices N] <trace.jsonl>\n\n"
@@ -117,6 +132,7 @@ int main(int argc, char** argv) {
   double best_accuracy = 0.0;
   std::uint64_t evals = 0;
   JsonValue last_introspection;  // last cloud_round carrying sampler state
+  FaultStats faults;
   std::size_t parse_errors = 0;
   std::uint64_t lines = 0;
 
@@ -160,6 +176,25 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(q.number_or("clamped_to_floor", 0));
       stats.ht_sum_total += event.number_or("ht_weight_sum", 0);
       stats.ht_var_total += event.number_or("ht_weight_variance", 0);
+      const JsonValue& fault = event["faults"];
+      if (fault.is_object()) {
+        faults.seen = true;
+        if (fault["outage"].is_bool() && fault["outage"].as_bool()) {
+          ++faults.outage_rounds;
+        }
+        faults.dropped += static_cast<std::uint64_t>(fault.number_or("dropped", 0));
+        faults.straggler_arrivals +=
+            static_cast<std::uint64_t>(fault.number_or("straggler_arrivals", 0));
+        faults.straggler_timeouts +=
+            static_cast<std::uint64_t>(fault.number_or("straggler_timeouts", 0));
+        faults.retries += static_cast<std::uint64_t>(fault.number_or("retries", 0));
+        if (fault["survivors"].is_array()) {
+          faults.survivors += fault["survivors"].as_array().size();
+        }
+        if (fault["lost"].is_array()) {
+          faults.lost += fault["lost"].as_array().size();
+        }
+      }
     } else if (kind == "eval") {
       if (evals == 0) first_eval = event;
       last_eval = event;
@@ -167,6 +202,12 @@ int main(int argc, char** argv) {
       ++evals;
     } else if (kind == "cloud_round") {
       if (event["g_squared_summary"].is_object()) last_introspection = event;
+      const JsonValue& lost = event["uploads_lost"];
+      if (lost.is_array()) {
+        faults.seen = true;
+        faults.cloud_uploads_lost += lost.as_array().size();
+        if (!lost.as_array().empty()) ++faults.cloud_rounds_with_loss;
+      }
     } else if (kind == "run_end") {
       const JsonValue& phase_map = event["phases"];
       if (phase_map.is_object()) {
@@ -269,6 +310,24 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
     std::cout << '\n';
+  }
+
+  if (faults.seen) {
+    const std::uint64_t reporting = faults.survivors + faults.lost;
+    const double lost_pct =
+        reporting > 0
+            ? static_cast<double>(faults.lost) / static_cast<double>(reporting) * 100.0
+            : 0.0;
+    std::cout << "fault injection (realised):\n"
+              << "  device updates lost: " << faults.lost << " of " << reporting
+              << " sampled (" << mach::common::format_double(lost_pct, 1)
+              << "%) — " << faults.dropped << " dropouts, "
+              << faults.straggler_timeouts << " straggler timeouts\n"
+              << "  stragglers recovered: " << faults.straggler_arrivals
+              << " arrivals using " << faults.retries << " retransmissions\n"
+              << "  edge outage rounds: " << faults.outage_rounds << "\n"
+              << "  cloud uploads lost: " << faults.cloud_uploads_lost << " across "
+              << faults.cloud_rounds_with_loss << " cloud round(s)\n\n";
   }
 
   if (evals > 0) {
