@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/options.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/registry.h"
@@ -85,6 +86,41 @@ inline void apply_faults_flag(const common::CliParser& cli,
     config.hfl.faults.validate_topology(config.num_devices, config.num_edges);
   } catch (const std::invalid_argument& error) {
     std::cerr << "--faults: " << error.what() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Registers the shared checkpoint/resume flags. With a directory set, every
+/// (task, sampler, seed) run of the sweep snapshots its full state into its
+/// own subdirectory of --checkpoint_dir; --resume continues each run from its
+/// newest valid snapshot with bitwise-identical results.
+inline void add_checkpoint_flags(common::CliParser& cli) {
+  cli.add_flag("checkpoint_every", static_cast<std::int64_t>(0),
+               "snapshot each run's state every N steps (0 = off); "
+               "requires --checkpoint_dir");
+  cli.add_flag("checkpoint_dir", std::string(""),
+               "root directory for per-run snapshot subdirectories");
+  cli.add_flag("checkpoint_keep", static_cast<std::int64_t>(2),
+               "snapshots retained per run (older ones are deleted)");
+  cli.add_flag("resume", false,
+               "continue every run of the sweep from its newest valid snapshot");
+}
+
+/// Applies the parsed checkpoint flags to one experiment config. A missing
+/// --checkpoint_dir with checkpointing requested exits with a message.
+inline void apply_checkpoint_flags(const common::CliParser& cli,
+                                   hfl::ExperimentConfig& config) {
+  ckpt::CheckpointOptions& checkpoint = config.hfl.checkpoint;
+  checkpoint.dir = cli.get_string("checkpoint_dir");
+  if (cli.get_int("checkpoint_every") > 0) {
+    checkpoint.every = static_cast<std::size_t>(cli.get_int("checkpoint_every"));
+  }
+  if (cli.get_int("checkpoint_keep") > 0) {
+    checkpoint.keep = static_cast<std::size_t>(cli.get_int("checkpoint_keep"));
+  }
+  checkpoint.resume = cli.get_bool("resume");
+  if (checkpoint.enabled() && checkpoint.dir.empty()) {
+    std::cerr << "--checkpoint_every/--resume require --checkpoint_dir\n";
     std::exit(1);
   }
 }

@@ -7,7 +7,11 @@
 //       --participation 0.4 --steps 150 --aggregation self_normalized
 #include <iostream>
 #include <memory>
+#include <optional>
 
+#include "ckpt/bytes.h"
+#include "ckpt/manager.h"
+#include "ckpt/run_state.h"
 #include "common/cli.h"
 #include "common/log.h"
 #include "common/table.h"
@@ -73,6 +77,19 @@ int main(int argc, char** argv) {
                "(inspect with tools/trace_summary)");
   cli.add_flag("trace_devices", true,
                "include per-device training events in the trace");
+  cli.add_flag("checkpoint_every", static_cast<std::int64_t>(0),
+               "snapshot the full run state every N steps (0 = off); "
+               "requires --checkpoint_dir");
+  cli.add_flag("checkpoint_dir", std::string(""),
+               "directory for run-state snapshots (created on demand)");
+  cli.add_flag("checkpoint_keep", static_cast<std::int64_t>(2),
+               "snapshots retained per run (older ones are deleted)");
+  cli.add_flag("resume", false,
+               "continue from the newest valid snapshot in --checkpoint_dir; "
+               "the resumed run is bitwise identical to an uninterrupted one");
+  cli.add_flag("kill_at_step", static_cast<std::int64_t>(0),
+               "crash-test harness: SIGKILL this process right after the "
+               "snapshot covering step N is durable (0 = off)");
   cli.add_flag("phase_times", false,
                "print the wall-clock phase breakdown after the run");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
@@ -131,6 +148,23 @@ int main(int argc, char** argv) {
   config.data_seed = static_cast<std::uint64_t>(cli.get_int("data_seed"));
   config = config.with_seed(static_cast<std::uint64_t>(cli.get_int("seed")));
 
+  mach::ckpt::CheckpointOptions& checkpoint = config.hfl.checkpoint;
+  checkpoint.dir = cli.get_string("checkpoint_dir");
+  if (cli.get_int("checkpoint_every") > 0) {
+    checkpoint.every = static_cast<std::size_t>(cli.get_int("checkpoint_every"));
+  }
+  if (cli.get_int("checkpoint_keep") > 0) {
+    checkpoint.keep = static_cast<std::size_t>(cli.get_int("checkpoint_keep"));
+  }
+  checkpoint.resume = cli.get_bool("resume");
+  if (cli.get_int("kill_at_step") > 0) {
+    checkpoint.kill_at = static_cast<std::size_t>(cli.get_int("kill_at_step"));
+  }
+  if (checkpoint.enabled() && checkpoint.dir.empty()) {
+    std::cerr << "--checkpoint_every/--resume require --checkpoint_dir\n";
+    return 1;
+  }
+
   auto sampler = mach::core::make_sampler(cli.get_string("sampler"));
 
   // Build by hand (instead of run_experiment) so we can query cost/confusion.
@@ -141,13 +175,45 @@ int main(int argc, char** argv) {
                                     artifacts.partition, artifacts.schedule,
                                     mach::hfl::make_model_factory(config), options);
 
+  // Resolve --resume before any trace file is opened: the snapshot header
+  // carries the trace cursor the writer must truncate back to.
+  std::optional<mach::ckpt::RunStateHeader> resume_header;
+  if (checkpoint.resume) {
+    mach::ckpt::CheckpointManager manager(checkpoint.dir, checkpoint.keep);
+    auto loaded = manager.load_latest();
+    if (loaded.has_value()) {
+      try {
+        mach::ckpt::ByteReader reader(loaded->payload);
+        resume_header = mach::ckpt::RunStateHeader::decode(reader);
+      } catch (const mach::ckpt::CorruptPayload& error) {
+        std::cerr << "--resume: " << error.what() << "\n";
+        return 1;
+      }
+      simulator.set_resume_payload(std::move(loaded->payload));
+      std::cout << "resuming from " << checkpoint.dir << " at step "
+                << resume_header->next_t << "\n";
+    } else {
+      mach::common::log_warn(
+          "resume: no usable snapshot in " + checkpoint.dir +
+          " -- starting from step 0");
+    }
+  }
+
   std::unique_ptr<mach::obs::JsonlTraceWriter> trace;
   const std::string trace_path = cli.get_string("trace");
   if (!trace_path.empty()) {
     mach::obs::JsonlTraceOptions trace_options;
     trace_options.device_events = cli.get_bool("trace_devices");
     try {
-      trace = std::make_unique<mach::obs::JsonlTraceWriter>(trace_path, trace_options);
+      if (resume_header.has_value() && resume_header->has_trace_cursor) {
+        const mach::obs::TraceCursor cursor{resume_header->trace_bytes,
+                                            resume_header->trace_lines};
+        trace = std::make_unique<mach::obs::JsonlTraceWriter>(trace_path, cursor,
+                                                              trace_options);
+      } else {
+        trace = std::make_unique<mach::obs::JsonlTraceWriter>(trace_path,
+                                                              trace_options);
+      }
     } catch (const std::runtime_error& error) {
       std::cerr << error.what() << "\n";
       return 1;

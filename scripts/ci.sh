@@ -50,18 +50,45 @@ trap 'rm -f "$trace" "$kernels_json" "$fault_trace"' EXIT
 grep -q '"faults"' "$fault_trace"
 "$BUILD_DIR/tools/trace_summary" "$fault_trace" | grep -q 'fault injection'
 
+echo "== crash-resume smoke =="
+# Kill-and-resume end-to-end: a fixed-seed run SIGKILLs itself right after a
+# mid-run snapshot becomes durable, then a resumed run (at a different thread
+# count) must reproduce the uninterrupted reference CSV byte for byte and
+# leave checkpoint markers in the trace.
+ckpt_dir="$(mktemp -d -t hfl_ckpt_XXXXXX)"
+trap 'rm -f "$trace" "$kernels_json" "$fault_trace"; rm -rf "$ckpt_dir"' EXIT
+resume_args=(--task mnist --devices 8 --edges 2 --steps 12 --local_epochs 2 --seed 11)
+"$BUILD_DIR/examples/experiment_runner" "${resume_args[@]}" --threads 1 \
+  --csv "$ckpt_dir/ref.csv" --trace "$ckpt_dir/ref.jsonl" > /dev/null
+if "$BUILD_DIR/examples/experiment_runner" "${resume_args[@]}" --threads 1 \
+  --csv "$ckpt_dir/run.csv" --trace "$ckpt_dir/run.jsonl" \
+  --checkpoint_every 3 --checkpoint_dir "$ckpt_dir/snaps" \
+  --kill_at_step 6 > /dev/null 2>&1; then
+  echo "kill_at_step run was expected to SIGKILL itself"; exit 1
+fi
+"$BUILD_DIR/examples/experiment_runner" "${resume_args[@]}" --threads 2 \
+  --csv "$ckpt_dir/run.csv" --trace "$ckpt_dir/run.jsonl" \
+  --checkpoint_every 3 --checkpoint_dir "$ckpt_dir/snaps" --resume \
+  | grep -q '^resuming from'
+cmp "$ckpt_dir/ref.csv" "$ckpt_dir/run.csv"
+grep -q '"event":"checkpoint"' "$ckpt_dir/run.jsonl"
+"$BUILD_DIR/tools/trace_summary" "$ckpt_dir/run.jsonl" | grep -q 'checkpointed run'
+
 if [ "${UBSAN:-1}" != "0" ]; then
   # Undefined-behaviour check over the kernel layer: a separate UBSan build
   # running the blocked-vs-reference equivalence suite (pointer arithmetic,
-  # masked edge tiles and the packed-panel indexing are the risky parts).
-  echo "== undefined behaviour sanitizer (kernels + faults) =="
+  # masked edge tiles and the packed-panel indexing are the risky parts),
+  # plus the checkpoint suite (byte-codec casts, CRC table indexing and the
+  # raw-byte RNG state round-trips are the risky parts).
+  echo "== undefined behaviour sanitizer (kernels + faults + ckpt) =="
   UBSAN_DIR="${UBSAN_DIR:-${BUILD_DIR}-ubsan}"
   cmake -B "$UBSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
-  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault
+  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt
   "$UBSAN_DIR/tests/test_tensor"
   "$UBSAN_DIR/tests/test_fault"
+  "$UBSAN_DIR/tests/test_ckpt"
 fi
 
 if [ "${TSAN:-1}" != "0" ]; then

@@ -1,0 +1,180 @@
+// Flat binary codec for checkpoint payloads.
+//
+// ByteWriter appends fixed-width little-endian primitives to a growable
+// buffer; ByteReader walks it back with bounds-checked reads that throw
+// instead of reading past the end — a truncated or bit-flipped payload
+// surfaces as a recoverable error, never as undefined behaviour. Floating
+// point values round-trip through their IEEE-754 bit patterns (bit_cast),
+// so restored doubles are bit-identical to what was saved — the property
+// the resume-equals-uninterrupted guarantee rests on.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mach::ckpt {
+
+/// Thrown by ByteReader on any structural problem with a payload (overrun,
+/// bad tag, impossible length). Callers treat it as "this snapshot is
+/// unusable", not as a crash.
+class CorruptPayload : public std::runtime_error {
+ public:
+  explicit CorruptPayload(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+  void blob(std::span<const std::uint8_t> bytes) {
+    u64(bytes.size());
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  void vec_f32(std::span<const float> values) {
+    u64(values.size());
+    for (const float v : values) f32(v);
+  }
+
+  void vec_f64(std::span<const double> values) {
+    u64(values.size());
+    for (const double v : values) f64(v);
+  }
+
+  void vec_u64(std::span<const std::uint64_t> values) {
+    u64(values.size());
+    for (const std::uint64_t v : values) u64(v);
+  }
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buffer_; }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << shift;
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << shift;
+    }
+    return v;
+  }
+
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw CorruptPayload("ByteReader: invalid boolean tag");
+    return v == 1;
+  }
+
+  float f32() { return std::bit_cast<float>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint64_t n = length(1);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t n = length(1);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+
+  std::vector<float> vec_f32() {
+    const std::uint64_t n = length(4);
+    std::vector<float> out(static_cast<std::size_t>(n));
+    for (auto& v : out) v = f32();
+    return out;
+  }
+
+  std::vector<double> vec_f64() {
+    const std::uint64_t n = length(8);
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (auto& v : out) v = f64();
+    return out;
+  }
+
+  std::vector<std::uint64_t> vec_u64() {
+    const std::uint64_t n = length(8);
+    std::vector<std::uint64_t> out(static_cast<std::size_t>(n));
+    for (auto& v : out) v = u64();
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (bytes_.size() - pos_ < n) {
+      throw CorruptPayload("ByteReader: read past end of payload");
+    }
+  }
+
+  /// Reads an element count and validates that `count * element_size`
+  /// elements actually fit in the remaining bytes (rejects hostile lengths
+  /// before any allocation).
+  std::uint64_t length(std::size_t element_size) {
+    const std::uint64_t n = u64();
+    if (n > (bytes_.size() - pos_) / element_size) {
+      throw CorruptPayload("ByteReader: element count exceeds payload");
+    }
+    return n;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mach::ckpt

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over checkpoint
+// payloads. Detects torn writes and bit rot before a snapshot is trusted;
+// a mismatch makes the loader fall back to the previous snapshot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mach::ckpt {
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace mach::ckpt

@@ -1,0 +1,126 @@
+#include "ckpt/file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "ckpt/bytes.h"
+#include "ckpt/crc32.h"
+
+namespace mach::ckpt {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'M', 'A', 'C', 'H', 'C', 'K', 'P', 0x01};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  const int err = errno;
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(err));
+}
+
+/// POSIX write loop (handles short writes / EINTR).
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("checkpoint: cannot write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort: some filesystems refuse O_RDONLY on dirs
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool fail(std::string* error, std::string reason) {
+  if (error != nullptr) *error = std::move(reason);
+  return false;
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path, std::uint32_t version,
+                           std::span<const std::uint8_t> payload) {
+  ByteWriter header;
+  for (const std::uint8_t b : kMagic) header.u8(b);
+  header.u32(version);
+  header.u64(payload.size());
+  header.u32(crc32(payload));
+
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("checkpoint: cannot create", tmp);
+  try {
+    write_all(fd, header.data().data(), header.size(), tmp);
+    write_all(fd, payload.data(), payload.size(), tmp);
+    if (::fsync(fd) != 0) throw_errno("checkpoint: fsync failed for", tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("checkpoint: close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("checkpoint: rename failed for", path);
+  }
+  // Persist the rename itself: fsync the containing directory so the new
+  // entry survives a power cut, not just a process kill.
+  fsync_path(std::filesystem::path(path).parent_path().string());
+}
+
+std::optional<CheckpointBlob> read_checkpoint_file(const std::string& path,
+                                                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, "cannot open " + path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  if (raw.size() < kHeaderSize) {
+    fail(error, path + ": file shorter than checkpoint header");
+    return std::nullopt;
+  }
+  ByteReader reader(raw);
+  for (const std::uint8_t expected : kMagic) {
+    if (reader.u8() != expected) {
+      fail(error, path + ": bad magic");
+      return std::nullopt;
+    }
+  }
+  CheckpointBlob blob;
+  blob.version = reader.u32();
+  const std::uint64_t declared = reader.u64();
+  const std::uint32_t stored_crc = reader.u32();
+  if (declared != raw.size() - kHeaderSize) {
+    fail(error, path + ": truncated payload (declared " + std::to_string(declared) +
+                    " bytes, found " + std::to_string(raw.size() - kHeaderSize) + ")");
+    return std::nullopt;
+  }
+  blob.payload.assign(raw.begin() + kHeaderSize, raw.end());
+  const std::uint32_t actual_crc = crc32(blob.payload);
+  if (actual_crc != stored_crc) {
+    fail(error, path + ": CRC mismatch (corrupt payload)");
+    return std::nullopt;
+  }
+  return blob;
+}
+
+}  // namespace mach::ckpt

@@ -1,0 +1,43 @@
+// Crash-safe checkpoint file I/O.
+//
+// On-disk layout (little-endian):
+//   offset 0   8 bytes  magic "MACHCKP\x01"
+//   offset 8   u32      payload format version (caller-defined)
+//   offset 12  u64      payload size in bytes
+//   offset 20  u32      CRC-32 of the payload
+//   offset 24  ...      payload
+//
+// Writes go to a `<path>.tmp.<pid>` sibling, are fsync'd, then atomically
+// renamed over `path`, and the containing directory is fsync'd — a reader
+// (including a resumed process after SIGKILL) only ever sees either the
+// complete previous file or the complete new one. Reads validate magic,
+// declared length against the real file size, and the CRC; any mismatch is
+// reported as a reason string, never thrown — torn files are an expected
+// input after a crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mach::ckpt {
+
+struct CheckpointBlob {
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Atomically (re)writes `path`. Throws std::runtime_error with errno
+/// context when the filesystem refuses (unwritable directory, disk full).
+void write_checkpoint_file(const std::string& path, std::uint32_t version,
+                           std::span<const std::uint8_t> payload);
+
+/// Reads and validates `path`. Returns nullopt and fills `error` (when
+/// non-null) with the reason on any validation failure — missing file, short
+/// header, bad magic, truncated payload, CRC mismatch.
+std::optional<CheckpointBlob> read_checkpoint_file(const std::string& path,
+                                                   std::string* error = nullptr);
+
+}  // namespace mach::ckpt

@@ -1,0 +1,26 @@
+// Serialisation of common::Rng streams into checkpoint payloads: the four
+// xoshiro256++ words plus the cached Box-Muller half-draw, so a restored
+// stream continues bit-for-bit (including an odd number of normal() calls).
+#pragma once
+
+#include "ckpt/bytes.h"
+#include "common/rng.h"
+
+namespace mach::ckpt {
+
+inline void write_rng(ByteWriter& out, const common::Rng& rng) {
+  const common::RngState state = rng.state();
+  for (const std::uint64_t word : state.words) out.u64(word);
+  out.f64(state.cached_normal);
+  out.boolean(state.has_cached_normal);
+}
+
+inline void read_rng(ByteReader& in, common::Rng& rng) {
+  common::RngState state;
+  for (auto& word : state.words) word = in.u64();
+  state.cached_normal = in.f64();
+  state.has_cached_normal = in.boolean();
+  rng.set_state(state);
+}
+
+}  // namespace mach::ckpt

@@ -1,0 +1,63 @@
+#include "ckpt/run_state.h"
+
+#include <bit>
+
+namespace mach::ckpt {
+
+namespace {
+/// Leading tag so a reader pointed at a foreign payload fails fast.
+constexpr std::uint32_t kHeaderTag = 0x52554e31;  // "RUN1"
+}  // namespace
+
+void RunStateHeader::encode(ByteWriter& out) const {
+  out.u32(kHeaderTag);
+  out.u64(fingerprint);
+  out.u64(next_t);
+  out.u64(total_steps);
+  out.u64(cloud_rounds);
+  out.f64(window_train_loss);
+  out.u64(window_participants);
+  out.boolean(has_trace_cursor);
+  out.u64(trace_bytes);
+  out.u64(trace_lines);
+}
+
+RunStateHeader RunStateHeader::decode(ByteReader& in) {
+  if (in.u32() != kHeaderTag) {
+    throw CorruptPayload("RunStateHeader: bad leading tag");
+  }
+  RunStateHeader header;
+  header.fingerprint = in.u64();
+  header.next_t = in.u64();
+  header.total_steps = in.u64();
+  header.cloud_rounds = in.u64();
+  header.window_train_loss = in.f64();
+  header.window_participants = in.u64();
+  header.has_trace_cursor = in.boolean();
+  header.trace_bytes = in.u64();
+  header.trace_lines = in.u64();
+  return header;
+}
+
+std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_f64(std::uint64_t h, double v) noexcept {
+  return hash_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t hash_str(std::uint64_t h, std::string_view s) noexcept {
+  h = hash_u64(h, s.size());
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace mach::ckpt

@@ -17,6 +17,18 @@ namespace mach::common {
 /// streams (e.g. one per device) without correlation between streams.
 std::uint64_t split_seed(std::uint64_t root_seed, std::uint64_t stream_id) noexcept;
 
+/// Complete serialisable state of one Rng: the four xoshiro256++ words plus
+/// the Box-Muller cache. A stream restored from this continues bit-for-bit —
+/// including returning a pending cached normal() half-draw first — which is
+/// what checkpoint/resume needs to replay runs exactly.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// xoshiro256++ PRNG with distribution helpers used across the simulator.
 /// Satisfies UniformRandomBitGenerator so it can also feed <random> adaptors.
 class Rng {
@@ -75,6 +87,21 @@ class Rng {
 
   /// Samples `count` distinct indices from [0, n) (reservoir-free, for count<=n).
   std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t count);
+
+  /// Snapshot of the full generator state (see RngState).
+  RngState state() const noexcept {
+    return RngState{state_, cached_normal_, has_cached_normal_};
+  }
+  /// Restores a snapshot taken with state(). An all-zero word vector is
+  /// illegal for xoshiro and is replaced by the default seed word.
+  void set_state(const RngState& state) noexcept {
+    state_ = state.words;
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+      state_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

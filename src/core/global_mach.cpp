@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ckpt/bytes.h"
+
 namespace mach::core {
 
 GlobalMachSampler::GlobalMachSampler(MachOptions options)
@@ -54,6 +56,28 @@ bool GlobalMachSampler::introspect(obs::SamplerIntrospection& out) const {
   if (!estimator_) return false;
   fill_ucb_introspection(*estimator_, out);
   return true;
+}
+
+void GlobalMachSampler::save_state(ckpt::ByteWriter& out) const {
+  out.u8(1);  // blob version
+  out.u64(transfer_.rounds_seen());
+  out.boolean(estimator_.has_value());
+  if (estimator_) estimator_->save_state(out);
+  // global_q_/cached_t_ are a within-step cache, recomputed deterministically
+  // from the estimator on the next edge_probabilities() call — not state.
+}
+
+void GlobalMachSampler::load_state(ckpt::ByteReader& in) {
+  if (in.u8() != 1) {
+    throw ckpt::CorruptPayload("GlobalMachSampler: unknown state version");
+  }
+  transfer_.set_rounds_seen(static_cast<std::size_t>(in.u64()));
+  const bool had_estimator = in.boolean();
+  if (had_estimator != estimator_.has_value()) {
+    throw ckpt::CorruptPayload("GlobalMachSampler: estimator presence mismatch");
+  }
+  if (estimator_) estimator_->load_state(in);
+  cached_t_.reset();
 }
 
 }  // namespace mach::core

@@ -25,6 +25,8 @@ class GlobalMachSampler final : public hfl::Sampler {
   void observe_training(const hfl::TrainingObservation& obs) override;
   void on_cloud_round(std::size_t t) override;
   bool introspect(obs::SamplerIntrospection& out) const override;
+  void save_state(ckpt::ByteWriter& out) const override;
+  void load_state(ckpt::ByteReader& in) override;
 
  private:
   /// Recomputes the federation-wide strategy for time step `t`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ckpt/bytes.h"
 #include "sampling/budget.h"
 
 namespace mach::core {
@@ -88,6 +89,25 @@ bool MachSampler::introspect(obs::SamplerIntrospection& out) const {
   return true;
 }
 
+void MachSampler::save_state(ckpt::ByteWriter& out) const {
+  out.u8(1);  // blob version
+  out.u64(transfer_.rounds_seen());
+  out.boolean(estimator_.has_value());
+  if (estimator_) estimator_->save_state(out);
+}
+
+void MachSampler::load_state(ckpt::ByteReader& in) {
+  if (in.u8() != 1) {
+    throw ckpt::CorruptPayload("MachSampler: unknown state version");
+  }
+  transfer_.set_rounds_seen(static_cast<std::size_t>(in.u64()));
+  const bool had_estimator = in.boolean();
+  if (had_estimator != estimator_.has_value()) {
+    throw ckpt::CorruptPayload("MachSampler: estimator presence mismatch");
+  }
+  if (estimator_) estimator_->load_state(in);
+}
+
 MachOracleSampler::MachOracleSampler(MachOptions options)
     : options_(options), transfer_(options.transfer) {}
 
@@ -102,6 +122,20 @@ std::vector<double> MachOracleSampler::edge_probabilities(
 
 void MachOracleSampler::on_cloud_round(std::size_t /*t*/) {
   transfer_.advance_round();
+}
+
+void MachOracleSampler::save_state(ckpt::ByteWriter& out) const {
+  out.u8(1);  // blob version
+  // The oracle probes gradient norms fresh every step; the warmup position
+  // of the transfer function is the only state that carries across steps.
+  out.u64(transfer_.rounds_seen());
+}
+
+void MachOracleSampler::load_state(ckpt::ByteReader& in) {
+  if (in.u8() != 1) {
+    throw ckpt::CorruptPayload("MachOracleSampler: unknown state version");
+  }
+  transfer_.set_rounds_seen(static_cast<std::size_t>(in.u64()));
 }
 
 }  // namespace mach::core

@@ -49,6 +49,8 @@ class MachSampler final : public hfl::Sampler {
   void observe_training(const hfl::TrainingObservation& obs) override;
   void on_cloud_round(std::size_t t) override;
   bool introspect(obs::SamplerIntrospection& out) const override;
+  void save_state(ckpt::ByteWriter& out) const override;
+  void load_state(ckpt::ByteReader& in) override;
 
   /// Introspection for tests and the quickstart example.
   const UcbEstimator& estimator() const { return *estimator_; }
@@ -68,6 +70,8 @@ class MachOracleSampler final : public hfl::Sampler {
   std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
   void on_cloud_round(std::size_t t) override;
   bool needs_oracle() const override { return true; }
+  void save_state(ckpt::ByteWriter& out) const override;
+  void load_state(ckpt::ByteReader& in) override;
 
  private:
   MachOptions options_;

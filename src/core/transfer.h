@@ -40,6 +40,8 @@ class TransferFunction {
   double effective_alpha() const;
   double effective_beta() const;
   std::size_t rounds_seen() const noexcept { return rounds_; }
+  /// Checkpoint restore: jumps the warmup schedule to `rounds` advances.
+  void set_rounds_seen(std::size_t rounds) noexcept { rounds_ = rounds; }
 
  private:
   TransferOptions options_;

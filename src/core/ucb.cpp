@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/bytes.h"
+
 namespace mach::core {
 
 UcbEstimator::UcbEstimator(std::size_t num_devices, UcbOptions options)
@@ -53,6 +55,40 @@ double UcbEstimator::exploration(std::uint32_t device) const {
 
 double UcbEstimator::estimate(std::uint32_t device) const {
   return exploitation(device) + exploration(device);
+}
+
+void UcbEstimator::save_state(ckpt::ByteWriter& out) const {
+  out.u64(buffers_.size());
+  for (const auto& buffer : buffers_) out.vec_f64(buffer);
+  out.vec_f64(max_round_avg_);
+  for (std::size_t m = 0; m < has_estimate_.size(); ++m) {
+    out.boolean(has_estimate_[m]);
+  }
+  out.u64(counts_.size());
+  for (const std::size_t c : counts_) out.u64(c);
+  out.f64(population_max_);
+  out.u64(last_cloud_t_);
+}
+
+void UcbEstimator::load_state(ckpt::ByteReader& in) {
+  const std::uint64_t devices = in.u64();
+  if (devices != buffers_.size()) {
+    throw ckpt::CorruptPayload("UcbEstimator: snapshot device count mismatch");
+  }
+  for (auto& buffer : buffers_) buffer = in.vec_f64();
+  max_round_avg_ = in.vec_f64();
+  if (max_round_avg_.size() != buffers_.size()) {
+    throw ckpt::CorruptPayload("UcbEstimator: snapshot size mismatch");
+  }
+  for (std::size_t m = 0; m < has_estimate_.size(); ++m) {
+    has_estimate_[m] = in.boolean();
+  }
+  if (in.u64() != counts_.size()) {
+    throw ckpt::CorruptPayload("UcbEstimator: snapshot count-vector mismatch");
+  }
+  for (auto& c : counts_) c = static_cast<std::size_t>(in.u64());
+  population_max_ = in.f64();
+  last_cloud_t_ = static_cast<std::size_t>(in.u64());
 }
 
 }  // namespace mach::core

@@ -13,6 +13,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace mach::ckpt {
+class ByteWriter;
+class ByteReader;
+}  // namespace mach::ckpt
+
 namespace mach::core {
 
 struct UcbOptions {
@@ -58,6 +63,15 @@ class UcbEstimator {
     return buffers_.at(device).size();
   }
   std::size_t num_devices() const noexcept { return counts_.size(); }
+
+  /// Checkpointing: serialises all of Algorithm 2's accumulated state —
+  /// experience buffers, per-round maxima, participation counts, the
+  /// population maximum and the last cloud-round time.
+  void save_state(ckpt::ByteWriter& out) const;
+  /// Restores a save_state blob into this estimator. Throws
+  /// ckpt::CorruptPayload when the blob's device count disagrees with the
+  /// estimator's (snapshot from a different topology).
+  void load_state(ckpt::ByteReader& in);
 
  private:
   UcbOptions options_;

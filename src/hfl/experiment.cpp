@@ -1,9 +1,14 @@
 #include "hfl/experiment.h"
 
+#include <iomanip>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
+#include "ckpt/manager.h"
+#include "ckpt/run_state.h"
 #include "common/cli.h"
+#include "common/log.h"
 #include "mobility/mobility_model.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
@@ -190,9 +195,46 @@ RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler,
   ExperimentArtifacts artifacts = build_experiment(config);
   HflOptions options = config.hfl;
   options.seed = config.seed;
+  if (options.checkpoint.enabled() && !options.checkpoint.dir.empty()) {
+    // Sweeps run many (task, sampler, seed, hyperparameter) combinations back
+    // to back; give each its own snapshot subdirectory so runs never clobber
+    // each other and --resume picks up exactly the run it belongs to. The
+    // hash suffix separates sweep points that differ only in hyperparameters
+    // (e.g. fig5's participation grid).
+    std::uint64_t h = ckpt::kHashSeed;
+    h = ckpt::hash_u64(h, config.num_devices);
+    h = ckpt::hash_u64(h, config.num_edges);
+    h = ckpt::hash_u64(h, config.train_per_device);
+    h = ckpt::hash_u64(h, config.horizon);
+    h = ckpt::hash_u64(h, config.hfl.local_epochs);
+    h = ckpt::hash_u64(h, config.hfl.cloud_interval);
+    h = ckpt::hash_u64(h, config.hfl.batch_size);
+    h = ckpt::hash_u64(h, static_cast<std::uint64_t>(config.hfl.aggregation));
+    h = ckpt::hash_u64(h, config.data_seed);
+    h = ckpt::hash_f64(h, config.hfl.participation);
+    h = ckpt::hash_f64(h, config.hfl.learning_rate);
+    h = ckpt::hash_f64(h, config.stay_prob);
+    h = ckpt::hash_f64(h, config.long_tail_ratio);
+    h = ckpt::hash_str(h, config.hfl.faults.empty() ? ""
+                                                    : config.hfl.faults.to_string());
+    std::ostringstream subdir;
+    subdir << '/' << data::task_name(config.task) << '_' << sampler.name()
+           << "_s" << config.seed << '_' << std::hex << std::setw(8)
+           << std::setfill('0') << static_cast<std::uint32_t>(h ^ (h >> 32));
+    options.checkpoint.dir += subdir.str();
+  }
   HflSimulator simulator(artifacts.train, artifacts.test, std::move(artifacts.partition),
                          artifacts.schedule, make_model_factory(config), options);
   simulator.set_observer(observer);
+  if (options.checkpoint.resume) {
+    ckpt::CheckpointManager manager(options.checkpoint.dir, options.checkpoint.keep);
+    if (auto loaded = manager.load_latest()) {
+      simulator.set_resume_payload(std::move(loaded->payload));
+    } else {
+      common::log_warn("resume: no usable snapshot in " + options.checkpoint.dir +
+                       " -- starting from step 0");
+    }
+  }
   RunResult result;
   result.sampler_name = sampler.name();
   result.metrics = simulator.run(sampler, config.horizon);

@@ -14,6 +14,11 @@
 
 #include "obs/observer.h"
 
+namespace mach::ckpt {
+class ByteWriter;
+class ByteReader;
+}  // namespace mach::ckpt
+
 namespace mach::hfl {
 
 /// Static facts about the federation, available to samplers up front.
@@ -81,6 +86,16 @@ class Sampler {
 
   /// True when edge_probabilities needs oracle_grad_sq_norms filled (MACH-P).
   virtual bool needs_oracle() const { return false; }
+
+  /// Checkpointing: serialises all run-accumulated state (experience
+  /// buffers, UCB statistics, EMA estimates, internal RNG streams) into
+  /// `out`, and restores it from `in`. load_state is called after bind() on
+  /// a freshly constructed sampler; a restored sampler must continue the
+  /// run bit-for-bit as the original would have. Stateless samplers (and
+  /// samplers whose bind() fully reconstructs their state) keep the no-op
+  /// defaults. Implementations should lead their blob with a version byte.
+  virtual void save_state(ckpt::ByteWriter& /*out*/) const {}
+  virtual void load_state(ckpt::ByteReader& /*in*/) {}
 
   /// Telemetry: fills `out` with the sampler's per-device internals (for
   /// MACH, Algorithm 2's G~^2 estimates, buffer occupancy and participation

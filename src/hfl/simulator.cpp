@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <stdexcept>
 
+#include <unistd.h>
+
+#include "ckpt/bytes.h"
+#include "ckpt/rng_codec.h"
+#include "ckpt/run_state.h"
+#include "common/log.h"
 #include "nn/sgd.h"
 #include "runtime/chunking.h"
 #include "tensor/kernels/kernels.h"
@@ -227,6 +234,225 @@ ConfusionMatrix HflSimulator::evaluate_confusion() {
   return confusion;
 }
 
+std::uint64_t HflSimulator::run_fingerprint(const Sampler& sampler,
+                                            std::size_t steps) const {
+  std::uint64_t h = ckpt::kHashSeed;
+  h = ckpt::hash_u64(h, options_.seed);
+  h = ckpt::hash_u64(h, options_.sampling_seed);
+  h = ckpt::hash_u64(h, num_devices());
+  h = ckpt::hash_u64(h, num_edges());
+  h = ckpt::hash_u64(h, param_count_);
+  h = ckpt::hash_u64(h, options_.local_epochs);
+  h = ckpt::hash_u64(h, options_.cloud_interval);
+  h = ckpt::hash_u64(h, options_.batch_size);
+  h = ckpt::hash_f64(h, options_.learning_rate);
+  h = ckpt::hash_f64(h, options_.lr_decay);
+  h = ckpt::hash_f64(h, options_.participation);
+  h = ckpt::hash_u64(h, options_.edge_capacities.size());
+  for (const double c : options_.edge_capacities) h = ckpt::hash_f64(h, c);
+  h = ckpt::hash_f64(h, options_.min_probability);
+  h = ckpt::hash_u64(h, static_cast<std::uint64_t>(options_.aggregation));
+  h = ckpt::hash_u64(h, options_.eval_every_cloud_rounds);
+  h = ckpt::hash_u64(h, options_.eval_max_examples);
+  h = ckpt::hash_u64(h, options_.track_global_grad_norm_examples);
+  h = ckpt::hash_str(h, options_.faults.empty() ? "" : options_.faults.to_string());
+  h = ckpt::hash_str(h, sampler.name());
+  h = ckpt::hash_u64(h, steps);
+  return h;
+}
+
+void HflSimulator::save_checkpoint(Sampler& sampler, std::size_t steps,
+                                   std::size_t next_t, std::size_t cloud_rounds,
+                                   double window_train_loss,
+                                   std::size_t window_participants,
+                                   const MetricsRecorder& metrics) {
+  // Marker first: the cursor captured below must cover the marker line, so
+  // the resumed trace (truncated to the cursor, then appended) carries the
+  // same markers as an uninterrupted checkpointed run.
+  std::optional<obs::TraceCursor> cursor;
+  if (observer_ != nullptr) {
+    obs::CheckpointEvent event;
+    event.t = next_t;
+    event.steps = steps;
+    observer_->on_checkpoint(event);
+    cursor = observer_->checkpoint_cursor();
+  }
+
+  ckpt::ByteWriter out;
+  ckpt::RunStateHeader header;
+  header.fingerprint = run_fingerprint(sampler, steps);
+  header.next_t = next_t;
+  header.total_steps = steps;
+  header.cloud_rounds = cloud_rounds;
+  header.window_train_loss = window_train_loss;
+  header.window_participants = window_participants;
+  if (cursor.has_value()) {
+    header.has_trace_cursor = true;
+    header.trace_bytes = cursor->byte_offset;
+    header.trace_lines = cursor->lines;
+  }
+  header.encode(out);
+
+  // Model state: the global model and every edge model.
+  out.vec_f32(global_);
+  out.u64(edge_models_.size());
+  for (const auto& edge_model : edge_models_) out.vec_f32(edge_model);
+
+  // RNG streams: the engine's Bernoulli stream plus one minibatch stream per
+  // device (each including any cached Box–Muller half-draw).
+  ckpt::write_rng(out, engine_rng_);
+  out.u64(device_rngs_.size());
+  for (const auto& rng : device_rngs_) ckpt::write_rng(out, rng);
+
+  // Communication-cost accumulators.
+  out.u64(cost_.device_downloads);
+  out.u64(cost_.device_uploads);
+  out.u64(cost_.retry_uploads);
+  out.u64(cost_.probe_downloads);
+  out.u64(cost_.edge_uploads);
+  out.u64(cost_.cloud_broadcasts);
+  out.u64(cost_.model_parameters);
+
+  // Recorded evaluation trajectory (the final CSV is regenerated from this,
+  // which is what makes resumed CSVs byte-identical).
+  out.u64(metrics.points().size());
+  for (const EvalPoint& p : metrics.points()) {
+    out.u64(p.t);
+    out.f64(p.test_accuracy);
+    out.f64(p.test_loss);
+    out.f64(p.train_loss);
+    out.u64(p.participants);
+    out.f64(p.global_grad_sq_norm);
+  }
+
+  // Instrument registry (the run_end trace line embeds its snapshot).
+  const obs::MetricsSnapshot snap = registry_.snapshot();
+  out.u64(snap.counters.size());
+  for (const auto& entry : snap.counters) {
+    out.str(entry.name);
+    out.u64(entry.value);
+  }
+  out.u64(snap.gauges.size());
+  for (const auto& entry : snap.gauges) {
+    out.str(entry.name);
+    out.f64(entry.value);
+  }
+  out.u64(snap.histograms.size());
+  for (const auto& entry : snap.histograms) {
+    out.str(entry.name);
+    out.vec_f64(entry.bounds);
+    out.vec_u64(entry.buckets);
+    out.u64(entry.count);
+    out.f64(entry.sum);
+  }
+
+  // Sampler experience (each implementation versions its own blob).
+  out.str(sampler.name());
+  sampler.save_state(out);
+
+  ckpt_manager_->save(next_t, ckpt::kRunStateVersion,
+                      std::span<const std::uint8_t>(out.data()));
+}
+
+std::size_t HflSimulator::restore_run_state(Sampler& sampler, std::size_t steps,
+                                            std::size_t& cloud_rounds,
+                                            double& window_train_loss,
+                                            std::size_t& window_participants,
+                                            MetricsRecorder& metrics) {
+  ckpt::ByteReader in(resume_payload_);
+  const ckpt::RunStateHeader header = ckpt::RunStateHeader::decode(in);
+  if (header.fingerprint != run_fingerprint(sampler, steps)) {
+    throw std::runtime_error(
+        "checkpoint: fingerprint mismatch — the snapshot was produced by a "
+        "different run configuration (seed/topology/hyperparameters/sampler/"
+        "steps must match; thread count may differ)");
+  }
+  if (header.total_steps != steps || header.next_t > steps) {
+    throw std::runtime_error("checkpoint: step horizon mismatch");
+  }
+
+  global_ = in.vec_f32();
+  if (global_.size() != param_count_) {
+    throw ckpt::CorruptPayload("checkpoint: global model size mismatch");
+  }
+  const std::uint64_t num_edge_models = in.u64();
+  if (num_edge_models != edge_models_.size()) {
+    throw ckpt::CorruptPayload("checkpoint: edge model count mismatch");
+  }
+  for (auto& edge_model : edge_models_) {
+    edge_model = in.vec_f32();
+    if (edge_model.size() != param_count_) {
+      throw ckpt::CorruptPayload("checkpoint: edge model size mismatch");
+    }
+  }
+
+  ckpt::read_rng(in, engine_rng_);
+  const std::uint64_t num_rngs = in.u64();
+  if (num_rngs != device_rngs_.size()) {
+    throw ckpt::CorruptPayload("checkpoint: device RNG count mismatch");
+  }
+  for (auto& rng : device_rngs_) ckpt::read_rng(in, rng);
+
+  cost_.device_downloads = in.u64();
+  cost_.device_uploads = in.u64();
+  cost_.retry_uploads = in.u64();
+  cost_.probe_downloads = in.u64();
+  cost_.edge_uploads = in.u64();
+  cost_.cloud_broadcasts = in.u64();
+  cost_.model_parameters = in.u64();
+
+  const std::uint64_t num_points = in.u64();
+  for (std::uint64_t i = 0; i < num_points; ++i) {
+    EvalPoint p;
+    p.t = in.u64();
+    p.test_accuracy = in.f64();
+    p.test_loss = in.f64();
+    p.train_loss = in.f64();
+    p.participants = in.u64();
+    p.global_grad_sq_norm = in.f64();
+    metrics.record(p);
+  }
+
+  obs::MetricsSnapshot snap;
+  const std::uint64_t num_counters = in.u64();
+  for (std::uint64_t i = 0; i < num_counters; ++i) {
+    const std::string name = in.str();
+    snap.counters.push_back({name, in.u64()});
+  }
+  const std::uint64_t num_gauges = in.u64();
+  for (std::uint64_t i = 0; i < num_gauges; ++i) {
+    const std::string name = in.str();
+    snap.gauges.push_back({name, in.f64()});
+  }
+  const std::uint64_t num_histograms = in.u64();
+  for (std::uint64_t i = 0; i < num_histograms; ++i) {
+    obs::MetricsSnapshot::HistogramEntry entry;
+    entry.name = in.str();
+    entry.bounds = in.vec_f64();
+    entry.buckets = in.vec_u64();
+    entry.count = in.u64();
+    entry.sum = in.f64();
+    snap.histograms.push_back(std::move(entry));
+  }
+  registry_.restore(snap);
+
+  const std::string sampler_name = in.str();
+  if (sampler_name != sampler.name()) {
+    throw std::runtime_error("checkpoint: sampler mismatch (snapshot has '" +
+                             sampler_name + "', run uses '" + sampler.name() +
+                             "')");
+  }
+  sampler.load_state(in);
+  if (!in.at_end()) {
+    throw ckpt::CorruptPayload("checkpoint: trailing bytes after run state");
+  }
+
+  cloud_rounds = header.cloud_rounds;
+  window_train_loss = header.window_train_loss;
+  window_participants = header.window_participants;
+  return static_cast<std::size_t>(header.next_t);
+}
+
 MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   sampler.bind(federation_info());
   MetricsRecorder metrics;
@@ -268,7 +494,32 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     ctr_fault_updates_lost = &registry_.counter("fault_updates_lost");
   }
 
-  if (observer_ != nullptr) {
+  // Resume path: apply the pending snapshot after instrument registration
+  // (restore is lookup-or-create against the same names, so the cached
+  // references above stay live) and before any event is emitted — the
+  // run_begin line and baseline evaluation already happened in the original
+  // run and live in the truncated trace / restored recorder.
+  double window_train_loss = 0.0;
+  std::size_t window_participants = 0;
+  std::size_t cloud_rounds = 0;
+  std::size_t start_t = 0;
+  const bool resumed = !resume_payload_.empty();
+
+  if (options_.checkpoint.every > 0 || options_.checkpoint.resume) {
+    if (ckpt_manager_ == nullptr) {
+      ckpt_manager_ = std::make_unique<ckpt::CheckpointManager>(
+          options_.checkpoint.dir, options_.checkpoint.keep);
+    }
+  }
+
+  if (resumed) {
+    start_t = restore_run_state(sampler, steps, cloud_rounds, window_train_loss,
+                                window_participants, metrics);
+    resume_payload_.clear();
+    resume_payload_.shrink_to_fit();
+  }
+
+  if (!resumed && observer_ != nullptr) {
     obs::RunBeginEvent event;
     event.sampler = sampler.name();
     event.seed = options_.seed;
@@ -296,16 +547,13 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     }
   };
 
-  // Baseline point: the untrained global model.
-  {
+  // Baseline point: the untrained global model (already recorded in the
+  // restored trajectory when resuming).
+  if (!resumed) {
     obs::ScopedTimer timer(timers_, obs::Phase::Evaluation);
     EvalPoint baseline = evaluate_global(0);
     record_eval(baseline, timer.elapsed_seconds());
   }
-
-  double window_train_loss = 0.0;
-  std::size_t window_participants = 0;
-  std::size_t cloud_rounds = 0;
 
   std::vector<float> aggregate(param_count_);
   std::vector<double> probs;
@@ -313,7 +561,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   std::vector<std::uint64_t> cloud_lost;  // edges whose upload was lost
   std::vector<float> prev_global;         // w^t backup for all-lost rounds
 
-  for (std::size_t t = 0; t < steps; ++t) {
+  for (std::size_t t = start_t; t < steps; ++t) {
     const double lr = learning_rate_at(t);
     gauge_lr.set(lr);
     const auto per_edge = schedule_.devices_per_edge(t);
@@ -691,6 +939,26 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         record_eval(point, eval_seconds);
         window_train_loss = 0.0;
         window_participants = 0;
+      }
+    }
+
+    // Snapshot after every `every` completed steps (never after the final
+    // step — the run is about to finish anyway and a resumable snapshot
+    // would outlive its purpose).
+    const std::size_t done = t + 1;
+    if (options_.checkpoint.every > 0 && done % options_.checkpoint.every == 0 &&
+        done < steps) {
+      {
+        obs::ScopedTimer timer(timers_, obs::Phase::Checkpoint);
+        save_checkpoint(sampler, steps, done, cloud_rounds, window_train_loss,
+                        window_participants, metrics);
+      }
+      // CI/test harness: simulate preemption by hard-killing the process the
+      // moment the first snapshot at or past `kill_at` is durable. SIGKILL
+      // on purpose — no destructors, no stream flushes, exactly the crash
+      // the resume path must survive.
+      if (options_.checkpoint.kill_at > 0 && done >= options_.checkpoint.kill_at) {
+        ::kill(::getpid(), SIGKILL);
       }
     }
   }

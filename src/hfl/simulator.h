@@ -24,6 +24,8 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/manager.h"
+#include "ckpt/options.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "data/partition.h"
@@ -95,6 +97,15 @@ struct HflOptions {
   /// reduction (Eq. 5 edge aggregation, evaluation chunk folds) happens
   /// serially in index order afterwards.
   runtime::ParallelConfig parallel;
+  /// Crash-tolerant checkpointing (src/ckpt/). With `checkpoint.every` > 0
+  /// the engine freezes its full run state — model parameters, every RNG
+  /// stream (including cached Box–Muller halves), sampler experience,
+  /// communication counters, recorded metrics, the instrument registry and
+  /// the attached trace sink's byte cursor — into an atomic CRC-checked
+  /// snapshot after every N completed steps. A run restored from such a
+  /// snapshot (see set_resume_payload) replays the remaining steps bitwise
+  /// identically to the uninterrupted run, at any thread count.
+  ckpt::CheckpointOptions checkpoint;
   /// Fault-injection schedule (device dropout, stragglers vs per-edge
   /// timeouts, edge outages, cloud upload loss — see fault/schedule.h). The
   /// default (empty) schedule takes the exact fault-free code path: every
@@ -142,6 +153,25 @@ class HflSimulator {
   /// (the RNG stream is untouched), only what gets reported.
   void set_observer(obs::RunObserver* observer) noexcept { observer_ = observer; }
 
+  /// Hands the engine a decoded checkpoint payload (ckpt::CheckpointManager
+  /// load → CheckpointBlob::payload) to continue from. The next run() call
+  /// consumes it: it validates the fingerprint against its own configuration
+  /// and the bound sampler, restores every piece of run state, skips the
+  /// run_begin event and baseline evaluation (both already happened in the
+  /// original run) and resumes the step loop at the recorded `next_t`.
+  /// Throws ckpt::CorruptPayload (malformed snapshot) or std::runtime_error
+  /// (configuration mismatch) from within that run() call.
+  void set_resume_payload(std::vector<std::uint8_t> payload) {
+    resume_payload_ = std::move(payload);
+  }
+
+  /// Configuration hash recorded in snapshots (see ckpt/run_state.h). Covers
+  /// everything that shapes the deterministic event sequence — topology,
+  /// seeds, hyperparameters, aggregation form, fault spec, sampler name and
+  /// the horizon — and deliberately excludes the thread count (resuming at a
+  /// different `--threads` is legal).
+  std::uint64_t run_fingerprint(const Sampler& sampler, std::size_t steps) const;
+
   /// Wall-clock phase breakdown of the most recent run() (always recorded,
   /// observer or not — two steady_clock reads per phase scope).
   const obs::PhaseTimerSet& phase_timers() const noexcept { return timers_; }
@@ -183,6 +213,24 @@ class HflSimulator {
   /// ||g||^2 probe used for samplers with needs_oracle() (MACH-P).
   double probe_gradient_norm(std::uint32_t device, const std::vector<float>& params);
 
+  /// Freezes the complete run state into an atomic snapshot: emits the
+  /// checkpoint marker + cursor to the observer first (so the marker itself
+  /// is covered by the recorded trace offset), then encodes and writes via
+  /// the checkpoint manager. `next_t` steps are complete.
+  void save_checkpoint(Sampler& sampler, std::size_t steps, std::size_t next_t,
+                       std::size_t cloud_rounds, double window_train_loss,
+                       std::size_t window_participants,
+                       const MetricsRecorder& metrics);
+
+  /// Applies a decoded snapshot payload; returns the step to resume at.
+  /// Must run after Sampler::bind and instrument registration. Throws
+  /// ckpt::CorruptPayload / std::runtime_error (see set_resume_payload).
+  std::size_t restore_run_state(Sampler& sampler, std::size_t steps,
+                                std::size_t& cloud_rounds,
+                                double& window_train_loss,
+                                std::size_t& window_participants,
+                                MetricsRecorder& metrics);
+
   double learning_rate_at(std::size_t t) const;
 
   const data::Dataset& train_;
@@ -217,6 +265,10 @@ class HflSimulator {
   obs::RunObserver* observer_ = nullptr;  // non-owning; see set_observer
   obs::PhaseTimerSet timers_;
   obs::MetricsRegistry registry_;
+
+  // Checkpoint runtime (null until a run with checkpoint.every > 0 starts).
+  std::unique_ptr<ckpt::CheckpointManager> ckpt_manager_;
+  std::vector<std::uint8_t> resume_payload_;  // consumed by the next run()
 };
 
 }  // namespace mach::hfl

@@ -32,6 +32,25 @@ class Adam {
   void set_learning_rate(double lr) noexcept { options_.learning_rate = lr; }
   std::size_t steps_taken() const noexcept { return step_count_; }
 
+  /// Moment estimates, one buffer per parameter tensor in layer order
+  /// (empty until the first step). Exposed for optimizer-state
+  /// checkpointing; bias correction depends on steps_taken(), so the three
+  /// pieces must be restored together via set_state.
+  const std::vector<std::vector<float>>& first_moments() const noexcept {
+    return first_moments_;
+  }
+  const std::vector<std::vector<float>>& second_moments() const noexcept {
+    return second_moments_;
+  }
+  /// Checkpoint restore: replaces the step counter and both moment sets.
+  void set_state(std::size_t step_count,
+                 std::vector<std::vector<float>> first_moments,
+                 std::vector<std::vector<float>> second_moments) {
+    step_count_ = step_count;
+    first_moments_ = std::move(first_moments);
+    second_moments_ = std::move(second_moments);
+  }
+
  private:
   AdamOptions options_;
   std::size_t step_count_ = 0;

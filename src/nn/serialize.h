@@ -2,20 +2,41 @@
 // small self-describing binary file (magic + count + float32 payload).
 // Architecture is not serialised — loading requires a model with the same
 // parameter count, which is how the simulator moves weights around anyway.
+//
+// Optimizer state travels in a separate file with its own magic: SGD saves
+// its velocity buffers, Adam its step counter and first/second moments, so
+// a training loop interrupted mid-schedule can continue with momentum
+// intact. Both sides of every function report I/O failures the same way —
+// std::runtime_error carrying the errno/strerror context of the failed
+// operation (std::invalid_argument for shape mismatches).
 #pragma once
 
 #include <string>
 
+#include "nn/adam.h"
 #include "nn/model.h"
+#include "nn/sgd.h"
 
 namespace mach::nn {
 
-/// Writes all parameters of `model` to `path`. Returns false on I/O error.
-bool save_parameters(Sequential& model, const std::string& path);
+/// Writes all parameters of `model` to `path`. Throws std::runtime_error
+/// with errno context when the file cannot be created or written.
+void save_parameters(Sequential& model, const std::string& path);
 
 /// Restores parameters saved by save_parameters. Throws std::runtime_error
-/// on missing/corrupt files and std::invalid_argument on a parameter-count
-/// mismatch with `model`.
+/// (with errno context for I/O failures) on missing/corrupt files and
+/// std::invalid_argument on a parameter-count mismatch with `model`.
 void load_parameters(Sequential& model, const std::string& path);
+
+/// Writes the optimizer's accumulated state (velocity buffers for SGD;
+/// step counter + moment estimates for Adam). Throws std::runtime_error
+/// with errno context on I/O failure.
+void save_optimizer_state(const Sgd& optimizer, const std::string& path);
+void save_optimizer_state(const Adam& optimizer, const std::string& path);
+
+/// Restores state saved by the matching save_optimizer_state overload.
+/// Throws std::runtime_error on missing/corrupt/mismatched-kind files.
+void load_optimizer_state(Sgd& optimizer, const std::string& path);
+void load_optimizer_state(Adam& optimizer, const std::string& path);
 
 }  // namespace mach::nn

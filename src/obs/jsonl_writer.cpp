@@ -1,7 +1,9 @@
 #include "obs/jsonl_writer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 #include "obs/json.h"
 
@@ -127,6 +129,41 @@ JsonlTraceWriter::JsonlTraceWriter(const std::string& path, JsonlTraceOptions op
 JsonlTraceWriter::JsonlTraceWriter(std::ostream& out, JsonlTraceOptions options)
     : options_(options), out_(&out) {}
 
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path,
+                                   const TraceCursor& resume_from,
+                                   JsonlTraceOptions options)
+    : options_(options) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("JsonlTraceWriter: cannot resume " + path + ": " +
+                             ec.message());
+  }
+  if (size < resume_from.byte_offset) {
+    throw std::runtime_error(
+        "JsonlTraceWriter: trace " + path + " is shorter (" +
+        std::to_string(size) + " bytes) than the checkpoint cursor (" +
+        std::to_string(resume_from.byte_offset) + ") — wrong file?");
+  }
+  // Drop everything the crashed process wrote after its last snapshot; the
+  // resumed run re-emits those events identically.
+  std::filesystem::resize_file(path, resume_from.byte_offset, ec);
+  if (ec) {
+    throw std::runtime_error("JsonlTraceWriter: cannot truncate " + path + ": " +
+                             ec.message());
+  }
+  // in|out|ate ("r+", positioned at end) rather than app: append-mode
+  // streams pin every write to end-of-file but leave tellp() unreliable,
+  // and the next snapshot needs an exact byte cursor from tellp().
+  owned_ = std::make_unique<std::ofstream>(
+      path, std::ios::in | std::ios::out | std::ios::ate);
+  out_ = owned_.get();
+  if (!*owned_) {
+    throw std::runtime_error("JsonlTraceWriter: cannot reopen " + path);
+  }
+  lines_ = static_cast<std::size_t>(resume_from.lines);
+}
+
 JsonlTraceWriter::~JsonlTraceWriter() { out_->flush(); }
 
 void JsonlTraceWriter::write_line(std::string line) {
@@ -226,6 +263,25 @@ void JsonlTraceWriter::on_eval(const EvalEvent& event) {
   w.field("global_grad_sq_norm", event.global_grad_sq_norm);
   w.field("seconds", event.seconds);
   write_line(w.end());
+}
+
+void JsonlTraceWriter::on_checkpoint(const CheckpointEvent& event) {
+  JsonObjectWriter w;
+  w.begin();
+  w.field("event", "checkpoint");
+  w.field("t", event.t);
+  w.field("steps", event.steps);
+  write_line(w.end());
+}
+
+std::optional<TraceCursor> JsonlTraceWriter::checkpoint_cursor() {
+  out_->flush();
+  const std::ostream::pos_type pos = out_->tellp();
+  if (pos < 0) return std::nullopt;
+  TraceCursor cursor;
+  cursor.byte_offset = static_cast<std::uint64_t>(pos);
+  cursor.lines = lines_;
+  return cursor;
 }
 
 void JsonlTraceWriter::on_run_end(const RunEndEvent& event) {

@@ -38,6 +38,13 @@ class JsonlTraceWriter final : public RunObserver {
   explicit JsonlTraceWriter(const std::string& path, JsonlTraceOptions options = {});
   /// Streams to an externally owned ostream (tests, stringstreams).
   explicit JsonlTraceWriter(std::ostream& out, JsonlTraceOptions options = {});
+  /// Resume constructor: truncates the existing trace at `path` to the
+  /// cursor recorded in a checkpoint (discarding events the crashed process
+  /// wrote after its last durable snapshot) and appends from there. Throws
+  /// std::runtime_error when the file is missing or shorter than the cursor
+  /// (the trace does not match the snapshot).
+  JsonlTraceWriter(const std::string& path, const TraceCursor& resume_from,
+                   JsonlTraceOptions options = {});
   ~JsonlTraceWriter() override;
 
   void on_run_begin(const RunBeginEvent& event) override;
@@ -47,6 +54,11 @@ class JsonlTraceWriter final : public RunObserver {
   void on_cloud_round(const CloudRoundEvent& event) override;
   void on_eval(const EvalEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
+  /// Emits a {"event":"checkpoint","t":...} marker line.
+  void on_checkpoint(const CheckpointEvent& event) override;
+  /// Flushes and reports the current byte/line position. nullopt for
+  /// ostream-backed writers whose position cannot be queried.
+  std::optional<TraceCursor> checkpoint_cursor() override;
 
   std::size_t lines_written() const noexcept { return lines_; }
 

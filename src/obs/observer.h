@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -139,6 +140,24 @@ struct EvalEvent {
   double seconds = 0.0;
 };
 
+/// Emitted right before the engine freezes a run-state snapshot: `t` steps
+/// are complete and the snapshot will resume at step `t`. The marker lands
+/// in the trace *before* the trace cursor is captured, so an uninterrupted
+/// checkpointed run and a crash-resumed one carry identical marker lines —
+/// and tools can detect resumed traces by markers followed by regressing t.
+struct CheckpointEvent {
+  std::size_t t = 0;      // next_t: first step the snapshot will re-execute
+  std::size_t steps = 0;  // the run's horizon
+};
+
+/// Byte/line position of a trace sink at snapshot time. On resume the trace
+/// file is truncated to `byte_offset` and appended, which removes any events
+/// the crashed process emitted after its last durable snapshot.
+struct TraceCursor {
+  std::uint64_t byte_offset = 0;
+  std::uint64_t lines = 0;
+};
+
 struct RunEndEvent {
   std::size_t steps = 0;
   std::size_t cloud_rounds = 0;
@@ -159,6 +178,13 @@ class RunObserver {
   virtual void on_cloud_round(const CloudRoundEvent& /*event*/) {}
   virtual void on_eval(const EvalEvent& /*event*/) {}
   virtual void on_run_end(const RunEndEvent& /*event*/) {}
+  virtual void on_checkpoint(const CheckpointEvent& /*event*/) {}
+
+  /// Current flushed position of this observer's persistent sink, recorded
+  /// into snapshots so a resumed run can truncate-and-append seamlessly.
+  /// Observers without a recoverable sink (stringstreams, stdout, pure
+  /// aggregators) return nullopt. Called immediately after on_checkpoint.
+  virtual std::optional<TraceCursor> checkpoint_cursor() { return std::nullopt; }
 };
 
 }  // namespace mach::obs

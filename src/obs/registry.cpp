@@ -27,6 +27,16 @@ double Histogram::mean() const noexcept {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& buckets,
+                        std::uint64_t count, double sum) {
+  if (buckets.size() != buckets_.size()) {
+    throw std::invalid_argument("Histogram::restore: bucket count mismatch");
+  }
+  buckets_ = buckets;
+  count_ = count;
+  sum_ = sum;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   auto it = counter_index_.find(name);
   if (it != counter_index_.end()) return *it->second;
@@ -68,6 +78,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
                                histogram->count(), histogram->sum()});
   }
   return snap;
+}
+
+void MetricsRegistry::restore(const MetricsSnapshot& snap) {
+  for (const auto& entry : snap.counters) counter(entry.name).set(entry.value);
+  for (const auto& entry : snap.gauges) gauge(entry.name).set(entry.value);
+  for (const auto& entry : snap.histograms) {
+    histogram(entry.name, entry.bounds)
+        .restore(entry.buckets, entry.count, entry.sum);
+  }
 }
 
 void MetricsRegistry::reset() {

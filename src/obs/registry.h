@@ -31,6 +31,10 @@ class Counter {
     return value_.load(std::memory_order_relaxed);
   }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  /// Checkpoint restore: jumps the count to `value` (single-threaded phase).
+  void set(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -62,6 +66,11 @@ class Histogram {
   std::uint64_t count() const noexcept { return count_; }
   double sum() const noexcept { return sum_; }
   double mean() const noexcept;
+
+  /// Checkpoint restore: overwrites the accumulated state. `buckets` must
+  /// have bounds().size() + 1 entries (throws std::invalid_argument).
+  void restore(const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+               double sum);
 
  private:
   std::vector<double> bounds_;
@@ -105,6 +114,13 @@ class MetricsRegistry {
 
   /// Instruments registered so far (alphabetical within each kind).
   MetricsSnapshot snapshot() const;
+
+  /// Checkpoint restore: loads every instrument in `snap` back into the
+  /// registry, creating missing instruments (histograms with the snapshot's
+  /// bounds) and leaving instruments absent from the snapshot untouched.
+  /// Registered references stay valid — restore happens between runs/steps,
+  /// never concurrently with instrument updates.
+  void restore(const MetricsSnapshot& snap);
 
   /// Resets every instrument's state, keeping registrations (and thus every
   /// cached reference) alive. Used between repeated simulator runs.

@@ -9,6 +9,7 @@ std::string_view phase_name(Phase phase) noexcept {
     case Phase::EdgeAggregation: return "edge_aggregation";
     case Phase::CloudAggregation: return "cloud_aggregation";
     case Phase::Evaluation: return "evaluation";
+    case Phase::Checkpoint: return "checkpoint";
     case Phase::kCount: break;
   }
   return "unknown";

@@ -20,6 +20,7 @@ enum class Phase : std::size_t {
   EdgeAggregation,      // Horvitz-Thompson edge aggregation, Eq. 5
   CloudAggregation,     // edge -> cloud fold + broadcast, Eq. 6
   Evaluation,           // global-model evaluation passes
+  Checkpoint,           // run-state snapshot encode + durable write
   kCount,
 };
 

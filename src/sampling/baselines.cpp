@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/bytes.h"
 #include "sampling/budget.h"
 
 namespace mach::sampling {
@@ -103,6 +104,28 @@ std::vector<double> StatisticalSampler::edge_probabilities(
   }
   clip_weight_spread(weights, max_weight_ratio_);
   return budgeted_probabilities(weights, ctx.capacity);
+}
+
+void StatisticalSampler::save_state(ckpt::ByteWriter& out) const {
+  out.u8(1);  // blob version
+  out.vec_f64(loss_ema_);
+  for (std::size_t m = 0; m < observed_.size(); ++m) out.boolean(observed_[m]);
+  out.f64(running_mean_);
+  out.u64(observations_);
+}
+
+void StatisticalSampler::load_state(ckpt::ByteReader& in) {
+  if (in.u8() != 1) {
+    throw ckpt::CorruptPayload("StatisticalSampler: unknown state version");
+  }
+  std::vector<double> ema = in.vec_f64();
+  if (ema.size() != loss_ema_.size()) {
+    throw ckpt::CorruptPayload("StatisticalSampler: snapshot device mismatch");
+  }
+  loss_ema_ = std::move(ema);
+  for (std::size_t m = 0; m < observed_.size(); ++m) observed_[m] = in.boolean();
+  running_mean_ = in.f64();
+  observations_ = static_cast<std::size_t>(in.u64());
 }
 
 }  // namespace mach::sampling

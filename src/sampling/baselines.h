@@ -56,6 +56,8 @@ class StatisticalSampler final : public hfl::Sampler {
   void bind(const hfl::FederationInfo& info) override;
   std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
   void observe_training(const hfl::TrainingObservation& obs) override;
+  void save_state(ckpt::ByteWriter& out) const override;
+  void load_state(ckpt::ByteReader& in) override;
 
   double loss_estimate(std::uint32_t device) const;
 

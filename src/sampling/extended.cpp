@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "ckpt/rng_codec.h"
 #include "sampling/baselines.h"
 #include "sampling/budget.h"
 
@@ -50,6 +51,28 @@ std::vector<double> PowerOfChoiceSampler::edge_probabilities(
     weights[idx] = observed_[device] ? std::max(last_loss_[device], 1e-6) : max_loss;
   }
   return budgeted_probabilities(weights, ctx.capacity);
+}
+
+void PowerOfChoiceSampler::save_state(ckpt::ByteWriter& out) const {
+  out.u8(1);  // blob version
+  // The candidate-set RNG is consumed once per edge_probabilities() call, so
+  // its stream position is run state just like the engine's Bernoulli RNG.
+  ckpt::write_rng(out, rng_);
+  out.vec_f64(last_loss_);
+  for (std::size_t m = 0; m < observed_.size(); ++m) out.boolean(observed_[m]);
+}
+
+void PowerOfChoiceSampler::load_state(ckpt::ByteReader& in) {
+  if (in.u8() != 1) {
+    throw ckpt::CorruptPayload("PowerOfChoiceSampler: unknown state version");
+  }
+  ckpt::read_rng(in, rng_);
+  std::vector<double> losses = in.vec_f64();
+  if (losses.size() != last_loss_.size()) {
+    throw ckpt::CorruptPayload("PowerOfChoiceSampler: snapshot device mismatch");
+  }
+  last_loss_ = std::move(losses);
+  for (std::size_t m = 0; m < observed_.size(); ++m) observed_[m] = in.boolean();
 }
 
 OortSampler::OortSampler() : OortSampler(Options{}) {}
@@ -114,6 +137,30 @@ std::vector<double> OortSampler::edge_probabilities(
   }
   clip_weight_spread(weights, 3.5);
   return budgeted_probabilities(weights, ctx.capacity);
+}
+
+void OortSampler::save_state(ckpt::ByteWriter& out) const {
+  out.u8(1);  // blob version
+  out.vec_f64(utility_ema_);
+  out.u64(last_seen_.size());
+  for (const std::size_t t : last_seen_) out.u64(t);
+  for (std::size_t m = 0; m < observed_.size(); ++m) out.boolean(observed_[m]);
+}
+
+void OortSampler::load_state(ckpt::ByteReader& in) {
+  if (in.u8() != 1) {
+    throw ckpt::CorruptPayload("OortSampler: unknown state version");
+  }
+  std::vector<double> ema = in.vec_f64();
+  if (ema.size() != utility_ema_.size()) {
+    throw ckpt::CorruptPayload("OortSampler: snapshot device mismatch");
+  }
+  utility_ema_ = std::move(ema);
+  if (in.u64() != last_seen_.size()) {
+    throw ckpt::CorruptPayload("OortSampler: snapshot last-seen mismatch");
+  }
+  for (auto& t : last_seen_) t = static_cast<std::size_t>(in.u64());
+  for (std::size_t m = 0; m < observed_.size(); ++m) observed_[m] = in.boolean();
 }
 
 }  // namespace mach::sampling

@@ -29,6 +29,8 @@ class PowerOfChoiceSampler final : public hfl::Sampler {
   void bind(const hfl::FederationInfo& info) override;
   std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
   void observe_training(const hfl::TrainingObservation& obs) override;
+  void save_state(ckpt::ByteWriter& out) const override;
+  void load_state(ckpt::ByteReader& in) override;
 
  private:
   double candidate_fraction_;
@@ -56,6 +58,8 @@ class OortSampler final : public hfl::Sampler {
   void bind(const hfl::FederationInfo& info) override;
   std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
   void observe_training(const hfl::TrainingObservation& obs) override;
+  void save_state(ckpt::ByteWriter& out) const override;
+  void load_state(ckpt::ByteReader& in) override;
 
   /// Current clipped utility of a device (tests).
   double utility(std::uint32_t device, std::size_t now) const;

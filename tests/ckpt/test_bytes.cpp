@@ -1,0 +1,129 @@
+// Byte codec + CRC coverage: round-trips for every primitive, bounds-checked
+// failure on truncated/hostile payloads, and the RNG codec including the
+// Box-Muller cached half-draw.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ckpt/bytes.h"
+#include "ckpt/crc32.h"
+#include "ckpt/rng_codec.h"
+#include "common/rng.h"
+
+namespace mach::ckpt {
+namespace {
+
+TEST(ByteCodec, PrimitivesRoundTrip) {
+  ByteWriter out;
+  out.u8(0xAB);
+  out.u32(0xDEADBEEF);
+  out.u64(0x0123456789ABCDEFULL);
+  out.boolean(true);
+  out.boolean(false);
+  out.f32(-1.5f);
+  out.f64(3.141592653589793);
+  out.str("hello checkpoint");
+  out.blob(std::vector<std::uint8_t>{1, 2, 3});
+  out.vec_f32(std::vector<float>{0.5f, -0.25f});
+  out.vec_f64(std::vector<double>{1e-300, -1e300});
+  out.vec_u64(std::vector<std::uint64_t>{7, 8, 9});
+
+  ByteReader in(out.data());
+  EXPECT_EQ(in.u8(), 0xAB);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(in.boolean());
+  EXPECT_FALSE(in.boolean());
+  EXPECT_EQ(in.f32(), -1.5f);
+  EXPECT_EQ(in.f64(), 3.141592653589793);
+  EXPECT_EQ(in.str(), "hello checkpoint");
+  EXPECT_EQ(in.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(in.vec_f32(), (std::vector<float>{0.5f, -0.25f}));
+  EXPECT_EQ(in.vec_f64(), (std::vector<double>{1e-300, -1e300}));
+  EXPECT_EQ(in.vec_u64(), (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(ByteCodec, SpecialFloatsKeepTheirBits) {
+  ByteWriter out;
+  out.f64(std::numeric_limits<double>::quiet_NaN());
+  out.f64(-0.0);
+  out.f64(std::numeric_limits<double>::infinity());
+  ByteReader in(out.data());
+  EXPECT_TRUE(std::isnan(in.f64()));
+  const double neg_zero = in.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(in.f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(ByteCodec, ReadPastEndThrows) {
+  ByteWriter out;
+  out.u32(1);
+  ByteReader in(out.data());
+  in.u32();
+  EXPECT_THROW(in.u8(), CorruptPayload);
+}
+
+TEST(ByteCodec, TruncatedVectorThrows) {
+  ByteWriter out;
+  out.vec_f64(std::vector<double>{1.0, 2.0, 3.0});
+  std::vector<std::uint8_t> bytes = out.data();
+  bytes.resize(bytes.size() - 4);  // cut into the last element
+  ByteReader in(bytes);
+  EXPECT_THROW(in.vec_f64(), CorruptPayload);
+}
+
+TEST(ByteCodec, HostileLengthRejectedBeforeAllocation) {
+  // A length prefix claiming ~2^61 elements in an 8-byte payload must throw
+  // immediately, not attempt a gigantic allocation.
+  ByteWriter out;
+  out.u64(std::numeric_limits<std::uint64_t>::max() / 8);
+  ByteReader in(out.data());
+  EXPECT_THROW(in.vec_u64(), CorruptPayload);
+}
+
+TEST(ByteCodec, InvalidBooleanTagThrows) {
+  const std::vector<std::uint8_t> bytes{2};
+  ByteReader in(bytes);
+  EXPECT_THROW(in.boolean(), CorruptPayload);
+}
+
+TEST(Crc32, MatchesTheReferenceVector) {
+  // The canonical CRC-32 (IEEE 802.3) check value for "123456789".
+  const std::string data = "123456789";
+  const std::vector<std::uint8_t> bytes(data.begin(), data.end());
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsASingleFlippedBit) {
+  std::vector<std::uint8_t> bytes(128, 0x41);
+  const std::uint32_t clean = crc32(bytes);
+  bytes[77] ^= 0x10;
+  EXPECT_NE(crc32(bytes), clean);
+}
+
+TEST(RngCodec, RoundTripContinuesTheStream) {
+  common::Rng rng(314);
+  for (int i = 0; i < 9; ++i) rng.uniform();
+  rng.normal();  // leaves a cached Box-Muller half pending
+
+  ByteWriter out;
+  write_rng(out, rng);
+  common::Rng restored(1);
+  ByteReader in(out.data());
+  read_rng(in, restored);
+  EXPECT_TRUE(in.at_end());
+
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(rng.normal(), restored.normal()) << "diverged at draw " << i;
+    EXPECT_EQ(rng.uniform(), restored.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace mach::ckpt

@@ -227,5 +227,56 @@ TEST(Rng, SampleWithoutReplacementClampsCount) {
   EXPECT_EQ(sample.size(), 5u);
 }
 
+TEST(RngState, RestoredStreamContinuesIdentically) {
+  Rng rng(42);
+  // Burn a mixed prefix so the captured state is mid-stream, not at seed.
+  for (int i = 0; i < 17; ++i) rng.uniform();
+  rng.bernoulli(0.3);
+  rng.uniform_int(0, 100);
+
+  const RngState snapshot = rng.state();
+  Rng restored(999);  // different seed: set_state must fully overwrite
+  restored.set_state(snapshot);
+
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.uniform(), restored.uniform()) << "diverged at draw " << i;
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.bernoulli(0.5), restored.bernoulli(0.5));
+    EXPECT_EQ(rng.uniform_int(0, 1000), restored.uniform_int(0, 1000));
+  }
+}
+
+TEST(RngState, PendingBoxMullerHalfDrawSurvivesRoundTrip) {
+  Rng rng(7);
+  // One normal() consumes two uniforms and caches the second Gaussian; the
+  // stream is now mid-pair, the exact situation a checkpoint must preserve.
+  rng.normal();
+  const RngState snapshot = rng.state();
+  ASSERT_TRUE(snapshot.has_cached_normal);
+
+  Rng restored(123);
+  restored.set_state(snapshot);
+  // The next normal() on both streams must return the pending cached half —
+  // and everything after must stay in lockstep, proving the restored stream
+  // did not re-enter Box-Muller one pair early or late.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.normal(), restored.normal()) << "diverged at draw " << i;
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform(), restored.uniform());
+  }
+}
+
+TEST(RngState, StateEqualityDetectsPendingHalfDraw) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(a.state(), b.state());
+  a.normal();  // a now holds a cached half-draw
+  b.normal();
+  b.normal();  // b consumed its cached half; word state matches nothing of a
+  EXPECT_FALSE(a.state() == b.state());
+}
+
 }  // namespace
 }  // namespace mach::common

@@ -128,7 +128,7 @@ TEST(Serialize, RoundTrip) {
   model.init_params(rng);
   const auto original = model.get_parameters();
   const std::string path = testing::TempDir() + "weights.mach";
-  ASSERT_TRUE(save_parameters(model, path));
+  ASSERT_NO_THROW(save_parameters(model, path));
 
   // Perturb, reload, verify restoration.
   std::vector<float> zeros(original.size(), 0.0f);
@@ -146,7 +146,7 @@ TEST(Serialize, CountMismatchThrows) {
   common::Rng rng(6);
   small.init_params(rng);
   const std::string path = testing::TempDir() + "weights_small.mach";
-  ASSERT_TRUE(save_parameters(small, path));
+  ASSERT_NO_THROW(save_parameters(small, path));
   EXPECT_THROW(load_parameters(big, path), std::invalid_argument);
   std::remove(path.c_str());
 }

@@ -18,6 +18,8 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
@@ -123,18 +125,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Aggregation state over the whole file.
+  // Pass 1: parse and *key* every aggregatable record instead of folding it
+  // immediately. A trace holding a crashed run's tail next to its resumed
+  // re-execution (e.g. concatenated pre/post-crash files) carries the same
+  // (t, edge) coordinates twice; keyed last-wins dedup keeps the resumed
+  // record and reports the overlap instead of silently double-counting.
   std::map<std::string, std::uint64_t> event_counts;
   std::vector<JsonValue> run_begins;
-  std::map<std::size_t, EdgeStats> edges;
-  std::map<std::string, PhaseStats> phases;
-  JsonValue first_eval, last_eval;
-  double best_accuracy = 0.0;
-  std::uint64_t evals = 0;
-  JsonValue last_introspection;  // last cloud_round carrying sampler state
-  FaultStats faults;
+  std::uint64_t checkpoint_markers = 0;
+  std::uint64_t superseded_records = 0;
+  // Keys: run index (0 = before any run_begin; resumed traces keep the
+  // original run_begin, so 0 only appears for raw crash tails), time step,
+  // and the edge id where one step emits one record per edge.
+  std::uint64_t run_index = 0;
+  std::map<std::tuple<std::uint64_t, double, std::size_t>, JsonValue> edge_events;
+  std::map<std::pair<std::uint64_t, double>, JsonValue> eval_events;
+  std::map<std::pair<std::uint64_t, double>, JsonValue> cloud_events;
+  std::map<std::uint64_t, JsonValue> run_ends;
   std::size_t parse_errors = 0;
   std::uint64_t lines = 0;
+
+  const auto keyed_insert = [&superseded_records](auto& map, auto key,
+                                                  const JsonValue& event) {
+    auto [it, inserted] = map.emplace(std::move(key), event);
+    if (!inserted) {
+      it->second = event;  // last occurrence wins (the resumed re-execution)
+      ++superseded_records;
+    }
+  };
 
   std::string line;
   while (std::getline(in, line)) {
@@ -151,72 +169,98 @@ int main(int argc, char** argv) {
     const JsonValue& event = *parsed;
     const std::string kind = event.string_or("event", "?");
     ++event_counts[kind];
+    const double t = event.number_or("t", -1);
 
     if (kind == "run_begin") {
       run_begins.push_back(event);
+      ++run_index;
+    } else if (kind == "checkpoint") {
+      ++checkpoint_markers;
     } else if (kind == "edge_agg") {
       const auto edge = static_cast<std::size_t>(event.number_or("edge", 0));
-      EdgeStats& stats = edges[edge];
-      ++stats.rounds;
-      stats.devices_sum += event.number_or("num_devices", 0);
-      const double capacity = event.number_or("capacity", 0);
-      stats.capacity_sum += capacity;
-      stats.sampled_sum += event.number_or("num_sampled", 0);
-      const JsonValue& q = event["q"];
-      const double expected = q.number_or("sum", 0);
-      stats.expected_sum += expected;
-      // Feasibility check (Eq. 3): the clamped strategy may exceed K_n only
-      // through the probability floor; count how often it does.
-      if (expected > capacity + 1e-9) ++stats.over_budget_rounds;
-      stats.q_min = std::min(stats.q_min, q.number_or("min", 1.0));
-      stats.q_max = std::max(stats.q_max, q.number_or("max", 0.0));
-      stats.q_mean_sum += q.number_or("mean", 0);
-      stats.q_entries += static_cast<std::uint64_t>(q.number_or("count", 0));
-      stats.q_floor_clamped +=
-          static_cast<std::uint64_t>(q.number_or("clamped_to_floor", 0));
-      stats.ht_sum_total += event.number_or("ht_weight_sum", 0);
-      stats.ht_var_total += event.number_or("ht_weight_variance", 0);
-      const JsonValue& fault = event["faults"];
-      if (fault.is_object()) {
-        faults.seen = true;
-        if (fault["outage"].is_bool() && fault["outage"].as_bool()) {
-          ++faults.outage_rounds;
-        }
-        faults.dropped += static_cast<std::uint64_t>(fault.number_or("dropped", 0));
-        faults.straggler_arrivals +=
-            static_cast<std::uint64_t>(fault.number_or("straggler_arrivals", 0));
-        faults.straggler_timeouts +=
-            static_cast<std::uint64_t>(fault.number_or("straggler_timeouts", 0));
-        faults.retries += static_cast<std::uint64_t>(fault.number_or("retries", 0));
-        if (fault["survivors"].is_array()) {
-          faults.survivors += fault["survivors"].as_array().size();
-        }
-        if (fault["lost"].is_array()) {
-          faults.lost += fault["lost"].as_array().size();
-        }
-      }
+      keyed_insert(edge_events, std::make_tuple(run_index, t, edge), event);
     } else if (kind == "eval") {
-      if (evals == 0) first_eval = event;
-      last_eval = event;
-      best_accuracy = std::max(best_accuracy, event.number_or("test_accuracy", 0));
-      ++evals;
+      keyed_insert(eval_events, std::make_pair(run_index, t), event);
     } else if (kind == "cloud_round") {
-      if (event["g_squared_summary"].is_object()) last_introspection = event;
-      const JsonValue& lost = event["uploads_lost"];
-      if (lost.is_array()) {
-        faults.seen = true;
-        faults.cloud_uploads_lost += lost.as_array().size();
-        if (!lost.as_array().empty()) ++faults.cloud_rounds_with_loss;
-      }
+      keyed_insert(cloud_events, std::make_pair(run_index, t), event);
     } else if (kind == "run_end") {
-      const JsonValue& phase_map = event["phases"];
-      if (phase_map.is_object()) {
-        for (const auto& [name, acc] : phase_map.as_object()) {
-          PhaseStats& stats = phases[name];
-          stats.count += static_cast<std::uint64_t>(acc.number_or("count", 0));
-          stats.total_s += acc.number_or("total_s", 0);
-          stats.max_s = std::max(stats.max_s, acc.number_or("max_s", 0));
-        }
+      keyed_insert(run_ends, run_index, event);
+    }
+  }
+
+  // Pass 2: fold the deduplicated records into the report aggregates.
+  std::map<std::size_t, EdgeStats> edges;
+  std::map<std::string, PhaseStats> phases;
+  JsonValue first_eval, last_eval;
+  double best_accuracy = 0.0;
+  std::uint64_t evals = 0;
+  JsonValue last_introspection;  // last cloud_round carrying sampler state
+  FaultStats faults;
+
+  for (const auto& [key, event] : edge_events) {
+    EdgeStats& stats = edges[std::get<2>(key)];
+    ++stats.rounds;
+    stats.devices_sum += event.number_or("num_devices", 0);
+    const double capacity = event.number_or("capacity", 0);
+    stats.capacity_sum += capacity;
+    stats.sampled_sum += event.number_or("num_sampled", 0);
+    const JsonValue& q = event["q"];
+    const double expected = q.number_or("sum", 0);
+    stats.expected_sum += expected;
+    // Feasibility check (Eq. 3): the clamped strategy may exceed K_n only
+    // through the probability floor; count how often it does.
+    if (expected > capacity + 1e-9) ++stats.over_budget_rounds;
+    stats.q_min = std::min(stats.q_min, q.number_or("min", 1.0));
+    stats.q_max = std::max(stats.q_max, q.number_or("max", 0.0));
+    stats.q_mean_sum += q.number_or("mean", 0);
+    stats.q_entries += static_cast<std::uint64_t>(q.number_or("count", 0));
+    stats.q_floor_clamped +=
+        static_cast<std::uint64_t>(q.number_or("clamped_to_floor", 0));
+    stats.ht_sum_total += event.number_or("ht_weight_sum", 0);
+    stats.ht_var_total += event.number_or("ht_weight_variance", 0);
+    const JsonValue& fault = event["faults"];
+    if (fault.is_object()) {
+      faults.seen = true;
+      if (fault["outage"].is_bool() && fault["outage"].as_bool()) {
+        ++faults.outage_rounds;
+      }
+      faults.dropped += static_cast<std::uint64_t>(fault.number_or("dropped", 0));
+      faults.straggler_arrivals +=
+          static_cast<std::uint64_t>(fault.number_or("straggler_arrivals", 0));
+      faults.straggler_timeouts +=
+          static_cast<std::uint64_t>(fault.number_or("straggler_timeouts", 0));
+      faults.retries += static_cast<std::uint64_t>(fault.number_or("retries", 0));
+      if (fault["survivors"].is_array()) {
+        faults.survivors += fault["survivors"].as_array().size();
+      }
+      if (fault["lost"].is_array()) {
+        faults.lost += fault["lost"].as_array().size();
+      }
+    }
+  }
+  for (const auto& [key, event] : eval_events) {
+    if (evals == 0) first_eval = event;
+    last_eval = event;
+    best_accuracy = std::max(best_accuracy, event.number_or("test_accuracy", 0));
+    ++evals;
+  }
+  for (const auto& [key, event] : cloud_events) {
+    if (event["g_squared_summary"].is_object()) last_introspection = event;
+    const JsonValue& lost = event["uploads_lost"];
+    if (lost.is_array()) {
+      faults.seen = true;
+      faults.cloud_uploads_lost += lost.as_array().size();
+      if (!lost.as_array().empty()) ++faults.cloud_rounds_with_loss;
+    }
+  }
+  for (const auto& [key, event] : run_ends) {
+    const JsonValue& phase_map = event["phases"];
+    if (phase_map.is_object()) {
+      for (const auto& [name, acc] : phase_map.as_object()) {
+        PhaseStats& stats = phases[name];
+        stats.count += static_cast<std::uint64_t>(acc.number_or("count", 0));
+        stats.total_s += acc.number_or("total_s", 0);
+        stats.max_s = std::max(stats.max_s, acc.number_or("max_s", 0));
       }
     }
   }
@@ -229,7 +273,19 @@ int main(int argc, char** argv) {
   std::cout << "=== trace summary: " << path << " ===\n"
             << lines << " events";
   if (parse_errors > 0) std::cout << " (" << parse_errors << " malformed)";
-  std::cout << ", " << run_begins.size() << " run(s)\n\n";
+  std::cout << ", " << run_begins.size() << " run(s)\n";
+  if (checkpoint_markers > 0) {
+    std::cout << "checkpointed run: " << checkpoint_markers
+              << " snapshot marker(s)";
+    if (superseded_records > 0) std::cout << " — resumed";
+    std::cout << '\n';
+  }
+  if (superseded_records > 0) {
+    std::cout << "overlap from a crashed run's tail detected: "
+              << superseded_records
+              << " superseded record(s) deduplicated (last occurrence wins)\n";
+  }
+  std::cout << '\n';
 
   if (!run_begins.empty()) {
     mach::common::Table runs({"run", "sampler", "seed", "steps", "devices",
