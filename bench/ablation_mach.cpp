@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
   cli.add_flag("task", std::string("mnist"), "task: mnist|fmnist|cifar10");
   cli.add_flag("csv", std::string("ablation_mach.csv"), "CSV output path");
   bench::add_threads_flag(cli);
+  bench::add_trace_flag(cli);
+  bench::add_phase_times_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("MACH ablations");
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
   std::cout << "task " << data::task_name(config.task) << ", target "
             << config.target_accuracy << ", horizon " << config.horizon << "\n\n";
 
+  const auto trace = bench::open_bench_trace(cli.get_string("trace"));
+  obs::PhaseTimerSet sweep_phases;
   common::Table table({"variant", "steps to target", "reach rate", "final acc"});
   for (const auto& variant : variants()) {
     auto run_config = config;
@@ -79,8 +83,10 @@ int main(int argc, char** argv) {
     std::vector<hfl::MetricsRecorder> runs;
     for (const auto seed : seeds) {
       core::MachSampler sampler(variant.options);
-      runs.push_back(
-          hfl::run_experiment(run_config.with_seed(seed), sampler).metrics);
+      auto run =
+          hfl::run_experiment(run_config.with_seed(seed), sampler, trace.get());
+      sweep_phases.merge(run.phases);
+      runs.push_back(std::move(run.metrics));
     }
     const auto curve = hfl::average_curves(runs);
     const auto steps = hfl::curve_time_to_target(curve, config.target_accuracy);
@@ -97,8 +103,13 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n';
   table.print(std::cout);
+  if (cli.get_bool("phase_times")) bench::print_phase_times(sweep_phases);
   if (table.write_csv(cli.get_string("csv"))) {
     std::cout << "\nwritten to " << cli.get_string("csv") << '\n';
+  }
+  if (trace != nullptr) {
+    std::cout << "\ntrace written to " << cli.get_string("trace") << " ("
+              << trace->lines_written() << " events)\n";
   }
   return 0;
 }

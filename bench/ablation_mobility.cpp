@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
                "comma-separated Markov stay probabilities");
   cli.add_flag("csv", std::string("ablation_mobility.csv"), "CSV output path");
   bench::add_threads_flag(cli);
+  bench::add_trace_flag(cli);
+  bench::add_phase_times_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Mobility ablation: churn sensitivity");
@@ -49,6 +51,8 @@ int main(int argc, char** argv) {
   const auto stay_probs = parse_doubles(cli.get_string("stay"));
   const auto tasks = bench::parse_tasks(cli.get_string("task"));
 
+  const auto trace = bench::open_bench_trace(cli.get_string("trace"));
+  obs::PhaseTimerSet sweep_phases;
   common::Table table({"task", "stay prob", "edge churn", "MACH", "MACH-P", "US",
                        "CS", "SS"});
   for (const auto task : tasks) {
@@ -61,7 +65,9 @@ int main(int argc, char** argv) {
                       .cell(stay, 2)
                       .cell(config_churn(config), 3);
       for (const auto& name : core::paper_algorithms()) {
-        const auto result = bench::run_algo_curve(config, name, seeds);
+        const auto result =
+            bench::run_algo_curve(config, name, seeds, trace.get());
+        sweep_phases.merge(result.phases);
         row.cell(bench::steps_cell(result, config.horizon));
       }
       std::cout << data::task_name(task) << " stay=" << stay << " done\n";
@@ -69,8 +75,13 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n';
   table.print(std::cout);
+  if (cli.get_bool("phase_times")) bench::print_phase_times(sweep_phases);
   if (table.write_csv(cli.get_string("csv"))) {
     std::cout << "\nwritten to " << cli.get_string("csv") << '\n';
+  }
+  if (trace != nullptr) {
+    std::cout << "\ntrace written to " << cli.get_string("trace") << " ("
+              << trace->lines_written() << " events)\n";
   }
   return 0;
 }

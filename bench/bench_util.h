@@ -22,6 +22,7 @@
 #include "fault/schedule.h"
 #include "hfl/experiment.h"
 #include "obs/jsonl_writer.h"
+#include "obs/timer.h"
 
 namespace mach::bench {
 
@@ -63,6 +64,41 @@ inline void apply_threads_flag(const common::CliParser& cli,
   const std::int64_t threads = cli.get_int("threads");
   config.hfl.parallel.threads =
       threads < 0 ? 1 : static_cast<std::size_t>(threads);
+}
+
+/// Registers the shared --trace flag: any bench can record a JSONL telemetry
+/// trace of every run in its sweep (open with open_bench_trace; summarise
+/// with tools/trace_summary).
+inline void add_trace_flag(common::CliParser& cli) {
+  cli.add_flag("trace", std::string(""),
+               "write a JSONL telemetry trace of every run in the sweep to "
+               "this path (inspect with tools/trace_summary)");
+}
+
+/// Registers the shared --phase_times flag (see print_phase_times).
+inline void add_phase_times_flag(common::CliParser& cli) {
+  cli.add_flag("phase_times", false,
+               "print the wall-clock phase breakdown accumulated over the "
+               "whole sweep after the results table");
+}
+
+/// Prints one phase-breakdown table (same layout as experiment_runner's
+/// --phase_times) for timers accumulated across a sweep via
+/// PhaseTimerSet::merge.
+inline void print_phase_times(const obs::PhaseTimerSet& timers) {
+  common::Table table({"phase", "scopes", "total s", "share %"});
+  const double total = timers.total_seconds();
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    const auto& acc = timers[phase];
+    table.row()
+        .cell(std::string(obs::phase_name(phase)))
+        .cell(acc.count)
+        .cell(acc.total_seconds, 3)
+        .cell(total > 0.0 ? acc.total_seconds / total * 100.0 : 0.0, 1);
+  }
+  std::cout << '\n';
+  table.print(std::cout);
 }
 
 /// Registers the shared --faults flag: robustness sweeps rerun any figure
@@ -165,6 +201,8 @@ struct CurveResult {
   double final_accuracy = 0.0;
   /// Mean steps with unreached runs counted as the horizon (secondary view).
   double mean_steps = 0.0;
+  /// Phase breakdown summed over the per-seed runs (for --phase_times).
+  obs::PhaseTimerSet phases;
 };
 
 inline CurveResult run_algo_curve(const hfl::ExperimentConfig& config,
@@ -177,6 +215,7 @@ inline CurveResult run_algo_curve(const hfl::ExperimentConfig& config,
   for (const auto seed : seeds) {
     auto sampler = core::make_sampler(sampler_name);
     const auto run = hfl::run_experiment(config.with_seed(seed), *sampler, observer);
+    result.phases.merge(run.phases);
     if (run.time_to_target) {
       reached += 1.0;
       total_steps += static_cast<double>(*run.time_to_target);

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "obs/json.h"
+#include "obs/resource.h"
 #include "tensor/kernels/kernels.h"
 
 namespace {
@@ -200,6 +201,7 @@ int main(int argc, char** argv) {
   w.field("min_ms", min_ms);
   w.field("min_cifar_speedup", min_cifar_speedup);
   w.field("all_exact", all_exact);
+  w.raw_field("hardware", obs::hardware_json());
   w.raw_field("results", json_results);
 
   const std::string out_path = cli.get_string("out");

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   cli.add_flag("task", std::string("all"), "task filter: all|mnist|fmnist|cifar10");
   cli.add_flag("csv", std::string("table1_local_epochs.csv"), "CSV output path");
   bench::add_threads_flag(cli);
+  bench::add_trace_flag(cli);
+  bench::add_phase_times_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   bench::print_mode_banner("Table I: varying local updating epochs");
@@ -42,6 +44,8 @@ int main(int argc, char** argv) {
                                                "statistical"};
   const std::vector<double> epoch_scales = {0.8, 1.0, 1.2};
 
+  const auto trace = bench::open_bench_trace(cli.get_string("trace"));
+  obs::PhaseTimerSet sweep_phases;
   common::Table table({"dataset", "target", "local epochs", "MACH", "US", "CS",
                        "SS", "saved %"});
   for (const auto task : bench::parse_tasks(cli.get_string("task"))) {
@@ -59,8 +63,10 @@ int main(int argc, char** argv) {
         std::vector<hfl::MetricsRecorder> runs;
         for (const auto seed : seeds) {
           auto sampler = core::make_sampler(name);
-          runs.push_back(
-              hfl::run_experiment(config.with_seed(seed), *sampler).metrics);
+          auto run =
+              hfl::run_experiment(config.with_seed(seed), *sampler, trace.get());
+          sweep_phases.merge(run.phases);
+          runs.push_back(std::move(run.metrics));
         }
         curves.push_back({name, hfl::average_curves(runs)});
       }
@@ -99,8 +105,13 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n';
   table.print(std::cout);
+  if (cli.get_bool("phase_times")) bench::print_phase_times(sweep_phases);
   if (table.write_csv(cli.get_string("csv"))) {
     std::cout << "\nwritten to " << cli.get_string("csv") << '\n';
+  }
+  if (trace != nullptr) {
+    std::cout << "\ntrace written to " << cli.get_string("trace") << " ("
+              << trace->lines_written() << " events)\n";
   }
   return 0;
 }

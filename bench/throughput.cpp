@@ -16,6 +16,7 @@
 
 #include "common/table.h"
 #include "obs/json.h"
+#include "obs/resource.h"
 #include "runtime/parallel_config.h"
 
 namespace {
@@ -191,6 +192,7 @@ int main(int argc, char** argv) {
   w.field("batch_size", static_cast<std::uint64_t>(config.hfl.batch_size));
   w.field("mlp_hidden", static_cast<std::uint64_t>(config.mlp_hidden));
   w.field("identical_parameters", identical);
+  w.raw_field("hardware", obs::hardware_json());
   w.raw_field("results", results);
 
   const std::string out_path = cli.get_string("out");

@@ -5,6 +5,7 @@
 //
 //   ./experiment_runner --task fmnist --sampler oort --devices 60 --edges 8 \
 //       --participation 0.4 --steps 150 --aggregation self_normalized
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -92,6 +93,13 @@ int main(int argc, char** argv) {
                "snapshot covering step N is durable (0 = off)");
   cli.add_flag("phase_times", false,
                "print the wall-clock phase breakdown after the run");
+  cli.add_flag("profile", std::string(""),
+               "write a Chrome trace-event JSON span profile to this path "
+               "(open in Perfetto / chrome://tracing, or summarise with "
+               "tools/trace_summary)");
+  cli.add_flag("status", std::string(""),
+               "rewrite a live status.json heartbeat at this path during the "
+               "run (atomic rename; safe to poll)");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   auto config = mach::hfl::ExperimentConfig::preset(parse_task(cli.get_string("task")));
@@ -165,6 +173,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  config.hfl.profile.trace_path = cli.get_string("profile");
+  config.hfl.profile.status_path = cli.get_string("status");
+
   auto sampler = mach::core::make_sampler(cli.get_string("sampler"));
 
   // Build by hand (instead of run_experiment) so we can query cost/confusion.
@@ -196,6 +207,18 @@ int main(int argc, char** argv) {
       mach::common::log_warn(
           "resume: no usable snapshot in " + checkpoint.dir +
           " -- starting from step 0");
+    }
+  }
+
+  // Fail fast on unwritable profiling paths, matching --trace: the exports
+  // happen at run end, far too late to discover a bad path. Append-mode so
+  // an existing file is probed without being clobbered.
+  for (const std::string& path :
+       {cli.get_string("profile"), cli.get_string("status")}) {
+    if (path.empty()) continue;
+    if (!std::ofstream(path, std::ios::app)) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 1;
     }
   }
 
@@ -301,6 +324,17 @@ int main(int argc, char** argv) {
   if (trace) {
     std::cout << "\ntrace written to " << trace_path << " (" << trace->lines_written()
               << " events; summarise with tools/trace_summary)\n";
+  }
+  if (const auto* profiler = simulator.span_profiler();
+      profiler != nullptr && simulator.profile_export_ok()) {
+    std::cout << "\nspan profile written to " << cli.get_string("profile")
+              << " (open in https://ui.perfetto.dev or chrome://tracing";
+    if (profiler->spans_dropped() > 0) {
+      std::cout << "; " << profiler->spans_dropped()
+                << " spans dropped to ring overflow -- raise ring capacity "
+                   "for full coverage";
+    }
+    std::cout << ")\n";
   }
   return 0;
 }

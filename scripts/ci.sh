@@ -38,11 +38,44 @@ kernels_json="$(mktemp -t hfl_kernels_XXXXXX.json)"
 trap 'rm -f "$trace" "$kernels_json"' EXIT
 "$BUILD_DIR/bench/kernels" --min_ms 2 --out "$kernels_json" > /dev/null
 
+echo "== span profiler smoke =="
+# Deep-profiling path end to end: a profiled run must emit a Chrome trace
+# and a status heartbeat, and trace_summary must classify and render both.
+prof_json="$(mktemp -t hfl_prof_XXXXXX.json)"
+status_json="$(mktemp -t hfl_status_XXXXXX.json)"
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json"' EXIT
+"$BUILD_DIR/examples/experiment_runner" \
+  --devices 8 --edges 2 --steps 10 --local_epochs 2 \
+  --profile "$prof_json" --status "$status_json" \
+  | grep -q '^span profile written'
+"$BUILD_DIR/tools/trace_summary" "$prof_json" | grep -q 'span profile summary'
+"$BUILD_DIR/tools/trace_summary" "$prof_json" | grep -q 'round latency'
+"$BUILD_DIR/tools/trace_summary" "$status_json" | grep -q 'status heartbeat'
+
+echo "== bench perf gate (bench_diff) =="
+# Self-comparison must always be clean (exit 0, zero deltas).
+"$BUILD_DIR/tools/bench_diff" \
+  --baseline BENCH_kernels.json --current BENCH_kernels.json > /dev/null
+# Fresh microbench vs the committed baseline. The smoke run uses a tiny time
+# budget and CI machines differ from the baseline's, so the threshold is
+# generous — and on single-core containers (too noisy to gate) it only warns.
+if [ "$(nproc 2>/dev/null || echo 1)" -le 1 ]; then
+  "$BUILD_DIR/tools/bench_diff" \
+    --baseline BENCH_kernels.json --current "$kernels_json" \
+    --threshold_pct 30 \
+    || echo "WARN: kernels regressed vs the committed baseline" \
+            "(single-core container: warn-only, not gating)"
+else
+  "$BUILD_DIR/tools/bench_diff" \
+    --baseline BENCH_kernels.json --current "$kernels_json" \
+    --threshold_pct 30
+fi
+
 echo "== faults smoke =="
 # End-to-end fault injection: a faulted run must complete, carry its fault
 # history in the trace, and the summary tool must render it.
 fault_trace="$(mktemp -t hfl_faults_XXXXXX.jsonl)"
-trap 'rm -f "$trace" "$kernels_json" "$fault_trace"' EXIT
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace"' EXIT
 "$BUILD_DIR/examples/experiment_runner" \
   --devices 8 --edges 2 --steps 10 --local_epochs 2 --trace "$fault_trace" \
   --faults 'dropout:p=0.2;straggler:p=0.3,delay=1.5,timeout=1;edge_outage:edge=0,from=2,to=4;cloud_loss:p=0.2;seed=5' \
@@ -56,7 +89,7 @@ echo "== crash-resume smoke =="
 # count) must reproduce the uninterrupted reference CSV byte for byte and
 # leave checkpoint markers in the trace.
 ckpt_dir="$(mktemp -d -t hfl_ckpt_XXXXXX)"
-trap 'rm -f "$trace" "$kernels_json" "$fault_trace"; rm -rf "$ckpt_dir"' EXIT
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace"; rm -rf "$ckpt_dir"' EXIT
 resume_args=(--task mnist --devices 8 --edges 2 --steps 12 --local_epochs 2 --seed 11)
 "$BUILD_DIR/examples/experiment_runner" "${resume_args[@]}" --threads 1 \
   --csv "$ckpt_dir/ref.csv" --trace "$ckpt_dir/ref.jsonl" > /dev/null
@@ -101,12 +134,15 @@ if [ "${TSAN:-1}" != "0" ]; then
   cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault test_obs
   "$TSAN_DIR/tests/test_runtime"
-  "$TSAN_DIR/tests/test_hfl" --gtest_filter='ParallelDeterminism.*'
+  "$TSAN_DIR/tests/test_hfl" --gtest_filter='ParallelDeterminism.*:ProfilerIntegration.*'
   # The fault replay/determinism suites drive 2- and 4-worker runs with the
   # injector active — the only new code reachable from worker threads.
   "$TSAN_DIR/tests/test_fault" --gtest_filter='FaultDeterminism.*:FailureReplay.*'
+  # Span profiler: per-track rings written from worker threads, merged at the
+  # barrier — the thread_local binding and merge must be race-free.
+  "$TSAN_DIR/tests/test_obs" --gtest_filter='SpanProfiler.*'
 fi
 
 echo "CI OK"

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ckpt/bytes.h"
+#include "obs/span_profiler.h"
 #include "sampling/budget.h"
 
 namespace mach::core {
@@ -65,6 +66,8 @@ void MachSampler::bind(const hfl::FederationInfo& info) {
 std::vector<double> MachSampler::edge_probabilities(
     const hfl::EdgeSamplingContext& ctx) {
   if (!estimator_) throw std::logic_error("MachSampler: bind() not called");
+  const obs::SpanGuard span("mach_weights", static_cast<std::int64_t>(ctx.t),
+                            static_cast<std::int64_t>(ctx.edge));
   std::vector<double> g_squared(ctx.devices.size());
   for (std::size_t i = 0; i < ctx.devices.size(); ++i) {
     g_squared[i] = estimator_->estimate(ctx.devices[i]);
@@ -79,6 +82,7 @@ void MachSampler::observe_training(const hfl::TrainingObservation& obs) {
 }
 
 void MachSampler::on_cloud_round(std::size_t t) {
+  const obs::SpanGuard span("mach_ucb_refresh", static_cast<std::int64_t>(t));
   if (estimator_) estimator_->on_cloud_round(t);
   transfer_.advance_round();
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "obs/span_profiler.h"
 
 namespace mach::fault {
 
@@ -53,6 +54,7 @@ bool FaultInjector::dropout_targets(std::uint32_t device) const noexcept {
 
 DeviceFaultDecision FaultInjector::device_fate(std::size_t t, std::size_t edge,
                                                std::uint32_t device) const {
+  const obs::SpanGuard span("fault_fate", static_cast<std::int64_t>(t), device);
   DeviceFaultDecision decision;
   common::Rng rng(event_seed(kDeviceDomain, t, edge, device));
   // Fixed draw order (dropout gate, straggler gate, initial delay) within

@@ -239,6 +239,7 @@ RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler,
   result.sampler_name = sampler.name();
   result.metrics = simulator.run(sampler, config.horizon);
   result.time_to_target = result.metrics.time_to_accuracy(config.target_accuracy);
+  result.phases = simulator.phase_timers();
   return result;
 }
 

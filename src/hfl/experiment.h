@@ -92,6 +92,8 @@ struct RunResult {
   /// First step reaching target_accuracy; nullopt if never within horizon.
   std::optional<std::size_t> time_to_target;
   std::string sampler_name;
+  /// Wall-clock phase breakdown of this run (simulator.phase_timers()).
+  obs::PhaseTimerSet phases;
 };
 
 /// Builds everything from the config and runs one full simulation. The

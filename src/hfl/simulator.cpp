@@ -108,6 +108,7 @@ TrainingObservation HflSimulator::train_device(std::size_t t, std::uint32_t devi
   obs.local_grad_sq_norms.reserve(options_.local_epochs);
   double loss_total = 0.0;
   auto& rng = device_rngs_[device];
+  const obs::SpanGuard span("local_sgd", static_cast<std::int64_t>(t), device);
   for (std::size_t tau = 0; tau < options_.local_epochs; ++tau) {
     const data::Batch batch =
         train_.sample_batch(partition_[device], options_.batch_size, rng);
@@ -157,6 +158,13 @@ EvalPoint HflSimulator::evaluate_global(std::size_t t) {
   if (pool_ != nullptr && chunks > 1) {
     replicas_->publish(&global_);
     pool_->parallel_for(0, chunks, [&](std::size_t c, std::size_t slot) {
+      std::optional<obs::SpanProfiler::ThreadScope> track_scope;
+      if (profiler_ != nullptr) {
+        track_scope.emplace(profiler_.get(),
+                            static_cast<std::uint32_t>(slot + 1));
+      }
+      const obs::SpanGuard span("eval_chunk", static_cast<std::int64_t>(t),
+                                static_cast<std::int64_t>(c));
       std::vector<std::size_t> indices;
       eval_chunk(c, replicas_->synced_model(slot), indices);
     });
@@ -461,6 +469,33 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   timers_.reset();
   registry_.reset();
 
+  // Deep-profiling runtime. Everything below is strictly passive (no RNG
+  // use, no registry entries — the run_end registry snapshot stays identical
+  // whether profiling is on or off) and entirely absent from the hot path
+  // when disabled: a SpanGuard on an unbound thread is one thread_local read.
+  profiler_.reset();
+  resources_.reset();
+  status_.reset();
+  profile_export_ok_ = true;
+  if (options_.profile.spans_enabled()) {
+    const std::size_t tracks = 1 + (pool_ != nullptr ? pool_->num_workers() : 0);
+    profiler_ = std::make_unique<obs::SpanProfiler>(
+        tracks, options_.profile.ring_capacity);
+  }
+  if (options_.profile.any_enabled()) {
+    resources_ = std::make_unique<obs::ResourceSampler>(
+        options_.profile.resource_interval_seconds);
+  }
+  if (!options_.profile.status_path.empty()) {
+    status_ = std::make_unique<obs::StatusWriter>(
+        options_.profile.status_path, options_.profile.status_interval_seconds);
+  }
+  // Track 0 (coordinator) binding for the whole run; workers bind per
+  // parallel section to track slot+1.
+  std::optional<obs::SpanProfiler::ThreadScope> profile_scope;
+  if (profiler_ != nullptr) profile_scope.emplace(profiler_.get(), 0);
+  const obs::Stopwatch run_watch;
+
   // Inner-loop instruments: references are cached once here, so the hot path
   // pays one add per event. None of this touches the RNG stream — attaching
   // an observer (or not) cannot change the simulated run.
@@ -551,6 +586,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   // restored trajectory when resuming).
   if (!resumed) {
     obs::ScopedTimer timer(timers_, obs::Phase::Evaluation);
+    const obs::SpanGuard span("evaluation", 0);
     EvalPoint baseline = evaluate_global(0);
     record_eval(baseline, timer.elapsed_seconds());
   }
@@ -562,6 +598,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   std::vector<float> prev_global;         // w^t backup for all-lost rounds
 
   for (std::size_t t = start_t; t < steps; ++t) {
+    const obs::SpanGuard round_span("round", static_cast<std::int64_t>(t));
     const double lr = learning_rate_at(t);
     gauge_lr.set(lr);
     const auto per_edge = schedule_.devices_per_edge(t);
@@ -598,11 +635,16 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         continue;
       }
       std::vector<float>& edge_model = edge_models_[n];
+      const obs::SpanGuard edge_span("edge_round", static_cast<std::int64_t>(t),
+                                     static_cast<std::int64_t>(n));
 
       // Sampler decision phase (Alg. 3 + any oracle probing).
       double sampler_seconds = 0.0;
       {
         obs::ScopedTimer timer(timers_, obs::Phase::SamplerDecision);
+        const obs::SpanGuard span("sampler_decision",
+                                  static_cast<std::int64_t>(t),
+                                  static_cast<std::int64_t>(n));
         EdgeSamplingContext ctx;
         ctx.t = t;
         ctx.edge = n;
@@ -645,6 +687,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         // and exactly replayable. Dropped devices vanish before uploading;
         // stragglers pay one upload per attempt (counted even when every
         // attempt misses the timeout budget).
+        const obs::SpanGuard span("fault_fates", static_cast<std::int64_t>(t),
+                                  static_cast<std::int64_t>(n));
         fates_.resize(sampled_.size());
         for (std::size_t k = 0; k < sampled_.size(); ++k) {
           fates_[k] = injector_.device_fate(t, n, devices[sampled_[k]]);
@@ -681,7 +725,18 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         pool_->parallel_for(
             0, sampled_.size(), [&](std::size_t k, std::size_t slot) {
               if (faults_on && !fates_[k].arrived) return;
+              // Bind this worker to its slot's span track for the duration
+              // of the slice (slot ownership is exclusive within a section,
+              // so the track ring is single-writer).
+              std::optional<obs::SpanProfiler::ThreadScope> track_scope;
+              if (profiler_ != nullptr) {
+                track_scope.emplace(profiler_.get(),
+                                    static_cast<std::uint32_t>(slot + 1));
+              }
               DeviceSlot& out = device_slots_[k];
+              const obs::SpanGuard span("device_train",
+                                        static_cast<std::int64_t>(t),
+                                        devices[sampled_[k]]);
               const obs::Stopwatch watch;
               out.observation =
                   train_device(t, devices[sampled_[k]], n, edge_model, lr,
@@ -697,6 +752,9 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           if (faults_on && !fates_[k].arrived) continue;
           DeviceSlot& out = device_slots_[k];
           obs::ScopedTimer timer(timers_, obs::Phase::DeviceTraining);
+          const obs::SpanGuard span("device_train",
+                                    static_cast<std::int64_t>(t),
+                                    devices[sampled_[k]]);
           out.observation = train_device(t, devices[sampled_[k]], n, edge_model,
                                          lr, model_, out.params);
           out.seconds = timer.elapsed_seconds();
@@ -720,6 +778,11 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
       lost_.clear();
       double train_seconds = 0.0;
       double aggregate_seconds = 0.0;
+      std::optional<obs::SpanGuard> reduce_span;
+      if (profiler_ != nullptr) {
+        reduce_span.emplace("edge_reduce", static_cast<std::int64_t>(t),
+                            static_cast<std::int64_t>(n));
+      }
       for (std::size_t k = 0; k < num_sampled; ++k) {
         const std::size_t i = sampled_[k];
         if (faults_on) {
@@ -811,6 +874,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         aggregate_seconds += fold_watch.seconds();
       }
       timers_[obs::Phase::EdgeAggregation].add(aggregate_seconds);
+      reduce_span.reset();
       ctr_edge_aggs.add();
       if (!any_sampled) ctr_empty_edges.add();
       if (faults_on) {
@@ -860,6 +924,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
       cloud_lost.clear();
       {
         obs::ScopedTimer timer(timers_, obs::Phase::CloudAggregation);
+        const obs::SpanGuard span("cloud_aggregate",
+                                  static_cast<std::int64_t>(t));
         // Losing every upload must keep the previous global model; back it
         // up before the in-place fold (only when losses are possible).
         const bool cloud_faults =
@@ -907,6 +973,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
       {
         // UCB refresh (Alg. 2) is sampler work, charged to its phase.
         obs::ScopedTimer timer(timers_, obs::Phase::SamplerDecision);
+        const obs::SpanGuard span("sampler_refresh",
+                                  static_cast<std::int64_t>(t));
         sampler.on_cloud_round(t);
       }
       ++cloud_rounds;
@@ -928,6 +996,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         double eval_seconds = 0.0;
         {
           obs::ScopedTimer timer(timers_, obs::Phase::Evaluation);
+          const obs::SpanGuard span("evaluation",
+                                    static_cast<std::int64_t>(t));
           point = evaluate_global(t + 1);
           eval_seconds = timer.elapsed_seconds();
         }
@@ -950,6 +1020,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         done < steps) {
       {
         obs::ScopedTimer timer(timers_, obs::Phase::Checkpoint);
+        const obs::SpanGuard span("checkpoint",
+                                  static_cast<std::int64_t>(done));
         save_checkpoint(sampler, steps, done, cloud_rounds, window_train_loss,
                         window_participants, metrics);
       }
@@ -961,6 +1033,39 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         ::kill(::getpid(), SIGKILL);
       }
     }
+
+    // Telemetry upkeep at the step barrier: no parallel section is running,
+    // so draining the worker rings is race-free, and the heartbeat reflects
+    // a fully-completed step.
+    if (profiler_ != nullptr) profiler_->merge_thread_rings();
+    if (resources_ != nullptr) resources_->maybe_sample();
+    if (status_ != nullptr) {
+      obs::StatusSnapshot snap;
+      snap.sampler = sampler.name();
+      snap.step = done;
+      snap.total_steps = steps;
+      snap.cloud_rounds = cloud_rounds;
+      snap.devices_trained = ctr_trained.value();
+      snap.elapsed_seconds = run_watch.seconds();
+      if (snap.elapsed_seconds > 0.0) {
+        snap.devices_per_second =
+            static_cast<double>(snap.devices_trained) / snap.elapsed_seconds;
+      }
+      const std::size_t completed = done - start_t;
+      if (completed > 0) {
+        snap.eta_seconds = snap.elapsed_seconds /
+                           static_cast<double>(completed) *
+                           static_cast<double>(steps - done);
+      }
+      if (ctr_fault_updates_lost != nullptr) {
+        snap.faults_lost = ctr_fault_updates_lost->value();
+      }
+      if (profiler_ != nullptr) snap.spans_dropped = profiler_->spans_dropped();
+      const obs::ResourceSample resource = resources_->latest();
+      snap.current_rss_kb = resource.usage.current_rss_kb;
+      snap.peak_rss_kb = resource.usage.peak_rss_kb;
+      status_->maybe_write(snap);
+    }
   }
   if (observer_ != nullptr) {
     obs::RunEndEvent event;
@@ -969,6 +1074,42 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     event.phases = &timers_;
     event.registry = &registry_;
     observer_->on_run_end(event);
+  }
+
+  // Final telemetry flush: last resource sample, terminal heartbeat
+  // (finished=true forces a write regardless of the interval), and the
+  // Chrome trace export. Export failures must not fail the run — the
+  // simulation result is already complete.
+  if (resources_ != nullptr) resources_->force_sample();
+  if (status_ != nullptr) {
+    obs::StatusSnapshot snap;
+    snap.sampler = sampler.name();
+    snap.step = steps;
+    snap.total_steps = steps;
+    snap.cloud_rounds = cloud_rounds;
+    snap.devices_trained = ctr_trained.value();
+    snap.elapsed_seconds = run_watch.seconds();
+    if (snap.elapsed_seconds > 0.0) {
+      snap.devices_per_second =
+          static_cast<double>(snap.devices_trained) / snap.elapsed_seconds;
+    }
+    if (ctr_fault_updates_lost != nullptr) {
+      snap.faults_lost = ctr_fault_updates_lost->value();
+    }
+    if (profiler_ != nullptr) snap.spans_dropped = profiler_->spans_dropped();
+    const obs::ResourceSample resource = resources_->latest();
+    snap.current_rss_kb = resource.usage.current_rss_kb;
+    snap.peak_rss_kb = resource.usage.peak_rss_kb;
+    snap.finished = true;
+    status_->maybe_write(snap);
+  }
+  if (profiler_ != nullptr) {
+    profile_export_ok_ = profiler_->write_chrome_trace(
+        options_.profile.trace_path, resources_.get());
+    if (!profile_export_ok_) {
+      common::log_warn("profile: failed to write Chrome trace to ",
+                       options_.profile.trace_path);
+    }
   }
   return metrics;
 }

@@ -38,6 +38,9 @@
 #include "nn/model.h"
 #include "obs/observer.h"
 #include "obs/registry.h"
+#include "obs/resource.h"
+#include "obs/span_profiler.h"
+#include "obs/status_writer.h"
 #include "obs/timer.h"
 #include "runtime/parallel_config.h"
 #include "runtime/thread_pool.h"
@@ -116,6 +119,17 @@ struct HflOptions {
   /// reported. Fault draws are deterministic per (t, edge, device) — runs
   /// replay bitwise-identically at any thread count.
   fault::FaultSchedule faults;
+  /// Deep profiling (src/obs/span_profiler.h). With `profile.trace_path` set
+  /// the engine records hierarchical spans (round → edge round → device
+  /// train → local SGD) into per-track ring buffers — two steady_clock reads
+  /// and zero allocations per span — merges them at step barriers and writes
+  /// a Chrome trace-event JSON (Perfetto-loadable) at run end. With
+  /// `profile.status_path` set it additionally rewrites a status.json
+  /// heartbeat (atomic rename) every `status_interval_seconds`. Profiling is
+  /// strictly passive: the default (both paths empty) takes the exact
+  /// pre-profiler code path, and even with profiling on the RNG streams,
+  /// trace events and CSV output are untouched.
+  obs::ProfileOptions profile;
 };
 
 /// Builds a fresh untrained model; invoked once for the serial scratch model
@@ -178,6 +192,19 @@ class HflSimulator {
 
   /// Counter/gauge/histogram registry of the most recent run().
   const obs::MetricsRegistry& metrics_registry() const noexcept { return registry_; }
+
+  /// Span profiler of the most recent run() (nullptr unless
+  /// HflOptions::profile.trace_path was set). Exposed so callers can read
+  /// spans_dropped or re-export; the engine already wrote the Chrome trace
+  /// at run end.
+  const obs::SpanProfiler* span_profiler() const noexcept {
+    return profiler_.get();
+  }
+
+  /// Whether the Chrome-trace export at the end of the last profiled run()
+  /// landed on disk (true when profiling was off). A failed export is also
+  /// logged as a warning at run end.
+  bool profile_export_ok() const noexcept { return profile_export_ok_; }
 
   std::size_t num_devices() const noexcept { return partition_.size(); }
   std::size_t num_edges() const noexcept { return schedule_.num_edges(); }
@@ -265,6 +292,13 @@ class HflSimulator {
   obs::RunObserver* observer_ = nullptr;  // non-owning; see set_observer
   obs::PhaseTimerSet timers_;
   obs::MetricsRegistry registry_;
+
+  // Deep-profiling runtime (all null unless HflOptions::profile enables
+  // them; rebuilt at the start of each run()).
+  std::unique_ptr<obs::SpanProfiler> profiler_;
+  std::unique_ptr<obs::ResourceSampler> resources_;
+  std::unique_ptr<obs::StatusWriter> status_;
+  bool profile_export_ok_ = true;
 
   // Checkpoint runtime (null until a run with checkpoint.every > 0 starts).
   std::unique_ptr<ckpt::CheckpointManager> ckpt_manager_;

@@ -1,0 +1,150 @@
+// Hierarchical span profiler for deep per-round introspection.
+//
+// A SpanGuard marks one timed scope (round → edge aggregate → device train →
+// kernel group). Guards write into per-track fixed-capacity ring buffers —
+// one track for the coordinator thread plus one per runtime worker slot — so
+// the hot path costs two steady_clock reads and zero heap allocations.
+// Threads are bound to tracks with a ThreadScope (RAII over a thread_local
+// binding); an unbound thread's guards are no-ops, which is what makes
+// span call sites safe to leave permanently compiled into deep layers
+// (sampling water-filling, fault fates, kernels) — they only ever record
+// when the engine has bound the thread to an active profiler.
+//
+// Rings overflow by dropping the oldest span and counting it (spans_dropped);
+// the engine merges rings into a master list at round barriers (no worker is
+// running then, so the merge needs no locks and is deterministic: track
+// order, then completion order within a track). export via
+// write_chrome_trace() produces Chrome trace-event JSON loadable in Perfetto
+// or chrome://tracing.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mach::obs {
+
+class ResourceSampler;
+
+/// Profiling knobs carried in HflOptions. Everything is off by default, and
+/// the spans-off run is bitwise identical to a build without the profiler.
+struct ProfileOptions {
+  /// Chrome trace-event JSON output path ("" = span recording off).
+  std::string trace_path;
+  /// Live status.json heartbeat path ("" = off). Independent of spans.
+  std::string status_path;
+  /// Ring capacity (spans) per track. Overflow drops oldest, counted.
+  std::size_t ring_capacity = 16384;
+  /// Minimum seconds between status.json heartbeat writes.
+  double status_interval_seconds = 0.5;
+  /// Minimum seconds between resource-usage samples (RSS/CPU counters).
+  double resource_interval_seconds = 0.25;
+
+  bool spans_enabled() const noexcept { return !trace_path.empty(); }
+  bool any_enabled() const noexcept {
+    return spans_enabled() || !status_path.empty();
+  }
+};
+
+/// One completed timed scope. `name` must point at a string literal (or any
+/// storage outliving the profiler) — spans never copy it.
+struct Span {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  // since the profiler's construction
+  std::uint64_t end_ns = 0;
+  std::int64_t t = -1;         // simulation step, -1 when not applicable
+  std::int64_t id = -1;        // device/edge id, -1 when not applicable
+  std::uint32_t track = 0;
+  std::uint16_t depth = 0;     // nesting level within the track
+
+  double duration_seconds() const noexcept {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+class SpanProfiler {
+ public:
+  /// `tracks` >= 1 (track 0 = coordinator, 1..N = worker slots). Every ring
+  /// is allocated up front; recording never allocates.
+  SpanProfiler(std::size_t tracks, std::size_t ring_capacity);
+
+  /// Binds the calling thread to (profiler, track) for the scope's lifetime,
+  /// restoring the previous binding on destruction. Exactly one thread may
+  /// be bound to a given track at a time (the engine guarantees this: the
+  /// coordinator owns track 0 outside parallel sections, and slice k of a
+  /// section owns track k+1).
+  class ThreadScope {
+   public:
+    ThreadScope(SpanProfiler* profiler, std::uint32_t track) noexcept;
+    ~ThreadScope();
+    ThreadScope(const ThreadScope&) = delete;
+    ThreadScope& operator=(const ThreadScope&) = delete;
+
+   private:
+    SpanProfiler* previous_profiler_;
+    std::uint32_t previous_track_;
+  };
+
+  std::size_t num_tracks() const noexcept { return tracks_.size(); }
+  std::size_t ring_capacity() const noexcept { return ring_capacity_; }
+
+  /// Nanoseconds since profiler construction (the span time base).
+  std::uint64_t now_ns() const noexcept;
+
+  /// Drains every track's ring into the master span list. Call only at a
+  /// barrier (no bound thread mid-span-write, e.g. the simulator's cloud
+  /// round). Deterministic: tracks in index order, completion order within.
+  void merge_thread_rings();
+
+  /// merge_thread_rings() + returns the master list sorted by
+  /// (start_ns, track, depth) and clears it. Spans still open stay unrecorded.
+  std::vector<Span> drain();
+
+  /// Spans lost to ring overflow so far (across merges and drains).
+  std::uint64_t spans_dropped() const noexcept;
+
+  /// Merges, drains and writes Chrome trace-event JSON ("X" duration events,
+  /// one tid per track, plus optional "C" counter events from `resources`
+  /// and a spans_dropped record in otherData). Returns false when the file
+  /// cannot be written. Loadable in Perfetto / chrome://tracing.
+  bool write_chrome_trace(const std::string& path,
+                          const ResourceSampler* resources = nullptr);
+
+  // -- internals used by SpanGuard (public for the guard, not for callers) --
+  std::uint16_t begin_span(std::uint32_t track) noexcept;  // returns depth
+  void end_span(std::uint32_t track, const Span& span) noexcept;
+
+ private:
+  struct Track {
+    std::vector<Span> ring;      // fixed capacity, pre-allocated
+    std::size_t start = 0;       // index of the oldest span
+    std::size_t size = 0;
+    std::uint64_t dropped = 0;
+    std::uint16_t open_depth = 0;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t ring_capacity_;
+  std::vector<Track> tracks_;
+  std::vector<Span> merged_;
+  std::uint64_t dropped_merged_ = 0;
+};
+
+/// RAII timed scope. Reads the calling thread's binding once; an unbound
+/// thread gets a complete no-op (one thread_local read and a branch).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name, std::int64_t t = -1,
+                     std::int64_t id = -1) noexcept;
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  SpanProfiler* profiler_;  // nullptr = disabled, destructor does nothing
+  Span span_;
+};
+
+}  // namespace mach::obs

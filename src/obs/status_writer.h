@@ -1,0 +1,56 @@
+// Live-run heartbeat: a small status.json rewritten periodically via
+// write-temp-then-rename, so an external watcher (tail loop, dashboard,
+// orchestrator) always reads a complete, internally-consistent document —
+// never a torn partial write. Schema is documented in DESIGN.md §12.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mach::obs {
+
+/// What the engine knows about the run right now. All rates/ETAs are
+/// computed by the caller so this stays a dumb serialisable snapshot.
+struct StatusSnapshot {
+  std::string sampler;
+  std::size_t step = 0;            // current simulation step (0-based, done)
+  std::size_t total_steps = 0;
+  std::size_t cloud_rounds = 0;
+  std::uint64_t devices_trained = 0;
+  double devices_per_second = 0.0;
+  double elapsed_seconds = 0.0;
+  double eta_seconds = 0.0;        // 0 when unknown or finished
+  std::uint64_t faults_lost = 0;   // devices lost to injected faults
+  std::uint64_t spans_dropped = 0; // profiler ring overflow (0 = complete)
+  long current_rss_kb = 0;
+  long peak_rss_kb = 0;
+  bool finished = false;
+};
+
+/// Rate-limited writer. maybe_write() is a no-op (one clock read) inside the
+/// interval unless the snapshot is final; every actual write goes to
+/// `<path>.tmp` and is renamed over `<path>` atomically.
+class StatusWriter {
+ public:
+  StatusWriter(std::string path, double interval_seconds);
+
+  /// Writes when the interval elapsed or `snapshot.finished` is set.
+  /// Returns true when a write happened.
+  bool maybe_write(const StatusSnapshot& snapshot);
+
+  /// Writes unconditionally. Returns false on I/O failure.
+  bool write_now(const StatusSnapshot& snapshot);
+
+  std::uint64_t writes() const noexcept { return sequence_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  double interval_seconds_;
+  double last_write_seconds_ = -1.0;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace mach::obs

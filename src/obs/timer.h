@@ -45,6 +45,17 @@ struct PhaseAccumulator {
   double mean_seconds() const noexcept {
     return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
   }
+
+  /// Folds another accumulator in (cross-run aggregation for bench sweeps).
+  void merge(const PhaseAccumulator& other) noexcept {
+    if (other.count == 0) return;
+    if (count == 0 || other.min_seconds < min_seconds) {
+      min_seconds = other.min_seconds;
+    }
+    if (other.max_seconds > max_seconds) max_seconds = other.max_seconds;
+    total_seconds += other.total_seconds;
+    count += other.count;
+  }
 };
 
 /// One accumulator per Phase. Value-semantic; reset() between runs.
@@ -64,6 +75,13 @@ class PhaseTimerSet {
   }
 
   void reset() noexcept { accumulators_ = {}; }
+
+  /// Folds another set in phase-by-phase (bench sweeps sum per-seed runs).
+  void merge(const PhaseTimerSet& other) noexcept {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      accumulators_[i].merge(other.accumulators_[i]);
+    }
+  }
 
  private:
   std::array<PhaseAccumulator, kNumPhases> accumulators_{};

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span_profiler.h"
+
 namespace mach::sampling {
 
 std::vector<double> budgeted_probabilities(std::span<const double> weights,
                                            double capacity) {
+  const obs::SpanGuard span("waterfill");
   const std::size_t n = weights.size();
   std::vector<double> q(n, 0.0);
   if (n == 0) return q;

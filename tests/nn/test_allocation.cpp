@@ -21,9 +21,11 @@
 #include "nn/sgd.h"
 #include "tensor/tensor.h"
 
-namespace {
-
+// Shared with the other suites in this binary (e.g. the span-guard
+// allocation test): external linkage, declared extern where used.
 std::atomic<std::uint64_t> g_alloc_count{0};
+
+namespace {
 
 void* counted_alloc(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,52 @@
+// bench_diff: compares two BENCH_*.json files case-by-case and exits
+// non-zero when any gated metric regressed beyond the threshold. Used
+// interactively to eyeball a change's perf impact and by scripts/ci.sh as
+// the perf gate:
+//
+//   bench_diff --baseline BENCH_kernels.json --current /tmp/kernels.json
+//       [--threshold_pct 10]
+//
+// Exit codes: 0 = no regression, 1 = regression beyond threshold (or bench
+// name mismatch), 2 = bad invocation / unreadable input.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "obs/bench_compare.h"
+
+int main(int argc, char** argv) {
+  mach::common::CliParser cli(
+      "Compare two BENCH_*.json files and gate on perf regressions.");
+  cli.add_flag("baseline", std::string(""), "baseline BENCH_*.json (required)");
+  cli.add_flag("current", std::string(""), "current BENCH_*.json (required)");
+  cli.add_flag("threshold_pct", 10.0,
+               "max tolerated regression, percent of the baseline value");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
+
+  const std::string baseline_path = cli.get_string("baseline");
+  const std::string current_path = cli.get_string("current");
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "bench_diff: --baseline and --current are required\n");
+    return 2;
+  }
+
+  std::string error;
+  const auto baseline = mach::obs::load_bench_file(baseline_path, &error);
+  if (!baseline) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+  const auto current = mach::obs::load_bench_file(current_path, &error);
+  if (!current) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  const double threshold = cli.get_double("threshold_pct");
+  const mach::obs::BenchComparison comparison =
+      mach::obs::compare_benchmarks(*baseline, *current);
+  std::fputs(mach::obs::format_comparison(comparison, threshold).c_str(),
+             stdout);
+  if (comparison.bench_mismatch) return 1;
+  return comparison.regression_beyond(threshold) ? 1 : 0;
+}

@@ -1,22 +1,30 @@
-// Offline trace analyser: reads a JSONL run trace produced by
-// obs::JsonlTraceWriter (experiment_runner --trace, fig3/fig4 --trace, or a
-// custom RunObserver) and prints
-//   * the run inventory (sampler, seed, scale per run_begin line),
-//   * the wall-clock phase breakdown across all runs (run_end lines),
-//   * a per-edge sampling-health table (edge_agg lines): realised vs
-//     expected participation against the channel budget K_n, q-vector
-//     spread, probability-floor clamping and Horvitz-Thompson weight
-//     diagnostics,
-//   * the evaluation trajectory endpoints, and
-//   * MACH's latest Eq. 15 experience state (cloud_round lines).
+// Offline trace analyser. Sniffs its input and summarises any of the three
+// telemetry artefacts the engine writes:
+//
+//   * a JSONL run trace (obs::JsonlTraceWriter; experiment_runner --trace or
+//     any bench --trace): run inventory, wall-clock phase breakdown,
+//     per-edge sampling health (realised vs expected participation against
+//     the channel budget K_n, q-vector spread, probability-floor clamping,
+//     Horvitz-Thompson diagnostics), evaluation trajectory endpoints and
+//     MACH's latest Eq. 15 experience state;
+//   * a Chrome trace-event span profile (experiment_runner --profile): the
+//     per-span-name time breakdown, span-derived per-round p50/p95/max round
+//     latency, the top-N slowest devices and edges, and the profiler's
+//     spans_dropped counter;
+//   * a status.json heartbeat (experiment_runner --status): the live-run
+//     snapshot plus its staleness relative to the current wall clock.
 //
 //   ./trace_summary run.jsonl
 //   ./trace_summary --devices 8 run.jsonl   # top-N G~^2 device listing
+//   ./trace_summary profile.json            # span profile breakdown
+//   ./trace_summary status.json             # heartbeat + staleness
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -68,14 +76,215 @@ struct FaultStats {
 
 void print_usage() {
   std::cout
-      << "usage: trace_summary [--devices N] <trace.jsonl>\n\n"
-         "Summarises a JSONL run trace written by the HFL engine's\n"
-         "JsonlTraceWriter (e.g. experiment_runner --trace run.jsonl):\n"
-         "phase-time breakdown, per-edge sampling health, evaluation\n"
-         "trajectory and the sampler's latest per-device experience state.\n\n"
+      << "usage: trace_summary [--devices N] <trace.jsonl|profile.json|status.json>\n\n"
+         "Summarises one of the engine's telemetry artefacts (auto-detected):\n"
+         "  * JSONL run trace (--trace): phase-time breakdown, per-edge\n"
+         "    sampling health, evaluation trajectory, sampler experience;\n"
+         "  * Chrome span profile (--profile): per-span breakdown, round\n"
+         "    latency percentiles, slowest devices/edges, dropped spans;\n"
+         "  * status heartbeat (--status): live-run snapshot + staleness.\n\n"
          "Flags:\n"
-         "  --devices N   rows in the top-G~^2 device table (default 5, 0 off)\n"
+         "  --devices N   rows in the top-device/edge tables (default 5, 0 off)\n"
          "  --help        this message\n";
+}
+
+/// Aggregate over one span name (or one device/edge id) in a span profile.
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  void add(double ms) {
+    ++count;
+    total_ms += ms;
+    max_ms = std::max(max_ms, ms);
+  }
+};
+
+/// Nearest-rank percentile over an ascending-sorted vector (p in [0,1]).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void print_span_agg_table(const std::string& heading,
+                          const std::string& key_header,
+                          const std::map<std::int64_t, SpanAgg>& by_id,
+                          std::size_t top_n) {
+  if (by_id.empty() || top_n == 0) return;
+  std::vector<std::pair<std::int64_t, SpanAgg>> sorted(by_id.begin(), by_id.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ms > b.second.total_ms;
+  });
+  const std::size_t rows = std::min(top_n, sorted.size());
+  std::cout << heading << " (" << rows << " of " << sorted.size() << "):\n";
+  mach::common::Table table({key_header, "spans", "total ms", "mean ms", "max ms"});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& [id, agg] = sorted[i];
+    table.row()
+        .cell(id)
+        .cell(agg.count)
+        .cell(agg.total_ms, 3)
+        .cell(agg.total_ms / static_cast<double>(agg.count), 3)
+        .cell(agg.max_ms, 3);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+/// Summary of a Chrome trace-event span profile (experiment_runner --profile).
+int summarize_profile(const JsonValue& doc, const std::string& path,
+                      std::size_t top_n) {
+  const auto& events = doc["traceEvents"].as_array();
+  std::map<std::string, SpanAgg> by_name;
+  std::map<std::int64_t, SpanAgg> by_device, by_edge;
+  std::vector<double> round_ms;
+  std::size_t span_events = 0, counter_samples = 0;
+  double peak_rss_mb = 0.0;
+
+  for (const JsonValue& event : events) {
+    const std::string ph = event.string_or("ph", "");
+    if (ph == "C") {
+      ++counter_samples;
+      peak_rss_mb = std::max(peak_rss_mb, event["args"].number_or("value", 0));
+      continue;
+    }
+    if (ph != "X") continue;
+    ++span_events;
+    const std::string name = event.string_or("name", "span");
+    const double dur_ms = event.number_or("dur", 0) * 1e-3;  // ts/dur are µs
+    by_name[name].add(dur_ms);
+    const double id = event["args"].number_or("id", -1);
+    if (name == "round") {
+      round_ms.push_back(dur_ms);
+    } else if (name == "device_train" && id >= 0) {
+      by_device[static_cast<std::int64_t>(id)].add(dur_ms);
+    } else if (name == "edge_round" && id >= 0) {
+      by_edge[static_cast<std::int64_t>(id)].add(dur_ms);
+    }
+  }
+
+  const JsonValue& other = doc["otherData"];
+  const auto dropped =
+      static_cast<std::uint64_t>(other.number_or("spans_dropped", 0));
+
+  std::cout << "=== span profile summary: " << path << " ===\n"
+            << span_events << " spans across "
+            << static_cast<std::size_t>(other.number_or("tracks", 0))
+            << " track(s), ring capacity "
+            << static_cast<std::size_t>(other.number_or("ring_capacity", 0))
+            << '\n';
+  if (dropped > 0) {
+    std::cout << "WARNING: " << dropped
+              << " span(s) dropped at ring-buffer overflow — totals below "
+                 "undercount; raise the ring capacity for complete coverage\n";
+  }
+  std::cout << '\n';
+
+  if (!by_name.empty()) {
+    double grand_total = 0.0;
+    for (const auto& [name, agg] : by_name) grand_total += agg.total_ms;
+    std::vector<std::pair<std::string, SpanAgg>> sorted(by_name.begin(),
+                                                        by_name.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second.total_ms > b.second.total_ms;
+    });
+    std::cout << "span time breakdown ("
+              << mach::common::format_double(grand_total, 3)
+              << " ms total; nested spans double-count their parents):\n";
+    mach::common::Table table(
+        {"span", "count", "total ms", "share %", "mean ms", "max ms"});
+    for (const auto& [name, agg] : sorted) {
+      table.row()
+          .cell(name)
+          .cell(agg.count)
+          .cell(agg.total_ms, 3)
+          .cell(grand_total > 0.0 ? agg.total_ms / grand_total * 100.0 : 0.0, 1)
+          .cell(agg.total_ms / static_cast<double>(agg.count), 3)
+          .cell(agg.max_ms, 3);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (!round_ms.empty()) {
+    std::sort(round_ms.begin(), round_ms.end());
+    std::cout << "round latency over " << round_ms.size()
+              << " round span(s): p50 "
+              << mach::common::format_double(percentile(round_ms, 0.5), 3)
+              << " ms, p95 "
+              << mach::common::format_double(percentile(round_ms, 0.95), 3)
+              << " ms, max "
+              << mach::common::format_double(round_ms.back(), 3) << " ms\n\n";
+  }
+
+  print_span_agg_table("slowest devices by training time", "device", by_device,
+                       top_n);
+  print_span_agg_table("slowest edges by round time", "edge", by_edge, top_n);
+
+  if (counter_samples > 0) {
+    std::cout << "resource counters: " << counter_samples
+              << " RSS sample(s), peak "
+              << mach::common::format_double(peak_rss_mb, 1) << " MB\n";
+  }
+  return 0;
+}
+
+/// Summary of a status.json heartbeat (experiment_runner --status).
+int summarize_status(const JsonValue& doc, const std::string& path) {
+  const double step = doc.number_or("step", 0);
+  const double total = doc.number_or("total_steps", 0);
+  const bool finished = doc["finished"].is_bool() && doc["finished"].as_bool();
+  const double updated_unix = doc.number_or("updated_unix", 0);
+
+  std::cout << "=== status heartbeat: " << path << " ===\n"
+            << "progress: step " << static_cast<std::size_t>(step) << " / "
+            << static_cast<std::size_t>(total);
+  if (total > 0) {
+    std::cout << " (" << mach::common::format_double(step / total * 100.0, 1)
+              << "%)";
+  }
+  std::cout << (finished ? ", finished" : ", running") << '\n'
+            << "cloud rounds: "
+            << static_cast<std::size_t>(doc.number_or("cloud_rounds", 0))
+            << ", devices trained: "
+            << static_cast<std::size_t>(doc.number_or("devices_trained", 0))
+            << " ("
+            << mach::common::format_double(doc.number_or("devices_per_second", 0), 1)
+            << "/s)\n"
+            << "elapsed: "
+            << mach::common::format_double(doc.number_or("elapsed_seconds", 0), 1)
+            << " s, ETA: "
+            << mach::common::format_double(doc.number_or("eta_seconds", 0), 1)
+            << " s\n"
+            << "memory: current "
+            << static_cast<std::size_t>(doc.number_or("current_rss_kb", 0))
+            << " KB, peak "
+            << static_cast<std::size_t>(doc.number_or("peak_rss_kb", 0))
+            << " KB\n";
+  const auto faults = static_cast<std::uint64_t>(doc.number_or("faults_lost", 0));
+  if (faults > 0) std::cout << "fault updates lost: " << faults << '\n';
+  const auto dropped =
+      static_cast<std::uint64_t>(doc.number_or("spans_dropped", 0));
+  if (dropped > 0) std::cout << "profiler spans dropped: " << dropped << '\n';
+
+  if (updated_unix > 0) {
+    const double now_unix =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const double age = now_unix - updated_unix;
+    std::cout << "last heartbeat: " << mach::common::format_double(age, 1)
+              << " s ago (sequence "
+              << static_cast<std::uint64_t>(doc.number_or("sequence", 0)) << ")\n";
+    if (!finished && age > 30.0) {
+      std::cout << "WARNING: heartbeat is stale for an unfinished run — the "
+                   "process crashed, hung, or stopped without a final write\n";
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -123,6 +332,35 @@ int main(int argc, char** argv) {
   if (!in) {
     std::cerr << "cannot open " << path << '\n';
     return 1;
+  }
+
+  // Sniff the artefact kind: a JSONL engine trace carries one "event" object
+  // per line, while the span profile and the status heartbeat are a single
+  // JSON document spanning the whole file.
+  {
+    std::string first_line;
+    std::getline(in, first_line);
+    std::string error;
+    const auto first = mach::obs::parse_json(first_line, &error);
+    const bool jsonl =
+        first && first->is_object() && (*first)["event"].is_string();
+    if (!jsonl) {
+      std::stringstream whole;
+      whole << first_line << '\n' << in.rdbuf();
+      const auto doc = mach::obs::parse_json(whole.str(), &error);
+      if (doc && doc->is_object()) {
+        if ((*doc)["traceEvents"].is_array()) {
+          return summarize_profile(*doc, path, top_devices);
+        }
+        if (doc->string_or("kind", "") == "mach_status") {
+          return summarize_status(*doc, path);
+        }
+      }
+      // Neither artefact parsed: fall through to the JSONL reader so its
+      // per-line malformed diagnostics name the problem.
+    }
+    in.clear();
+    in.seekg(0);
   }
 
   // Pass 1: parse and *key* every aggregatable record instead of folding it
@@ -284,6 +522,11 @@ int main(int argc, char** argv) {
     std::cout << "overlap from a crashed run's tail detected: "
               << superseded_records
               << " superseded record(s) deduplicated (last occurrence wins)\n";
+  }
+  if (run_begins.size() > run_ends.size()) {
+    std::cout << "WARNING: " << (run_begins.size() - run_ends.size())
+              << " run(s) missing a run_end — telemetry is truncated (the "
+                 "run crashed, was killed, or is still in flight)\n";
   }
   std::cout << '\n';
 
