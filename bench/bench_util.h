@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ckpt/options.h"
+#include "comm/config.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/registry.h"
@@ -122,6 +123,31 @@ inline void apply_faults_flag(const common::CliParser& cli,
     config.hfl.faults.validate_topology(config.num_devices, config.num_edges);
   } catch (const std::invalid_argument& error) {
     std::cerr << "--faults: " << error.what() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Registers the shared --codec flag: any bench can rerun its sweep with
+/// per-link transfer codecs (src/comm/) and read the encoded-byte cost off
+/// the run_end ledger. The fp32 default is bitwise identical to a build
+/// without the comm layer.
+inline void add_codec_flag(common::CliParser& cli) {
+  cli.add_flag("codec", std::string("fp32"),
+               "per-link transfer codecs, e.g. 'int8', 'topk:k=0.05' or "
+               "'up=topk:k=0.01,down=bf16' (links: up|down|probe|edge_up|"
+               "cloud_down; fp32 = lossless)");
+}
+
+/// Applies the parsed --codec flag to one experiment config. A bad spec
+/// exits with the offending clause named.
+inline void apply_codec_flag(const common::CliParser& cli,
+                             hfl::ExperimentConfig& config) {
+  const std::string spec = cli.get_string("codec");
+  if (spec.empty()) return;
+  try {
+    config.hfl.comm = comm::CommConfig::parse(spec);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "--codec: " << error.what() << "\n";
     std::exit(1);
   }
 }

@@ -1,0 +1,209 @@
+// Communication bench: accuracy-vs-bytes tradeoff curves per transfer codec.
+//
+// Runs the fig3-style MNIST/FMNIST experiments under each codec (fp32, bf16,
+// int8, and top-k at three densities), recording the run_end byte ledger and
+// an accuracy-vs-cumulative-bytes curve sampled at every eval point. Written
+// as BENCH_comm.json for the CI regression gate (tools/bench_diff treats
+// *_bytes as lower-is-better and *accuracy* as higher-is-better); the curves
+// live in a separate top-level "curves" key that the gate ignores.
+//
+//   ./comm [--task all|mnist|fmnist] [--horizon N] [--out BENCH_comm.json]
+//   env: REPRO_FULL=1 (paper scale), BENCH_SEEDS ignored (single seed: the
+//   curves are per-run trajectories, not averages)
+//
+// The bench fails (exit 1) if the int8 device-upload reduction drops below
+// 3.9x — the headline compression this subsystem exists to deliver.
+#include "bench_util.h"
+
+#include <fstream>
+
+#include "common/table.h"
+#include "obs/json.h"
+#include "obs/observer.h"
+#include "obs/resource.h"
+
+namespace {
+
+struct CurvePoint {
+  std::size_t t = 0;
+  double accuracy = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// Samples cumulative encoded bytes at every eval point. on_eval fires on
+/// the coordinator thread, so reading the live cost accumulator is safe.
+class AccuracyVsBytesObserver final : public mach::obs::RunObserver {
+ public:
+  explicit AccuracyVsBytesObserver(const mach::hfl::HflSimulator& sim)
+      : sim_(sim) {}
+
+  void on_eval(const mach::obs::EvalEvent& event) override {
+    points.push_back({event.t, event.test_accuracy,
+                      sim_.last_run_cost().ledger.total_bytes()});
+  }
+
+  std::vector<CurvePoint> points;
+
+ private:
+  const mach::hfl::HflSimulator& sim_;
+};
+
+struct CaseResult {
+  std::string task;
+  std::string codec;
+  double final_accuracy = 0.0;
+  mach::hfl::CommunicationCost cost;
+  double upload_reduction = 0.0;  // fp32 upload bytes / encoded upload bytes
+  std::vector<CurvePoint> curve;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mach;
+
+  common::CliParser cli(
+      "Communication codecs: accuracy vs encoded bytes on MNIST/FMNIST.");
+  cli.add_flag("task", std::string("all"), "task filter: all|mnist|fmnist");
+  cli.add_flag("horizon", static_cast<std::int64_t>(0),
+               "override the preset horizon (0 = preset; smaller = smoke CI)");
+  cli.add_flag("out", std::string("BENCH_comm.json"), "JSON output path");
+  bench::add_threads_flag(cli);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  bench::print_mode_banner("Communication codecs: accuracy vs bytes");
+
+  std::vector<data::TaskKind> tasks;
+  const std::string task_flag = cli.get_string("task");
+  if (task_flag == "all") {
+    tasks = {data::TaskKind::MnistLike, data::TaskKind::FmnistLike};
+  } else {
+    tasks = bench::parse_tasks(task_flag);
+  }
+  // The sweep of the tentpole tradeoff: lossless baseline, the two dense
+  // quantisers, and the sparsifier across densities (the fig3 codec sweep).
+  const std::vector<std::string> codecs = {
+      "fp32", "bf16", "int8", "topk:k=0.25", "topk:k=0.05", "topk:k=0.01"};
+  const std::uint64_t seed = bench::bench_seeds().front();
+
+  std::vector<CaseResult> results;
+  bool int8_target_met = true;
+  common::Table table({"task", "codec", "final acc", "upload KiB",
+                       "total KiB", "fp32 KiB", "upload x"});
+  for (const auto task : tasks) {
+    auto base = hfl::ExperimentConfig::preset(task);
+    bench::apply_threads_flag(cli, base);
+    if (cli.get_int("horizon") > 0) {
+      base.horizon = static_cast<std::size_t>(cli.get_int("horizon"));
+    }
+    for (const auto& codec : codecs) {
+      const auto config = base.with_seed(seed);
+      hfl::ExperimentArtifacts built = hfl::build_experiment(config);
+      hfl::HflOptions options = config.hfl;
+      options.seed = config.seed;
+      options.comm = comm::CommConfig::parse(codec);
+      hfl::HflSimulator sim(built.train, built.test, built.partition,
+                            built.schedule, hfl::make_model_factory(config),
+                            options);
+      AccuracyVsBytesObserver observer(sim);
+      sim.set_observer(&observer);
+      auto sampler = core::make_sampler("mach");
+      const hfl::MetricsRecorder metrics = sim.run(*sampler, config.horizon);
+      sim.set_observer(nullptr);
+
+      CaseResult r;
+      r.task = data::task_name(task);
+      r.codec = codec;
+      r.final_accuracy = metrics.points().empty()
+                             ? 0.0
+                             : metrics.points().back().test_accuracy;
+      r.cost = sim.last_run_cost();
+      r.curve = std::move(observer.points);
+      const auto& up = r.cost.ledger.device_upload;
+      const std::uint64_t fp32_up =
+          up.messages * 4 * r.cost.model_parameters;
+      r.upload_reduction =
+          up.bytes > 0 ? static_cast<double>(fp32_up) /
+                             static_cast<double>(up.bytes)
+                       : 0.0;
+      table.row()
+          .cell(r.task)
+          .cell(r.codec)
+          .cell(r.final_accuracy, 4)
+          .cell(static_cast<double>(up.bytes) / 1024.0, 1)
+          .cell(static_cast<double>(r.cost.ledger.total_bytes()) / 1024.0, 1)
+          .cell(static_cast<double>(r.cost.assumed_fp32_bytes()) / 1024.0, 1)
+          .cell(r.upload_reduction, 2);
+      if (codec == "int8" && r.upload_reduction < 3.9) {
+        int8_target_met = false;
+      }
+      results.push_back(std::move(r));
+      std::cout << "  " << data::task_name(task) << " " << codec << " done\n";
+    }
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  if (!int8_target_met) {
+    std::cerr << "\nFAIL: int8 device-upload reduction below 3.9x\n";
+  }
+
+  // results: one flat scalar row per (task, codec) for tools/bench_diff.
+  std::string json_results = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    obs::JsonObjectWriter w;
+    w.begin();
+    w.field("task", r.task);
+    w.field("codec", r.codec);
+    w.field("final_accuracy", r.final_accuracy);
+    w.field("device_upload_bytes", r.cost.ledger.device_upload.bytes);
+    w.field("device_download_bytes", r.cost.ledger.device_download.bytes);
+    w.field("total_bytes", r.cost.ledger.total_bytes());
+    w.field("assumed_fp32_bytes",
+            static_cast<std::uint64_t>(r.cost.assumed_fp32_bytes()));
+    w.field("upload_speedup", r.upload_reduction);
+    if (i != 0) json_results += ',';
+    json_results += w.end();
+  }
+  json_results += ']';
+
+  // curves: accuracy-vs-cumulative-bytes trajectories, keyed task/codec.
+  std::string json_curves = "{";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::string points = "[";
+    for (std::size_t j = 0; j < r.curve.size(); ++j) {
+      obs::JsonObjectWriter p;
+      p.begin();
+      p.field("t", static_cast<std::uint64_t>(r.curve[j].t));
+      p.field("accuracy", r.curve[j].accuracy);
+      p.field("bytes", r.curve[j].bytes);
+      if (j != 0) points += ',';
+      points += p.end();
+    }
+    points += ']';
+    if (i != 0) json_curves += ',';
+    json_curves += '"' + obs::json_escape(r.task + "/" + r.codec) + "\":" + points;
+  }
+  json_curves += '}';
+
+  obs::JsonObjectWriter w;
+  w.begin();
+  w.field("bench", "comm");
+  w.field("seed", seed);
+  w.field("int8_target_met", int8_target_met);
+  w.raw_field("hardware", obs::hardware_json());
+  w.raw_field("results", json_results);
+  w.raw_field("curves", json_curves);
+
+  const std::string out_path = cli.get_string("out");
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << w.end() << "\n";
+  std::cout << "\nresults written to " << out_path << "\n";
+  return int8_target_met ? 0 : 1;
+}

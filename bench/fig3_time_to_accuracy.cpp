@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
                "<prefix>_<task>.jsonl (empty = off)");
   bench::add_threads_flag(cli);
   bench::add_faults_flag(cli);
+  bench::add_codec_flag(cli);
   bench::add_checkpoint_flags(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     auto config = hfl::ExperimentConfig::preset(task);
     bench::apply_threads_flag(cli, config);
     bench::apply_faults_flag(cli, config);
+    bench::apply_codec_flag(cli, config);
     bench::apply_checkpoint_flags(cli, config);
     std::cout << "--- " << data::task_name(task) << " (target "
               << config.target_accuracy << ", T_g=" << config.hfl.cloud_interval

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", std::string("fig5_participation.csv"), "CSV output path");
   bench::add_threads_flag(cli);
   bench::add_faults_flag(cli);
+  bench::add_codec_flag(cli);
   bench::add_checkpoint_flags(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
       auto config = hfl::ExperimentConfig::preset(task);
       bench::apply_threads_flag(cli, config);
       bench::apply_faults_flag(cli, config);
+      bench::apply_codec_flag(cli, config);
       bench::apply_checkpoint_flags(cli, config);
       config.hfl.participation = participation;
 

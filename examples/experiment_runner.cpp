@@ -16,6 +16,7 @@
 #include "common/cli.h"
 #include "common/log.h"
 #include "common/table.h"
+#include "comm/config.h"
 #include "core/registry.h"
 #include "fault/schedule.h"
 #include "hfl/experiment.h"
@@ -69,6 +70,12 @@ int main(int argc, char** argv) {
                "fault-injection spec, e.g. "
                "'dropout:p=0.1;straggler:p=0.2,timeout=1.5;cloud_loss:p=0.05' "
                "(empty = fault-free; runs stay deterministic and replayable)");
+  cli.add_flag("codec", std::string("fp32"),
+               "transfer codec per link: fp32|bf16|int8|topk:k=<density>, "
+               "uniform ('int8') or per-link "
+               "('up=topk:k=0.05,down=bf16,probe=int8,edge_up=int8,"
+               "cloud_down=bf16'); unlisted links stay fp32. The byte ledger "
+               "charges every message at its encoded size");
   cli.add_flag("seed", static_cast<std::int64_t>(7), "run seed");
   cli.add_flag("data_seed", static_cast<std::int64_t>(42), "data/world seed");
   cli.add_flag("csv", std::string(""), "optional accuracy-curve CSV path");
@@ -153,6 +160,12 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  try {
+    config.hfl.comm = mach::comm::CommConfig::parse(cli.get_string("codec"));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "--codec: " << error.what() << "\n";
+    return 1;
+  }
   config.data_seed = static_cast<std::uint64_t>(cli.get_int("data_seed"));
   config = config.with_seed(static_cast<std::uint64_t>(cli.get_int("seed")));
 
@@ -193,6 +206,13 @@ int main(int argc, char** argv) {
     mach::ckpt::CheckpointManager manager(checkpoint.dir, checkpoint.keep);
     auto loaded = manager.load_latest();
     if (loaded.has_value()) {
+      if (loaded->version != mach::ckpt::kRunStateVersion) {
+        std::cerr << "--resume: snapshot payload version " << loaded->version
+                  << " does not match this engine's version "
+                  << mach::ckpt::kRunStateVersion
+                  << " (delete " << checkpoint.dir << " to start fresh)\n";
+        return 1;
+      }
       try {
         mach::ckpt::ByteReader reader(loaded->payload);
         resume_header = mach::ckpt::RunStateHeader::decode(reader);
@@ -253,6 +273,9 @@ int main(int argc, char** argv) {
   if (!config.hfl.faults.empty()) {
     std::cout << " faults=" << config.hfl.faults.to_string();
   }
+  if (!config.hfl.comm.all_fp32()) {
+    std::cout << " codec=" << config.hfl.comm.to_string();
+  }
   std::cout << "\n\n";
 
   const auto metrics = simulator.run(*sampler, config.horizon);
@@ -276,6 +299,17 @@ int main(int argc, char** argv) {
             << cost.device_downloads << " downloads, " << cost.probe_downloads
             << " probes, " << cost.edge_uploads + cost.cloud_broadcasts
             << " edge-cloud messages (" << cost.total_bytes() / 1024 << " KiB)\n";
+  if (!config.hfl.comm.all_fp32()) {
+    const auto& ledger = cost.ledger;
+    std::cout << "encoded bytes:  device up " << ledger.device_upload.bytes / 1024
+              << " KiB (retries " << ledger.retry_upload.bytes / 1024
+              << " KiB), down " << ledger.device_download.bytes / 1024
+              << " KiB, probes " << ledger.probe_download.bytes / 1024
+              << " KiB, edge-cloud "
+              << (ledger.edge_upload.bytes + ledger.cloud_broadcast.bytes) / 1024
+              << " KiB; fp32 would be " << cost.assumed_fp32_bytes() / 1024
+              << " KiB\n";
+  }
   if (!config.hfl.faults.empty()) {
     const auto& reg = simulator.metrics_registry().snapshot();
     std::cout << "faults:         ";

@@ -83,6 +83,34 @@ trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace"'
 grep -q '"faults"' "$fault_trace"
 "$BUILD_DIR/tools/trace_summary" "$fault_trace" | grep -q 'fault injection'
 
+echo "== codec smoke + round-trip fuzz =="
+# End-to-end transfer codecs: a lossy per-link run must complete, report its
+# encoded-byte breakdown, record the codec spec and per-link ledger in the
+# trace, and trace_summary must render the bytes-by-link table. Then the
+# randomized round-trip suite re-runs with a raised iteration budget (fp32
+# exact; bf16/int8/topk within their documented bounds).
+codec_trace="$(mktemp -t hfl_codec_XXXXXX.jsonl)"
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace"' EXIT
+"$BUILD_DIR/examples/experiment_runner" \
+  --devices 8 --edges 2 --steps 10 --local_epochs 2 --trace "$codec_trace" \
+  --codec 'up=topk:k=0.05,down=bf16,probe=int8,edge_up=int8,cloud_down=bf16' \
+  | grep -q '^encoded bytes:'
+grep -q '"codec"' "$codec_trace"
+grep -q '"comm"' "$codec_trace"
+"$BUILD_DIR/tools/trace_summary" "$codec_trace" | grep -q 'communication bytes by link'
+MACH_CODEC_FUZZ_ITERS=400 "$BUILD_DIR/tests/test_comm" --gtest_filter='CodecFuzz.*'
+
+echo "== comm bench smoke =="
+# Accuracy-vs-bytes bench end to end on a tiny horizon: must produce a JSON
+# the perf gate can self-compare cleanly, and the int8 device-upload
+# reduction assertion (>= 3.9x) must hold. The committed BENCH_comm.json is
+# produced by a full default-horizon run.
+comm_json="$(mktemp -t hfl_comm_XXXXXX.json)"
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace" "$comm_json"' EXIT
+"$BUILD_DIR/bench/comm" --task mnist --horizon 20 --out "$comm_json" > /dev/null
+"$BUILD_DIR/tools/bench_diff" \
+  --baseline "$comm_json" --current "$comm_json" > /dev/null
+
 echo "== crash-resume smoke =="
 # Kill-and-resume end-to-end: a fixed-seed run SIGKILLs itself right after a
 # mid-run snapshot becomes durable, then a resumed run (at a different thread
@@ -112,16 +140,19 @@ if [ "${UBSAN:-1}" != "0" ]; then
   # running the blocked-vs-reference equivalence suite (pointer arithmetic,
   # masked edge tiles and the packed-panel indexing are the risky parts),
   # plus the checkpoint suite (byte-codec casts, CRC table indexing and the
-  # raw-byte RNG state round-trips are the risky parts).
-  echo "== undefined behaviour sanitizer (kernels + faults + ckpt) =="
+  # raw-byte RNG state round-trips are the risky parts), plus the comm suite
+  # (float<->bits bit_casts, wire byte packing and int8 narrowing are the
+  # risky parts).
+  echo "== undefined behaviour sanitizer (kernels + faults + ckpt + comm) =="
   UBSAN_DIR="${UBSAN_DIR:-${BUILD_DIR}-ubsan}"
   cmake -B "$UBSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
-  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt
+  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt test_comm
   "$UBSAN_DIR/tests/test_tensor"
   "$UBSAN_DIR/tests/test_fault"
   "$UBSAN_DIR/tests/test_ckpt"
+  "$UBSAN_DIR/tests/test_comm"
 fi
 
 if [ "${TSAN:-1}" != "0" ]; then
@@ -134,7 +165,7 @@ if [ "${TSAN:-1}" != "0" ]; then
   cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault test_obs
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault test_obs test_comm
   "$TSAN_DIR/tests/test_runtime"
   "$TSAN_DIR/tests/test_hfl" --gtest_filter='ParallelDeterminism.*:ProfilerIntegration.*'
   # The fault replay/determinism suites drive 2- and 4-worker runs with the
@@ -143,6 +174,9 @@ if [ "${TSAN:-1}" != "0" ]; then
   # Span profiler: per-track rings written from worker threads, merged at the
   # barrier — the thread_local binding and merge must be race-free.
   "$TSAN_DIR/tests/test_obs" --gtest_filter='SpanProfiler.*'
+  # Lossy-codec runs at 2 and 4 workers: transcodes are coordinator-only by
+  # design; TSan proves no codec state is touched from worker threads.
+  "$TSAN_DIR/tests/test_comm" --gtest_filter='CommIntegration.*'
 fi
 
 echo "CI OK"

@@ -19,7 +19,10 @@
 namespace mach::ckpt {
 
 /// Payload format version written by HflSimulator (bump on layout changes).
-inline constexpr std::uint32_t kRunStateVersion = 1;
+/// v2: CommunicationCost gained the encoded-byte ledger + mixed-size flag,
+/// and lossy-codec runs append error-feedback residuals and the last cloud
+/// broadcast (src/comm/). v1 snapshots cannot resume a v2 engine.
+inline constexpr std::uint32_t kRunStateVersion = 2;
 
 struct RunStateHeader {
   std::uint64_t fingerprint = 0;      // run-configuration hash (see above)

@@ -1,0 +1,60 @@
+// bf16: truncation to bfloat16 — keep the sign, the full 8-bit exponent and
+// the top 7 mantissa bits; drop the low 16 bits of the fp32 pattern. This is
+// the classic bitfield-union idiom (a union over {float; struct {unsigned
+// truncated_mantissa:16; mantissa:7; exponent:8; sign:1;}}) expressed with
+// bit_cast shifts so it is endianness-explicit and UBSan-clean.
+//
+// Truncation (round toward zero on the mantissa) rather than
+// round-to-nearest: the decoded value is always the fp32 input with its low
+// mantissa bits cleared, so re-encoding a decoded tensor is exact
+// (idempotent) and the error bound is one-sided. For normal values
+// |x - decode(encode(x))| < 2^-7 · |x|; subnormals truncate toward zero with
+// absolute error below the smallest normal (~1.2e-38).
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+#include "comm/codec_impl.h"
+#include "comm/wire.h"
+
+namespace mach::comm::detail {
+namespace {
+
+class Bf16Codec final : public Codec {
+ public:
+  CodecKind kind() const noexcept override { return CodecKind::Bf16; }
+  std::string to_string() const override { return "bf16"; }
+
+  std::size_t encoded_bytes(std::size_t count) const noexcept override {
+    return count * 2;
+  }
+
+  void encode(std::span<const float> values, std::span<const float> /*reference*/,
+              std::vector<float>* /*residual*/, Encoded& out) const override {
+    out.bytes.clear();
+    out.bytes.reserve(values.size() * 2);
+    for (const float v : values) {
+      const auto bits = std::bit_cast<std::uint32_t>(v);
+      wire::put_u16(out.bytes, static_cast<std::uint16_t>(bits >> 16));
+    }
+  }
+
+  void decode(const Encoded& in, std::size_t count,
+              std::span<const float> /*reference*/,
+              std::vector<float>& out) const override {
+    if (in.bytes.size() != count * 2) {
+      throw std::runtime_error("bf16 codec: payload size mismatch");
+    }
+    out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t hi = wire::get_u16(in.bytes.data() + i * 2);
+      out[i] = std::bit_cast<float>(hi << 16);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_bf16_codec() { return std::make_unique<Bf16Codec>(); }
+
+}  // namespace mach::comm::detail

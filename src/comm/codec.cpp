@@ -1,0 +1,91 @@
+#include "comm/codec.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "comm/codec_impl.h"
+
+namespace mach::comm {
+
+std::string_view codec_kind_name(CodecKind kind) noexcept {
+  switch (kind) {
+    case CodecKind::Fp32: return "fp32";
+    case CodecKind::Bf16: return "bf16";
+    case CodecKind::Int8: return "int8";
+    case CodecKind::TopK: return "topk";
+  }
+  return "?";
+}
+
+CodecSpec CodecSpec::parse(std::string_view text) {
+  CodecSpec spec;
+  std::string_view name = text;
+  std::string_view params;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    name = text.substr(0, colon);
+    params = text.substr(colon + 1);
+  }
+  if (name == "fp32") {
+    spec.kind = CodecKind::Fp32;
+  } else if (name == "bf16") {
+    spec.kind = CodecKind::Bf16;
+  } else if (name == "int8") {
+    spec.kind = CodecKind::Int8;
+  } else if (name == "topk") {
+    spec.kind = CodecKind::TopK;
+  } else {
+    throw std::invalid_argument("codec: unknown codec '" + std::string(text) +
+                                "' (expected fp32|bf16|int8|topk[:k=...])");
+  }
+  if (params.empty()) {
+    if (!text.empty() && text.find(':') != std::string_view::npos) {
+      throw std::invalid_argument("codec: empty parameter list in '" +
+                                  std::string(text) + "'");
+    }
+    return spec;
+  }
+  if (spec.kind != CodecKind::TopK) {
+    throw std::invalid_argument("codec: '" + std::string(name) +
+                                "' takes no parameters ('" + std::string(text) +
+                                "')");
+  }
+  if (params.rfind("k=", 0) != 0) {
+    throw std::invalid_argument("codec: expected 'topk:k=<density>', got '" +
+                                std::string(text) + "'");
+  }
+  const std::string value(params.substr(2));
+  char* end = nullptr;
+  const double density = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("codec: bad topk density '" + value + "'");
+  }
+  if (!(density > 0.0) || density > 1.0) {
+    throw std::invalid_argument("codec: topk density must be in (0, 1], got '" +
+                                value + "'");
+  }
+  spec.topk_density = density;
+  return spec;
+}
+
+std::string CodecSpec::to_string() const {
+  if (kind != CodecKind::TopK) return std::string(codec_kind_name(kind));
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "topk:k=%g", topk_density);
+  return buffer;
+}
+
+std::unique_ptr<Codec> make_codec(const CodecSpec& spec) {
+  switch (spec.kind) {
+    case CodecKind::Fp32: return detail::make_fp32_codec();
+    case CodecKind::Bf16: return detail::make_bf16_codec();
+    case CodecKind::Int8: return detail::make_int8_codec();
+    case CodecKind::TopK:
+      if (!(spec.topk_density > 0.0) || spec.topk_density > 1.0) {
+        throw std::invalid_argument("codec: topk density must be in (0, 1]");
+      }
+      return detail::make_topk_codec(spec.topk_density);
+  }
+  throw std::invalid_argument("codec: unknown codec kind");
+}
+
+}  // namespace mach::comm

@@ -1,0 +1,15 @@
+// Concrete codec factories (internal to src/comm/; use make_codec()).
+#pragma once
+
+#include <memory>
+
+#include "comm/codec.h"
+
+namespace mach::comm::detail {
+
+std::unique_ptr<Codec> make_fp32_codec();
+std::unique_ptr<Codec> make_bf16_codec();
+std::unique_ptr<Codec> make_int8_codec();
+std::unique_ptr<Codec> make_topk_codec(double density);
+
+}  // namespace mach::comm::detail

@@ -1,0 +1,119 @@
+#include "comm/config.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mach::comm {
+
+namespace {
+
+/// A clause is a per-link override when its first '=' precedes any ':' —
+/// "up=topk:k=0.05" is link form, "topk:k=0.05" is a bare codec.
+bool is_link_clause(std::string_view clause) {
+  const auto eq = clause.find('=');
+  if (eq == std::string_view::npos) return false;
+  const auto colon = clause.find(':');
+  return colon == std::string_view::npos || eq < colon;
+}
+
+}  // namespace
+
+bool CommConfig::all_fp32() const noexcept {
+  return device_up.kind == CodecKind::Fp32 &&
+         device_down.kind == CodecKind::Fp32 &&
+         probe.kind == CodecKind::Fp32 && edge_up.kind == CodecKind::Fp32 &&
+         cloud_down.kind == CodecKind::Fp32;
+}
+
+CommConfig CommConfig::parse(std::string_view spec) {
+  CommConfig config;
+  if (spec.empty()) {
+    throw std::invalid_argument("codec: empty spec");
+  }
+  std::vector<std::string_view> clauses;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const auto end = comma == std::string_view::npos ? spec.size() : comma;
+    clauses.push_back(spec.substr(start, end - start));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  const bool per_link = is_link_clause(clauses.front());
+  if (!per_link) {
+    if (clauses.size() != 1) {
+      throw std::invalid_argument(
+          "codec: a uniform spec takes a single codec; use link=codec clauses "
+          "to mix ('" + std::string(spec) + "')");
+    }
+    const CodecSpec codec = CodecSpec::parse(clauses.front());
+    config.device_up = codec;
+    config.device_down = codec;
+    config.probe = codec;
+    config.edge_up = codec;
+    config.cloud_down = codec;
+    return config;
+  }
+  bool seen[5] = {};
+  for (const std::string_view clause : clauses) {
+    if (!is_link_clause(clause)) {
+      throw std::invalid_argument("codec: expected link=codec, got '" +
+                                  std::string(clause) + "'");
+    }
+    const auto eq = clause.find('=');
+    const std::string_view link = clause.substr(0, eq);
+    const std::string_view codec_text = clause.substr(eq + 1);
+    const CodecSpec codec = CodecSpec::parse(codec_text);
+    std::size_t slot;
+    if (link == "up") {
+      config.device_up = codec;
+      slot = 0;
+    } else if (link == "down") {
+      config.device_down = codec;
+      slot = 1;
+    } else if (link == "probe") {
+      config.probe = codec;
+      slot = 2;
+    } else if (link == "edge_up") {
+      config.edge_up = codec;
+      slot = 3;
+    } else if (link == "cloud_down") {
+      config.cloud_down = codec;
+      slot = 4;
+    } else {
+      throw std::invalid_argument(
+          "codec: unknown link '" + std::string(link) +
+          "' (expected up|down|probe|edge_up|cloud_down)");
+    }
+    if (seen[slot]) {
+      throw std::invalid_argument("codec: duplicate link '" +
+                                  std::string(link) + "'");
+    }
+    seen[slot] = true;
+  }
+  return config;
+}
+
+std::string CommConfig::to_string() const {
+  if (device_up == device_down && device_up == probe && device_up == edge_up &&
+      device_up == cloud_down) {
+    return device_up.to_string();
+  }
+  std::string out;
+  const CodecSpec fp32;
+  const auto append = [&](const char* link, const CodecSpec& codec) {
+    if (codec == fp32) return;  // unnamed links default to fp32 on parse
+    if (!out.empty()) out += ',';
+    out += link;
+    out += '=';
+    out += codec.to_string();
+  };
+  append("up", device_up);
+  append("down", device_down);
+  append("probe", probe);
+  append("edge_up", edge_up);
+  append("cloud_down", cloud_down);
+  return out.empty() ? "fp32" : out;
+}
+
+}  // namespace mach::comm

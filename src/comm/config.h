@@ -1,0 +1,51 @@
+// Per-link codec selection for the hierarchical network (--codec flag).
+//
+// Spec grammar (comma-separated clauses):
+//   <codec>                      one codec for every link
+//   <link>=<codec>[,...]         per-link overrides (unnamed links stay fp32)
+// where <codec> is CodecSpec grammar (fp32|bf16|int8|topk[:k=<density>]) and
+// <link> is one of:
+//   up         device -> edge model uploads
+//   down       edge -> device model downloads
+//   probe      oracle probe downloads (MACH-P)
+//   edge_up    edge -> cloud uploads
+//   cloud_down cloud -> edge broadcasts
+// Examples:
+//   --codec int8
+//   --codec topk:k=0.05
+//   --codec up=topk:k=0.01,down=bf16
+//   --codec up=int8,edge_up=int8,cloud_down=bf16
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "comm/codec.h"
+
+namespace mach::comm {
+
+struct CommConfig {
+  CodecSpec device_up;    // device -> edge uploads
+  CodecSpec device_down;  // edge -> device downloads
+  CodecSpec probe;        // oracle probe downloads
+  CodecSpec edge_up;      // edge -> cloud uploads
+  CodecSpec cloud_down;   // cloud -> edge broadcasts
+
+  /// True when every link is the lossless fp32 identity (the default): the
+  /// engine takes the exact pre-codec model path and only the byte ledger
+  /// (integer arithmetic) runs.
+  bool all_fp32() const noexcept;
+
+  /// Parses the --codec spec grammar (see file comment); throws
+  /// std::invalid_argument naming the offending clause.
+  static CommConfig parse(std::string_view spec);
+
+  /// Canonical spec string: the single codec name when all links agree,
+  /// otherwise the full per-link list. parse(to_string()) round-trips, and
+  /// this string is what run fingerprints and traces record.
+  std::string to_string() const;
+
+  friend bool operator==(const CommConfig&, const CommConfig&) = default;
+};
+
+}  // namespace mach::comm

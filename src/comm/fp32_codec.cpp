@@ -1,0 +1,47 @@
+// fp32: identity serialisation. The wire carries each parameter's exact IEEE
+// bit pattern (little-endian), so decode(encode(x)) == x bitwise — including
+// -0.0, denormals and NaN payloads — which is what keeps an all-fp32 run
+// bitwise identical to a run without the comm layer.
+#include <stdexcept>
+
+#include "comm/codec_impl.h"
+#include "comm/wire.h"
+
+namespace mach::comm::detail {
+namespace {
+
+class Fp32Codec final : public Codec {
+ public:
+  CodecKind kind() const noexcept override { return CodecKind::Fp32; }
+  std::string to_string() const override { return "fp32"; }
+  bool lossless() const noexcept override { return true; }
+
+  std::size_t encoded_bytes(std::size_t count) const noexcept override {
+    return count * 4;
+  }
+
+  void encode(std::span<const float> values, std::span<const float> /*reference*/,
+              std::vector<float>* /*residual*/, Encoded& out) const override {
+    out.bytes.clear();
+    out.bytes.reserve(values.size() * 4);
+    for (const float v : values) wire::put_f32(out.bytes, v);
+  }
+
+  void decode(const Encoded& in, std::size_t count,
+              std::span<const float> /*reference*/,
+              std::vector<float>& out) const override {
+    if (in.bytes.size() != count * 4) {
+      throw std::runtime_error("fp32 codec: payload size mismatch");
+    }
+    out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = wire::get_f32(in.bytes.data() + i * 4);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_fp32_codec() { return std::make_unique<Fp32Codec>(); }
+
+}  // namespace mach::comm::detail

@@ -1,0 +1,73 @@
+// int8: per-tensor symmetric quantisation. One fp32 scale = max|x| / 127
+// heads the payload, followed by one signed byte per parameter:
+// q = round(x / scale) clamped to [-127, 127], decoded as q·scale.
+//
+// Symmetric (no zero point) keeps 0 exactly representable — federated deltas
+// and freshly-initialised layers are zero-heavy — and the absolute error is
+// at most scale/2 everywhere except the clamp boundary, where it is still
+// below scale. An all-zero tensor encodes scale = 0 and decodes exactly. The
+// rounding is std::lround (half away from zero): platform-independent for
+// the in-range values the scale guarantees.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "comm/codec_impl.h"
+#include "comm/wire.h"
+
+namespace mach::comm::detail {
+namespace {
+
+class Int8Codec final : public Codec {
+ public:
+  CodecKind kind() const noexcept override { return CodecKind::Int8; }
+  std::string to_string() const override { return "int8"; }
+
+  std::size_t encoded_bytes(std::size_t count) const noexcept override {
+    return 4 + count;
+  }
+
+  void encode(std::span<const float> values, std::span<const float> /*reference*/,
+              std::vector<float>* /*residual*/, Encoded& out) const override {
+    out.bytes.clear();
+    out.bytes.reserve(4 + values.size());
+    float max_abs = 0.0f;
+    for (const float v : values) {
+      const float a = std::fabs(v);
+      if (a > max_abs) max_abs = a;
+    }
+    const float scale = max_abs / 127.0f;
+    wire::put_f32(out.bytes, scale);
+    if (scale == 0.0f) {
+      out.bytes.resize(4 + values.size(), 0);
+      return;
+    }
+    const float inv_scale = 1.0f / scale;
+    for (const float v : values) {
+      long q = std::lround(v * inv_scale);
+      if (q > 127) q = 127;
+      if (q < -127) q = -127;
+      out.bytes.push_back(static_cast<std::uint8_t>(static_cast<std::int8_t>(q)));
+    }
+  }
+
+  void decode(const Encoded& in, std::size_t count,
+              std::span<const float> /*reference*/,
+              std::vector<float>& out) const override {
+    if (in.bytes.size() != 4 + count) {
+      throw std::runtime_error("int8 codec: payload size mismatch");
+    }
+    const float scale = wire::get_f32(in.bytes.data());
+    out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto q = static_cast<std::int8_t>(in.bytes[4 + i]);
+      out[i] = static_cast<float>(q) * scale;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_int8_codec() { return std::make_unique<Int8Codec>(); }
+
+}  // namespace mach::comm::detail

@@ -1,0 +1,34 @@
+#include "comm/ledger.h"
+
+namespace mach::comm {
+
+std::uint64_t ByteLedger::total_bytes() const noexcept {
+  return device_download.bytes + device_upload.bytes + probe_download.bytes +
+         edge_upload.bytes + cloud_broadcast.bytes;
+}
+
+std::uint64_t ByteLedger::total_messages() const noexcept {
+  return device_download.messages + device_upload.messages +
+         probe_download.messages + edge_upload.messages +
+         cloud_broadcast.messages;
+}
+
+std::uint64_t ByteLedger::device_link_bytes() const noexcept {
+  return device_download.bytes + device_upload.bytes + probe_download.bytes;
+}
+
+bool ByteLedger::empty() const noexcept {
+  return total_messages() == 0 && retry_upload.messages == 0;
+}
+
+ByteLedger& ByteLedger::operator+=(const ByteLedger& other) noexcept {
+  device_download += other.device_download;
+  device_upload += other.device_upload;
+  retry_upload += other.retry_upload;
+  probe_download += other.probe_download;
+  edge_upload += other.edge_upload;
+  cloud_broadcast += other.cloud_broadcast;
+  return *this;
+}
+
+}  // namespace mach::comm

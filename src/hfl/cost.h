@@ -10,9 +10,19 @@
 //     device per step;
 //   * edge <-> cloud: per cloud round (Eq. 6), each edge uploads its model
 //     and receives the new global model.
+//
+// Byte truth lives in `ledger` (src/comm/): the engine charges every message
+// at its link codec's *encoded* size, so total_bytes() reports what actually
+// crossed the wire — 4·model_parameters per message only when the link runs
+// the fp32 identity codec. The legacy fp32 product remains available as
+// assumed_fp32_bytes() (and as the fallback for hand-built accumulators that
+// never went through the engine).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+
+#include "comm/ledger.h"
 
 namespace mach::hfl {
 
@@ -27,15 +37,31 @@ struct CommunicationCost {
   std::size_t cloud_broadcasts = 0;   // global model -> edge
   /// Scalar parameters per model message (for byte conversion).
   std::size_t model_parameters = 0;
+  /// Encoded bytes per link, maintained by the engine alongside the message
+  /// counters above (fp32 links charge exactly 4·model_parameters/message).
+  comm::ByteLedger ledger;
+  /// Sticky accumulation-error flag: set when operator+= folded together
+  /// accumulators with different nonzero model_parameters. Byte totals from
+  /// the legacy fp32 product are under-counted past that point; the ledger
+  /// (per-message charges) stays exact. Surfaced by tools/trace_summary.
+  bool mixed_model_sizes = false;
 
   std::size_t total_model_messages() const noexcept {
     return device_downloads + device_uploads + probe_downloads + edge_uploads +
            cloud_broadcasts;
   }
 
-  /// Total bytes moved assuming float32 parameters.
-  std::size_t total_bytes() const noexcept {
+  /// Total bytes assuming uncompressed float32 parameters on every link (the
+  /// pre-codec reporting convention; kept for comparison against `ledger`).
+  std::size_t assumed_fp32_bytes() const noexcept {
     return total_model_messages() * model_parameters * sizeof(float);
+  }
+
+  /// Total bytes moved: the encoded-byte ledger when the engine maintained
+  /// one, else the fp32 assumption (hand-built accumulators).
+  std::size_t total_bytes() const noexcept {
+    if (!ledger.empty()) return static_cast<std::size_t>(ledger.total_bytes());
+    return assumed_fp32_bytes();
   }
 
   /// Device-edge messages per time step (the channel-budget view, Eq. 3).
@@ -52,10 +78,20 @@ struct CommunicationCost {
     probe_downloads += other.probe_downloads;
     edge_uploads += other.edge_uploads;
     cloud_broadcasts += other.cloud_broadcasts;
+    ledger += other.ledger;
+    mixed_model_sizes |= other.mixed_model_sizes;
     // model_parameters is a per-message size, not a count: accumulating runs
     // of the same model must keep it (a default-constructed accumulator has
-    // 0). Mixing different model sizes in one accumulator is a caller bug;
-    // taking the max keeps total_bytes() a lower bound in that case.
+    // 0). Mixing different model sizes in one accumulator makes the fp32
+    // product meaningless — assert in debug, and record the mix in the
+    // sticky flag either way so reports can surface it; the max keeps
+    // assumed_fp32_bytes() a lower bound.
+    if (model_parameters != 0 && other.model_parameters != 0 &&
+        model_parameters != other.model_parameters) {
+      mixed_model_sizes = true;
+      assert(!"CommunicationCost: accumulating mixed model sizes "
+              "(assumed_fp32_bytes under-counts; use the byte ledger)");
+    }
     if (other.model_parameters > model_parameters) {
       model_parameters = other.model_parameters;
     }

@@ -217,6 +217,8 @@ RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler,
     h = ckpt::hash_f64(h, config.long_tail_ratio);
     h = ckpt::hash_str(h, config.hfl.faults.empty() ? ""
                                                     : config.hfl.faults.to_string());
+    h = ckpt::hash_str(h, config.hfl.comm.all_fp32() ? ""
+                                                     : config.hfl.comm.to_string());
     std::ostringstream subdir;
     subdir << '/' << data::task_name(config.task) << '_' << sampler.name()
            << "_s" << config.seed << '_' << std::hex << std::setw(8)
@@ -229,7 +231,14 @@ RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler,
   if (options.checkpoint.resume) {
     ckpt::CheckpointManager manager(options.checkpoint.dir, options.checkpoint.keep);
     if (auto loaded = manager.load_latest()) {
-      simulator.set_resume_payload(std::move(loaded->payload));
+      if (loaded->version != ckpt::kRunStateVersion) {
+        common::log_warn("resume: snapshot in " + options.checkpoint.dir +
+                         " has payload version " + std::to_string(loaded->version) +
+                         " (engine writes " + std::to_string(ckpt::kRunStateVersion) +
+                         ") -- starting from step 0");
+      } else {
+        simulator.set_resume_payload(std::move(loaded->payload));
+      }
     } else {
       common::log_warn("resume: no usable snapshot in " + options.checkpoint.dir +
                        " -- starting from step 0");

@@ -68,6 +68,37 @@ HflSimulator::HflSimulator(const data::Dataset& train, const data::Dataset& test
     pool_ = std::make_unique<runtime::ThreadPool>(workers);
     replicas_ = std::make_unique<runtime::ModelReplicaPool>(model_factory, workers);
   }
+  // Transfer codecs: built once (immutable), encoded sizes cached — the
+  // ledger charges per message without touching the model path.
+  codec_device_up_ = comm::make_codec(options_.comm.device_up);
+  codec_device_down_ = comm::make_codec(options_.comm.device_down);
+  codec_probe_ = comm::make_codec(options_.comm.probe);
+  codec_edge_up_ = comm::make_codec(options_.comm.edge_up);
+  codec_cloud_down_ = comm::make_codec(options_.comm.cloud_down);
+  comm_lossy_ = !options_.comm.all_fp32();
+  bytes_device_up_ = codec_device_up_->encoded_bytes(param_count_);
+  bytes_device_down_ = codec_device_down_->encoded_bytes(param_count_);
+  bytes_probe_ = codec_probe_->encoded_bytes(param_count_);
+  bytes_edge_up_ = codec_edge_up_->encoded_bytes(param_count_);
+  bytes_cloud_down_ = codec_cloud_down_->encoded_bytes(param_count_);
+}
+
+void HflSimulator::transcode(const comm::Codec& codec,
+                             std::span<const float> values,
+                             std::span<const float> reference,
+                             std::vector<float>* residual,
+                             std::vector<float>& out, std::int64_t t,
+                             std::int64_t id) {
+  {
+    const obs::SpanGuard span("comm.encode", t, id);
+    codec.encode(values, reference, residual, wire_);
+  }
+  if (ctr_comm_encodes_ != nullptr) ctr_comm_encodes_->add();
+  {
+    const obs::SpanGuard span("comm.decode", t, id);
+    codec.decode(wire_, values.size(), reference, out);
+  }
+  if (ctr_comm_decodes_ != nullptr) ctr_comm_decodes_->add();
 }
 
 double HflSimulator::edge_capacity(std::size_t edge) const {
@@ -264,6 +295,7 @@ std::uint64_t HflSimulator::run_fingerprint(const Sampler& sampler,
   h = ckpt::hash_u64(h, options_.eval_max_examples);
   h = ckpt::hash_u64(h, options_.track_global_grad_norm_examples);
   h = ckpt::hash_str(h, options_.faults.empty() ? "" : options_.faults.to_string());
+  h = ckpt::hash_str(h, options_.comm.all_fp32() ? "" : options_.comm.to_string());
   h = ckpt::hash_str(h, sampler.name());
   h = ckpt::hash_u64(h, steps);
   return h;
@@ -320,6 +352,29 @@ void HflSimulator::save_checkpoint(Sampler& sampler, std::size_t steps,
   out.u64(cost_.edge_uploads);
   out.u64(cost_.cloud_broadcasts);
   out.u64(cost_.model_parameters);
+  // v2: the encoded-byte ledger (pure integer accumulators) plus the sticky
+  // mixed-size flag. Always present, even when every link is fp32.
+  out.boolean(cost_.mixed_model_sizes);
+  const auto write_link = [&out](const comm::LinkTraffic& link) {
+    out.u64(link.messages);
+    out.u64(link.bytes);
+  };
+  write_link(cost_.ledger.device_download);
+  write_link(cost_.ledger.device_upload);
+  write_link(cost_.ledger.retry_upload);
+  write_link(cost_.ledger.probe_download);
+  write_link(cost_.ledger.edge_upload);
+  write_link(cost_.ledger.cloud_broadcast);
+  // v2: lossy-codec model state — per-device error-feedback residuals (empty
+  // until a device first uploads through a stateful codec) and the reference
+  // model the cloud last broadcast. Absent when every link is fp32, so the
+  // fingerprint-compatible fp32 payload stays minimal.
+  out.boolean(comm_lossy_);
+  if (comm_lossy_) {
+    out.u64(upload_residuals_.size());
+    for (const auto& residual : upload_residuals_) out.vec_f32(residual);
+    out.vec_f32(last_broadcast_);
+  }
 
   // Recorded evaluation trajectory (the final CSV is regenerated from this,
   // which is what makes resumed CSVs byte-identical).
@@ -408,6 +463,38 @@ std::size_t HflSimulator::restore_run_state(Sampler& sampler, std::size_t steps,
   cost_.edge_uploads = in.u64();
   cost_.cloud_broadcasts = in.u64();
   cost_.model_parameters = in.u64();
+  cost_.mixed_model_sizes = in.boolean();
+  const auto read_link = [&in](comm::LinkTraffic& link) {
+    link.messages = in.u64();
+    link.bytes = in.u64();
+  };
+  read_link(cost_.ledger.device_download);
+  read_link(cost_.ledger.device_upload);
+  read_link(cost_.ledger.retry_upload);
+  read_link(cost_.ledger.probe_download);
+  read_link(cost_.ledger.edge_upload);
+  read_link(cost_.ledger.cloud_broadcast);
+  const bool snapshot_lossy = in.boolean();
+  if (snapshot_lossy != comm_lossy_) {
+    // Unreachable in practice: the codec spec feeds the fingerprint above.
+    throw ckpt::CorruptPayload("checkpoint: codec state/config mismatch");
+  }
+  if (comm_lossy_) {
+    const std::uint64_t num_residuals = in.u64();
+    if (num_residuals != upload_residuals_.size()) {
+      throw ckpt::CorruptPayload("checkpoint: residual count mismatch");
+    }
+    for (auto& residual : upload_residuals_) {
+      residual = in.vec_f32();
+      if (!residual.empty() && residual.size() != param_count_) {
+        throw ckpt::CorruptPayload("checkpoint: residual size mismatch");
+      }
+    }
+    last_broadcast_ = in.vec_f32();
+    if (last_broadcast_.size() != param_count_) {
+      throw ckpt::CorruptPayload("checkpoint: broadcast model size mismatch");
+    }
+  }
 
   const std::uint64_t num_points = in.u64();
   for (std::uint64_t i = 0; i < num_points; ++i) {
@@ -529,6 +616,29 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     ctr_fault_updates_lost = &registry_.counter("fault_updates_lost");
   }
 
+  // Codec instruments follow the same rule: they only exist when some link
+  // actually transcodes, so an all-fp32 run keeps the registry snapshot (and
+  // the run_end trace line) byte-identical to pre-codec builds.
+  ctr_comm_encodes_ = nullptr;
+  ctr_comm_decodes_ = nullptr;
+  if (comm_lossy_) {
+    ctr_comm_encodes_ = &registry_.counter("comm_encodes");
+    ctr_comm_decodes_ = &registry_.counter("comm_decodes");
+  }
+
+  // Codec model state, (re)initialised before any resume restore overwrites
+  // it: error-feedback residuals start empty (allocated lazily on a device's
+  // first encode) and the cloud's last broadcast starts at the initial
+  // global model every edge was constructed with.
+  upload_residuals_.clear();
+  last_broadcast_.clear();
+  if (comm_lossy_) {
+    if (codec_device_up_->stateful()) {
+      upload_residuals_.assign(num_devices(), {});
+    }
+    last_broadcast_ = global_;
+  }
+
   // Resume path: apply the pending snapshot after instrument registration
   // (restore is lookup-or-create against the same names, so the cached
   // references above stay live) and before any event is emitted — the
@@ -563,6 +673,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     event.num_edges = num_edges();
     event.cloud_interval = options_.cloud_interval;
     if (faults_on) event.fault_spec = options_.faults.to_string();
+    if (comm_lossy_) event.codec_spec = options_.comm.to_string();
     observer_->on_run_begin(event);
   }
 
@@ -652,10 +763,21 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         ctx.devices = devices;
         if (sampler.needs_oracle()) {
           oracle_norms.resize(devices.size());
+          // One encoded probe broadcast serves every device in this edge
+          // round: probing is memoryless (no reference, no residual), so the
+          // decode is shared and each device is charged one message.
+          const std::vector<float>* probe_view = &edge_model;
+          if (!codec_probe_->lossless()) {
+            transcode(*codec_probe_, edge_model, {}, nullptr, probe_model_,
+                      static_cast<std::int64_t>(t),
+                      static_cast<std::int64_t>(n));
+            probe_view = &probe_model_;
+          }
           for (std::size_t i = 0; i < devices.size(); ++i) {
-            oracle_norms[i] = probe_gradient_norm(devices[i], edge_model);
+            oracle_norms[i] = probe_gradient_norm(devices[i], *probe_view);
           }
           cost_.probe_downloads += devices.size();
+          cost_.ledger.probe_download.add(devices.size(), bytes_probe_);
           ctx.oracle_grad_sq_norms = oracle_norms;
         }
         probs = sampler.edge_probabilities(ctx);
@@ -679,8 +801,23 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         }
       }
       cost_.device_downloads += sampled_.size();  // devices fetch w_n^t (Eq. 4)
+      cost_.ledger.device_download.add(sampled_.size(), bytes_device_down_);
+      // Downlink transcode: every sampled device trains from the *decoded*
+      // broadcast, so one shared decode per edge round stands in for all of
+      // them (the encoding is deterministic, all devices receive the same
+      // bytes). The fp32 identity codec skips this entirely — `device_view`
+      // aliasing `edge_model` is what keeps the default path bitwise equal
+      // to pre-codec builds.
+      const std::vector<float>* device_view = &edge_model;
+      if (!codec_device_down_->lossless() && !sampled_.empty()) {
+        transcode(*codec_device_down_, edge_model, {}, nullptr,
+                  downlink_model_, static_cast<std::int64_t>(t),
+                  static_cast<std::int64_t>(n));
+        device_view = &downlink_model_;
+      }
       if (!faults_on) {
         cost_.device_uploads += sampled_.size();  // devices return w_m^{t+1}
+        cost_.ledger.device_upload.add(sampled_.size(), bytes_device_up_);
       } else {
         // Fates are decided on the coordinator before training dispatch, one
         // hashed RNG stream per (t, edge, device): thread-count independent
@@ -696,13 +833,19 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           switch (fate.fate) {
             case fault::DeviceFate::Completed:
               cost_.device_uploads += 1;
+              cost_.ledger.device_upload.add(1, bytes_device_up_);
               break;
             case fault::DeviceFate::Dropped:
               break;
             case fault::DeviceFate::StragglerArrived:
             case fault::DeviceFate::StragglerTimedOut:
+              // Every attempt crosses the wire at the encoded size — codecs
+              // produce value-independent message sizes precisely so lost
+              // retransmissions can be charged without encoding anything.
               cost_.device_uploads += 1 + fate.retries;
               cost_.retry_uploads += fate.retries;
+              cost_.ledger.device_upload.add(1 + fate.retries, bytes_device_up_);
+              cost_.ledger.retry_upload.add(fate.retries, bytes_device_up_);
               break;
           }
         }
@@ -739,7 +882,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
                                         devices[sampled_[k]]);
               const obs::Stopwatch watch;
               out.observation =
-                  train_device(t, devices[sampled_[k]], n, edge_model, lr,
+                  train_device(t, devices[sampled_[k]], n, *device_view, lr,
                                replicas_->model(slot), out.params);
               out.seconds = watch.seconds();
             });
@@ -755,8 +898,8 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           const obs::SpanGuard span("device_train",
                                     static_cast<std::int64_t>(t),
                                     devices[sampled_[k]]);
-          out.observation = train_device(t, devices[sampled_[k]], n, edge_model,
-                                         lr, model_, out.params);
+          out.observation = train_device(t, devices[sampled_[k]], n,
+                                         *device_view, lr, model_, out.params);
           out.seconds = timer.elapsed_seconds();
         }
       }
@@ -837,16 +980,33 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         weight_total += ht_weight;
         weight_sq_total += ht_weight * ht_weight;
         const auto weight = static_cast<float>(ht_weight);
+        // Uplink transcode, on the coordinator in sampled order (bitwise
+        // deterministic at any thread count). The upload's reference frame
+        // is the *decoded downlink* the device trained from — for delta
+        // codecs (top-k) the edge reconstructs reference + sparse delta, and
+        // the untransmitted remainder feeds the device's error-feedback
+        // residual for its next participation.
+        const std::vector<float>* upload_view = &device_slot.params;
+        if (!codec_device_up_->lossless()) {
+          std::vector<float>* residual = codec_device_up_->stateful()
+                                             ? &upload_residuals_[devices[i]]
+                                             : nullptr;
+          transcode(*codec_device_up_, device_slot.params, *device_view,
+                    residual, decoded_upload_, static_cast<std::int64_t>(t),
+                    static_cast<std::int64_t>(devices[i]));
+          upload_view = &decoded_upload_;
+        }
         const obs::Stopwatch accumulate_watch;
         if (options_.aggregation == AggregationForm::UpdateForm) {
-          // HT-weighted deltas (the form the paper's proof analyses).
+          // HT-weighted deltas (the form the paper's proof analyses) against
+          // the model the device actually received.
           tensor::kernels::axpy_delta(param_count_, weight,
-                                      device_slot.params.data(),
-                                      edge_model.data(), aggregate.data());
+                                      upload_view->data(),
+                                      device_view->data(), aggregate.data());
         } else {
           // HT-weighted parameters (Eq. 5).
           tensor::kernels::axpy(param_count_, weight,
-                                device_slot.params.data(), aggregate.data());
+                                upload_view->data(), aggregate.data());
         }
         aggregate_seconds += accumulate_watch.seconds();
       }
@@ -945,8 +1105,17 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           }
           surviving_mass += weight;
           const auto w = static_cast<float>(weight);
-          const auto& edge_model = edge_models_[n];
-          tensor::kernels::axpy(param_count_, w, edge_model.data(),
+          // Uplink transcode: the cloud folds the *decoded* edge upload. The
+          // reference frame is the model the cloud last broadcast (which
+          // both ends know), so delta codecs ship edge drift, not weights.
+          const std::vector<float>* up_view = &edge_models_[n];
+          if (!codec_edge_up_->lossless()) {
+            transcode(*codec_edge_up_, edge_models_[n], last_broadcast_,
+                      nullptr, decoded_upload_, static_cast<std::int64_t>(t),
+                      static_cast<std::int64_t>(n));
+            up_view = &decoded_upload_;
+          }
+          tensor::kernels::axpy(param_count_, w, up_view->data(),
                                 global_.data());
         }
         if (!cloud_lost.empty()) {
@@ -962,11 +1131,23 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           }
         }
         // Broadcast (downlink assumed reliable, lost uploads included).
-        for (auto& edge_model : edge_models_) edge_model = global_;
+        // Edges receive the *decoded* broadcast; the cloud also keeps it as
+        // the reference frame for next round's delta uploads (deterministic
+        // encoding means both ends can reproduce it exactly).
+        const std::vector<float>* broadcast_view = &global_;
+        if (!codec_cloud_down_->lossless()) {
+          transcode(*codec_cloud_down_, global_, {}, nullptr,
+                    broadcast_model_, static_cast<std::int64_t>(t), -1);
+          broadcast_view = &broadcast_model_;
+        }
+        for (auto& edge_model : edge_models_) edge_model = *broadcast_view;
+        if (comm_lossy_) last_broadcast_ = *broadcast_view;
         cloud_seconds = timer.elapsed_seconds();
       }
       cost_.edge_uploads += num_edges();
       cost_.cloud_broadcasts += num_edges();
+      cost_.ledger.edge_upload.add(num_edges(), bytes_edge_up_);
+      cost_.ledger.cloud_broadcast.add(num_edges(), bytes_cloud_down_);
       if (faults_on && !cloud_lost.empty()) {
         ctr_fault_cloud_lost->add(cloud_lost.size());
       }
@@ -1073,6 +1254,9 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     event.cloud_rounds = cloud_rounds;
     event.phases = &timers_;
     event.registry = &registry_;
+    event.ledger = &cost_.ledger;
+    event.assumed_fp32_bytes = cost_.assumed_fp32_bytes();
+    event.mixed_model_sizes = cost_.mixed_model_sizes;
     observer_->on_run_end(event);
   }
 

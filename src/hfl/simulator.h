@@ -22,10 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ckpt/manager.h"
 #include "ckpt/options.h"
+#include "comm/codec.h"
+#include "comm/config.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "data/partition.h"
@@ -130,6 +133,14 @@ struct HflOptions {
   /// pre-profiler code path, and even with profiling on the RNG streams,
   /// trace events and CSV output are untouched.
   obs::ProfileOptions profile;
+  /// Per-link transfer codecs (src/comm/). The default (all links fp32)
+  /// takes the exact pre-codec model path — bitwise identical to a build
+  /// without the comm layer — while the encoded-byte ledger (pure integer
+  /// arithmetic) still runs. Lossy codecs transcode every model message
+  /// through encode→decode on the coordinator thread, so runs stay bitwise
+  /// identical at any thread count; the top-k upload codec's per-device
+  /// error-feedback residuals are part of checkpointed run state.
+  comm::CommConfig comm;
 };
 
 /// Builds a fresh untrained model; invoked once for the serial scratch model
@@ -240,6 +251,14 @@ class HflSimulator {
   /// ||g||^2 probe used for samplers with needs_oracle() (MACH-P).
   double probe_gradient_norm(std::uint32_t device, const std::vector<float>& params);
 
+  /// One wire round-trip through `codec`: encodes `values` (against
+  /// `reference` / `residual` where the codec uses them) into the reusable
+  /// wire buffer and decodes it into `out`, emitting comm.encode/comm.decode
+  /// spans. Runs on the coordinator thread only.
+  void transcode(const comm::Codec& codec, std::span<const float> values,
+                 std::span<const float> reference, std::vector<float>* residual,
+                 std::vector<float>& out, std::int64_t t, std::int64_t id);
+
   /// Freezes the complete run state into an atomic snapshot: emits the
   /// checkpoint marker + cursor to the observer first (so the marker itself
   /// is covered by the recorded trace offset), then encodes and writes via
@@ -288,6 +307,35 @@ class HflSimulator {
   std::vector<fault::DeviceFaultDecision> fates_;  // parallel to sampled_
   std::vector<std::uint64_t> survivors_;           // device ids, per round
   std::vector<std::uint64_t> lost_;                // device ids, per round
+
+  // Communication-codec runtime (src/comm/). Codec objects are immutable
+  // and built once in the constructor; with the all-fp32 default none of the
+  // lossy machinery below runs and the model path is untouched.
+  std::unique_ptr<comm::Codec> codec_device_up_;
+  std::unique_ptr<comm::Codec> codec_device_down_;
+  std::unique_ptr<comm::Codec> codec_probe_;
+  std::unique_ptr<comm::Codec> codec_edge_up_;
+  std::unique_ptr<comm::Codec> codec_cloud_down_;
+  bool comm_lossy_ = false;  // any link non-fp32
+  // Encoded bytes per message on each link (value-independent).
+  std::uint64_t bytes_device_up_ = 0;
+  std::uint64_t bytes_device_down_ = 0;
+  std::uint64_t bytes_probe_ = 0;
+  std::uint64_t bytes_edge_up_ = 0;
+  std::uint64_t bytes_cloud_down_ = 0;
+  /// Per-device error-feedback residuals of the upload codec (empty unless
+  /// it is stateful); checkpointed so resume is bitwise identical.
+  std::vector<std::vector<float>> upload_residuals_;
+  /// The last cloud broadcast as the edges received it — the shared
+  /// reference both ends of a delta-coded edge→cloud upload agree on.
+  std::vector<float> last_broadcast_;
+  std::vector<float> downlink_model_;   // decoded device-download payload
+  std::vector<float> probe_model_;      // decoded probe payload
+  std::vector<float> decoded_upload_;   // decoded device/edge upload payload
+  std::vector<float> broadcast_model_;  // decoded cloud broadcast payload
+  comm::Encoded wire_;                  // reused encode buffer
+  obs::Counter* ctr_comm_encodes_ = nullptr;  // set per run when lossy
+  obs::Counter* ctr_comm_decodes_ = nullptr;
 
   obs::RunObserver* observer_ = nullptr;  // non-owning; see set_observer
   obs::PhaseTimerSet timers_;

@@ -61,6 +61,15 @@ MetricDirection metric_direction(std::string_view name) {
       name == "seconds") {
     return MetricDirection::LowerIsBetter;
   }
+  // Communication volume (BENCH_comm.json and the byte ledger): shipping
+  // more encoded bytes for the same case is a regression.
+  if (ends_with(name, "_bytes") || name == "bytes_per_round") {
+    return MetricDirection::LowerIsBetter;
+  }
+  // Model quality (BENCH_comm.json accuracy-vs-bytes cases).
+  if (contains(name, "accuracy")) {
+    return MetricDirection::HigherIsBetter;
+  }
   if (contains(name, "trained") || contains(name, "count")) {
     return MetricDirection::Informational;
   }

@@ -96,6 +96,31 @@ std::string fault_summary_json(const FaultSummary& faults) {
   return w.end();
 }
 
+/// Encoded-byte ledger payload of the run_end line: messages and bytes per
+/// link plus the fp32-equivalent total for compression-ratio readouts.
+std::string comm_json(const RunEndEvent& event) {
+  const auto link = [](const comm::LinkTraffic& traffic) {
+    JsonObjectWriter w;
+    w.begin();
+    w.field("messages", traffic.messages);
+    w.field("bytes", traffic.bytes);
+    return w.end();
+  };
+  const comm::ByteLedger& ledger = *event.ledger;
+  JsonObjectWriter w;
+  w.begin();
+  w.raw_field("device_download", link(ledger.device_download));
+  w.raw_field("device_upload", link(ledger.device_upload));
+  w.raw_field("retry_upload", link(ledger.retry_upload));
+  w.raw_field("probe_download", link(ledger.probe_download));
+  w.raw_field("edge_upload", link(ledger.edge_upload));
+  w.raw_field("cloud_broadcast", link(ledger.cloud_broadcast));
+  w.field("total_bytes", ledger.total_bytes());
+  w.field("assumed_fp32_bytes", event.assumed_fp32_bytes);
+  w.field("mixed_model_sizes", event.mixed_model_sizes);
+  return w.end();
+}
+
 /// min/mean/max summary of a per-device array (null-safe on empty).
 std::string summary_json(const std::vector<double>& values) {
   JsonObjectWriter w;
@@ -183,6 +208,7 @@ void JsonlTraceWriter::on_run_begin(const RunBeginEvent& event) {
   w.field("num_edges", event.num_edges);
   w.field("cloud_interval", event.cloud_interval);
   if (!event.fault_spec.empty()) w.field("faults", event.fault_spec);
+  if (!event.codec_spec.empty()) w.field("codec", event.codec_spec);
   write_line(w.end());
 }
 
@@ -296,6 +322,9 @@ void JsonlTraceWriter::on_run_end(const RunEndEvent& event) {
   }
   if (event.registry != nullptr) {
     w.raw_field("metrics", registry_json(*event.registry));
+  }
+  if (event.ledger != nullptr) {
+    w.raw_field("comm", comm_json(event));
   }
   write_line(w.end());
   out_->flush();

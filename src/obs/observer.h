@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/ledger.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 
@@ -75,6 +76,10 @@ struct RunBeginEvent {
   std::size_t cloud_interval = 0;  // T_g
   /// Canonical fault spec (FaultSchedule::to_string); empty = faults off.
   std::string fault_spec;
+  /// Canonical codec spec (comm::CommConfig::to_string); empty = every link
+  /// runs the fp32 identity codec (nothing is emitted, preserving the exact
+  /// trace bytes of pre-codec runs).
+  std::string codec_spec;
 };
 
 struct StepBeginEvent {
@@ -165,6 +170,14 @@ struct RunEndEvent {
   const PhaseTimerSet* phases = nullptr;
   /// The engine's counter/gauge/histogram registry at end of run.
   const MetricsRegistry* registry = nullptr;
+  /// Encoded-byte ledger (messages + bytes per link, src/comm/); always set
+  /// by the engine — fp32 links charge exactly 4 bytes per parameter.
+  const comm::ByteLedger* ledger = nullptr;
+  /// What the same message counts would cost at uncompressed fp32 (the
+  /// pre-codec reporting convention, for compression-ratio readouts).
+  std::uint64_t assumed_fp32_bytes = 0;
+  /// Sticky CommunicationCost accumulation-error flag (mixed model sizes).
+  bool mixed_model_sizes = false;
 };
 
 class RunObserver {

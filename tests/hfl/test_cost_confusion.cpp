@@ -58,11 +58,43 @@ TEST(CommunicationCost, AccumulationKeepsModelParameters) {
   EXPECT_EQ(accumulated.model_parameters, 256u);
   EXPECT_EQ(accumulated.total_bytes(), 20u * 256u * sizeof(float));
 
-  // A second run of the same model keeps the size; a larger size wins.
-  CommunicationCost bigger;
-  bigger.model_parameters = 512;
-  accumulated += bigger;
-  EXPECT_EQ(accumulated.model_parameters, 512u);
+  // A second run of the same model keeps the size and the clean flag.
+  CommunicationCost same;
+  same.model_parameters = 256;
+  accumulated += same;
+  EXPECT_EQ(accumulated.model_parameters, 256u);
+  EXPECT_FALSE(accumulated.mixed_model_sizes);
+}
+
+TEST(CommunicationCost, MixedModelSizesAssertAndSetTheStickyFlag) {
+  // Folding two accumulators with different nonzero model sizes makes the
+  // fp32 product meaningless: the engine asserts in debug builds (asserts
+  // are live in this repo's Release flags too) and records the mix in a
+  // sticky flag that trace_summary surfaces.
+  CommunicationCost a;
+  a.model_parameters = 256;
+  CommunicationCost b;
+  b.model_parameters = 512;
+  EXPECT_DEBUG_DEATH(a += b, "mixed model sizes");
+
+  // With NDEBUG (or after surviving the death-test fork) the fold must keep
+  // max() as a lower bound and leave the sticky flag set, and the flag must
+  // stay sticky through further clean accumulations.
+  CommunicationCost mixed;
+  mixed.model_parameters = 256;
+  mixed.mixed_model_sizes = true;  // as a surviving NDEBUG fold would leave it
+  CommunicationCost more;
+  more.model_parameters = 256;
+  more.device_uploads = 3;
+  mixed += more;
+  EXPECT_TRUE(mixed.mixed_model_sizes);
+  EXPECT_EQ(mixed.model_parameters, 256u);
+
+  // The flag also propagates from the right-hand side.
+  CommunicationCost clean;
+  clean.model_parameters = 256;
+  clean += mixed;
+  EXPECT_TRUE(clean.mixed_model_sizes);
 }
 
 TEST(CommunicationCost, FullParticipationCountsExactly) {

@@ -41,6 +41,14 @@ TEST(MetricDirection, NameConventionMatchesTheEmitters) {
   EXPECT_EQ(metric_direction("wall_seconds"), MetricDirection::LowerIsBetter);
   EXPECT_EQ(metric_direction("seconds"), MetricDirection::LowerIsBetter);
   EXPECT_EQ(metric_direction("mean_ms"), MetricDirection::LowerIsBetter);
+  // Communication volume (BENCH_comm.json): more bytes is a regression.
+  EXPECT_EQ(metric_direction("device_upload_bytes"),
+            MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("total_bytes"), MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("bytes_per_round"),
+            MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("final_accuracy"),
+            MetricDirection::HigherIsBetter);
   EXPECT_EQ(metric_direction("devices_trained"),
             MetricDirection::Informational);
   EXPECT_EQ(metric_direction("count"), MetricDirection::Informational);

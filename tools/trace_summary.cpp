@@ -74,6 +74,22 @@ struct FaultStats {
   std::uint64_t cloud_rounds_with_loss = 0;
 };
 
+/// Encoded-byte ledger tallies (run_end "comm" payloads, summed across
+/// runs). `seen` gates the section so pre-codec traces print unchanged.
+struct CommStats {
+  bool seen = false;
+  bool mixed_model_sizes = false;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t assumed_fp32_bytes = 0;
+  // Link order matches the ByteLedger layout (retry_upload is the redundant
+  // share of device_upload, excluded from totals).
+  static constexpr const char* kLinks[6] = {
+      "device_download", "device_upload", "retry_upload",
+      "probe_download",  "edge_upload",   "cloud_broadcast"};
+  std::uint64_t messages[6] = {};
+  std::uint64_t bytes[6] = {};
+};
+
 void print_usage() {
   std::cout
       << "usage: trace_summary [--devices N] <trace.jsonl|profile.json|status.json>\n\n"
@@ -434,6 +450,7 @@ int main(int argc, char** argv) {
   std::uint64_t evals = 0;
   JsonValue last_introspection;  // last cloud_round carrying sampler state
   FaultStats faults;
+  CommStats comm;
 
   for (const auto& [key, event] : edge_events) {
     EdgeStats& stats = edges[std::get<2>(key)];
@@ -501,6 +518,25 @@ int main(int argc, char** argv) {
         stats.max_s = std::max(stats.max_s, acc.number_or("max_s", 0));
       }
     }
+    const JsonValue& comm_map = event["comm"];
+    if (comm_map.is_object()) {
+      comm.seen = true;
+      comm.total_bytes +=
+          static_cast<std::uint64_t>(comm_map.number_or("total_bytes", 0));
+      comm.assumed_fp32_bytes += static_cast<std::uint64_t>(
+          comm_map.number_or("assumed_fp32_bytes", 0));
+      if (comm_map["mixed_model_sizes"].is_bool() &&
+          comm_map["mixed_model_sizes"].as_bool()) {
+        comm.mixed_model_sizes = true;
+      }
+      for (std::size_t i = 0; i < 6; ++i) {
+        const JsonValue& link = comm_map[CommStats::kLinks[i]];
+        if (!link.is_object()) continue;
+        comm.messages[i] +=
+            static_cast<std::uint64_t>(link.number_or("messages", 0));
+        comm.bytes[i] += static_cast<std::uint64_t>(link.number_or("bytes", 0));
+      }
+    }
   }
 
   if (lines == 0) {
@@ -532,7 +568,7 @@ int main(int argc, char** argv) {
 
   if (!run_begins.empty()) {
     mach::common::Table runs({"run", "sampler", "seed", "steps", "devices",
-                              "edges", "T_g"});
+                              "edges", "T_g", "codec"});
     for (std::size_t i = 0; i < run_begins.size(); ++i) {
       const JsonValue& r = run_begins[i];
       runs.row()
@@ -542,7 +578,8 @@ int main(int argc, char** argv) {
           .cell(static_cast<std::size_t>(r.number_or("steps", 0)))
           .cell(static_cast<std::size_t>(r.number_or("num_devices", 0)))
           .cell(static_cast<std::size_t>(r.number_or("num_edges", 0)))
-          .cell(static_cast<std::size_t>(r.number_or("cloud_interval", 0)));
+          .cell(static_cast<std::size_t>(r.number_or("cloud_interval", 0)))
+          .cell(r.string_or("codec", "fp32"));
     }
     runs.print(std::cout);
     std::cout << '\n';
@@ -627,6 +664,43 @@ int main(int argc, char** argv) {
               << "  edge outage rounds: " << faults.outage_rounds << "\n"
               << "  cloud uploads lost: " << faults.cloud_uploads_lost << " across "
               << faults.cloud_rounds_with_loss << " cloud round(s)\n\n";
+  }
+
+  if (comm.seen) {
+    std::cout << "communication bytes by link (encoded sizes, run_end ledger):\n";
+    mach::common::Table table({"link", "messages", "bytes", "KiB", "avg B/msg"});
+    for (std::size_t i = 0; i < 6; ++i) {
+      table.row()
+          .cell(CommStats::kLinks[i])
+          .cell(comm.messages[i])
+          .cell(comm.bytes[i])
+          .cell(static_cast<double>(comm.bytes[i]) / 1024.0, 1)
+          .cell(comm.messages[i] > 0
+                    ? static_cast<double>(comm.bytes[i]) /
+                          static_cast<double>(comm.messages[i])
+                    : 0.0,
+                1);
+    }
+    table.print(std::cout);
+    std::cout << "  total " << comm.total_bytes
+              << " bytes on the wire (retry_upload already counted inside "
+                 "device_upload); uncompressed fp32 would be "
+              << comm.assumed_fp32_bytes << " bytes";
+    if (comm.total_bytes > 0 && comm.assumed_fp32_bytes > 0) {
+      std::cout << " ("
+                << mach::common::format_double(
+                       static_cast<double>(comm.assumed_fp32_bytes) /
+                           static_cast<double>(comm.total_bytes),
+                       2)
+                << "x)";
+    }
+    std::cout << '\n';
+    if (comm.mixed_model_sizes) {
+      std::cout << "  WARNING: mixed model sizes were folded into one cost "
+                   "accumulator — fp32-equivalent totals are a lower bound "
+                   "(the encoded ledger above stays exact)\n";
+    }
+    std::cout << '\n';
   }
 
   if (evals > 0) {
