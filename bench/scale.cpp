@@ -1,0 +1,260 @@
+// Scale-out bench: wall-time and memory envelope of the ScaleSimulator
+// across devices x edges, written as BENCH_scale.json for the CI perf gate.
+//
+// Sweeps devices in {1k, 10k, 100k, 1M} x edges in {10, 100, 1k} (combos
+// with more edges than devices are skipped), runs a few warmup rounds, then
+// times `--rounds` steady-state rounds and records:
+//   * round_p50_ms / round_p95_ms / round_max_ms  — per-round wall time
+//   * setup_seconds                               — engine construction
+//   * state_bytes / per_device_bytes              — accounted engine memory
+//   * peak_rss_kb                                 — process high-water mark
+//
+// Gates (exit 1 on violation):
+//   * budget:      state_bytes <= ScaleSimulator::bytes_per_device() * M
+//                  + per-edge/constant overhead, for every case;
+//   * latency:     round_p50_ms < 1000 for every case (the tentpole's
+//                  1M-device sub-second round);
+//   * near-linear: for a fixed edge count, p50 grows no faster than 4x the
+//                  device ratio between successive scales;
+//   * --rss_ceiling_mb (when > 0): peak RSS stays under the ceiling — the
+//     CI scale-smoke stage runs 10k devices under this flag.
+//
+//   ./scale [--devices 1000,10000,...] [--edges 10,100,1000] [--rounds N]
+//           [--alias] [--rss_ceiling_mb N] [--out BENCH_scale.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/scale_sim.h"
+#include "obs/json.h"
+#include "obs/resource.h"
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const std::string& flag) {
+  std::vector<std::size_t> values;
+  std::stringstream stream(flag);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    values.push_back(static_cast<std::size_t>(std::stoull(item)));
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("empty size list: " + flag);
+  }
+  return values;
+}
+
+double percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
+}
+
+struct CaseResult {
+  std::size_t devices = 0;
+  std::size_t edges = 0;
+  double setup_seconds = 0.0;
+  double round_p50_ms = 0.0;
+  double round_p95_ms = 0.0;
+  double round_max_ms = 0.0;
+  std::uint64_t participants_count = 0;  // per timed window
+  std::uint64_t movers_count = 0;
+  std::uint64_t state_bytes = 0;
+  double per_device_bytes = 0.0;
+  long peak_rss_kb = 0;
+  bool within_budget = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mach;
+  using clock = std::chrono::steady_clock;
+
+  common::CliParser cli(
+      "ScaleSimulator wall-time and memory sweep over devices x edges.");
+  cli.add_flag("devices", std::string("1000,10000,100000,1000000"),
+               "comma-separated device counts");
+  cli.add_flag("edges", std::string("10,100,1000"),
+               "comma-separated edge counts");
+  cli.add_flag("rounds", static_cast<std::int64_t>(20),
+               "timed steady-state rounds per case (after 3 warmup rounds)");
+  cli.add_flag("alias", false, "use alias-table batch draws instead of "
+               "Fenwick without-replacement draws");
+  cli.add_flag("rss_ceiling_mb", static_cast<std::int64_t>(0),
+               "fail if peak RSS exceeds this many MiB (0 = no ceiling)");
+  cli.add_flag("out", std::string("BENCH_scale.json"), "JSON output path");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto device_counts = parse_size_list(cli.get_string("devices"));
+  const auto edge_counts = parse_size_list(cli.get_string("edges"));
+  const std::size_t rounds =
+      static_cast<std::size_t>(std::max<std::int64_t>(cli.get_int("rounds"), 1));
+  constexpr std::size_t kWarmupRounds = 3;
+
+  obs::ResourceSampler sampler(0.05);
+  std::vector<CaseResult> results;
+  bool all_within_budget = true;
+  bool all_sub_second = true;
+
+  common::Table table({"devices", "edges", "p50 ms", "p95 ms", "max ms",
+                       "B/device", "peak RSS MiB"});
+  for (const std::size_t edges : edge_counts) {
+    for (const std::size_t devices : device_counts) {
+      if (edges > devices) continue;
+
+      core::ScaleConfig config;
+      config.num_devices = devices;
+      config.num_edges = edges;
+      config.seed = 1000;
+      config.use_alias_draws = cli.get_bool("alias");
+
+      const auto setup_start = clock::now();
+      core::ScaleSimulator sim(config);
+      CaseResult r;
+      r.devices = devices;
+      r.edges = edges;
+      r.setup_seconds =
+          std::chrono::duration<double>(clock::now() - setup_start).count();
+
+      for (std::size_t w = 0; w < kWarmupRounds; ++w) sim.step();
+      std::vector<double> round_ms;
+      round_ms.reserve(rounds);
+      for (std::size_t round = 0; round < rounds; ++round) {
+        const auto start = clock::now();
+        const auto stats = sim.step();
+        round_ms.push_back(
+            std::chrono::duration<double, std::milli>(clock::now() - start)
+                .count());
+        r.participants_count += stats.participants;
+        r.movers_count += stats.movers;
+        sampler.maybe_sample();
+      }
+      std::sort(round_ms.begin(), round_ms.end());
+      r.round_p50_ms = percentile(round_ms, 0.50);
+      r.round_p95_ms = percentile(round_ms, 0.95);
+      r.round_max_ms = round_ms.back();
+
+      r.state_bytes = sim.memory_bytes();
+      r.per_device_bytes =
+          static_cast<double>(r.state_bytes) / static_cast<double>(devices);
+      sampler.force_sample();
+      r.peak_rss_kb = sampler.latest().usage.peak_rss_kb;
+
+      // The tentpole's memory contract: fixed per-device budget plus
+      // per-edge and constant overhead, never allocator luck.
+      const std::uint64_t budget =
+          static_cast<std::uint64_t>(core::ScaleSimulator::bytes_per_device()) *
+              devices +
+          static_cast<std::uint64_t>(edges) * 4096 + (1u << 20);
+      r.within_budget = r.state_bytes <= budget;
+      all_within_budget = all_within_budget && r.within_budget;
+      all_sub_second = all_sub_second && r.round_p50_ms < 1000.0;
+
+      table.row()
+          .cell(static_cast<double>(devices), 0)
+          .cell(static_cast<double>(edges), 0)
+          .cell(r.round_p50_ms, 3)
+          .cell(r.round_p95_ms, 3)
+          .cell(r.round_max_ms, 3)
+          .cell(r.per_device_bytes, 1)
+          .cell(static_cast<double>(r.peak_rss_kb) / 1024.0, 1);
+      results.push_back(r);
+      std::cout << "  " << devices << " devices x " << edges << " edges done"
+                << (r.within_budget ? "" : "  [OVER BUDGET]") << "\n";
+    }
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // Near-linear gate: within one edge count, p50 may grow at most 4x faster
+  // than the device count between successive sweep points (generous slack
+  // for timer noise at the sub-millisecond small scales).
+  bool near_linear = true;
+  for (const std::size_t edges : edge_counts) {
+    const CaseResult* previous = nullptr;
+    for (const CaseResult& r : results) {
+      if (r.edges != edges) continue;
+      if (previous != nullptr && previous->round_p50_ms > 0.05) {
+        const double device_ratio = static_cast<double>(r.devices) /
+                                    static_cast<double>(previous->devices);
+        const double time_ratio = r.round_p50_ms / previous->round_p50_ms;
+        if (time_ratio > 4.0 * device_ratio) {
+          std::cerr << "FAIL: super-linear scaling at " << r.devices << "x"
+                    << edges << ": time ratio " << time_ratio
+                    << " vs device ratio " << device_ratio << "\n";
+          near_linear = false;
+        }
+      }
+      previous = &r;
+    }
+  }
+
+  bool rss_ok = true;
+  const std::int64_t ceiling_mb = cli.get_int("rss_ceiling_mb");
+  const long final_rss_kb = sampler.latest().usage.peak_rss_kb;
+  if (ceiling_mb > 0 && final_rss_kb > ceiling_mb * 1024) {
+    std::cerr << "FAIL: peak RSS " << final_rss_kb / 1024 << " MiB exceeds "
+              << ceiling_mb << " MiB ceiling\n";
+    rss_ok = false;
+  }
+  if (!all_within_budget) {
+    std::cerr << "FAIL: accounted state exceeds the per-device byte budget\n";
+  }
+  if (!all_sub_second) {
+    std::cerr << "FAIL: a case's median round exceeded 1 s\n";
+  }
+
+  std::string json_results = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    obs::JsonObjectWriter w;
+    w.begin();
+    w.field("devices", static_cast<std::uint64_t>(r.devices));
+    w.field("edges", static_cast<std::uint64_t>(r.edges));
+    w.field("setup_seconds", r.setup_seconds);
+    w.field("round_p50_ms", r.round_p50_ms);
+    w.field("round_p95_ms", r.round_p95_ms);
+    w.field("round_max_ms", r.round_max_ms);
+    w.field("participants_count", r.participants_count);
+    w.field("movers_count", r.movers_count);
+    w.field("state_bytes", r.state_bytes);
+    w.field("per_device_bytes", r.per_device_bytes);
+    w.field("peak_rss_kb", static_cast<std::int64_t>(r.peak_rss_kb));
+    if (i != 0) json_results += ',';
+    json_results += w.end();
+  }
+  json_results += ']';
+
+  obs::JsonObjectWriter w;
+  w.begin();
+  w.field("bench", "scale");
+  w.field("seed", static_cast<std::uint64_t>(1000));
+  w.field("rounds", static_cast<std::uint64_t>(rounds));
+  w.field("alias_draws", cli.get_bool("alias"));
+  w.field("all_within_budget", all_within_budget);
+  w.field("near_linear", near_linear);
+  w.raw_field("hardware", obs::hardware_json());
+  w.raw_field("results", json_results);
+
+  const std::string out_path = cli.get_string("out");
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << w.end() << "\n";
+  std::cout << "\nresults written to " << out_path << "\n";
+
+  return (all_within_budget && all_sub_second && near_linear && rss_ok) ? 0 : 1;
+}

@@ -111,6 +111,33 @@ trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" 
 "$BUILD_DIR/tools/bench_diff" \
   --baseline "$comm_json" --current "$comm_json" > /dev/null
 
+echo "== scale smoke (10k devices, RSS ceiling) =="
+# Million-device engine end to end at CI scale: a 10k-device sweep must run
+# sub-second rounds inside the fixed per-device memory budget and a 512 MiB
+# process RSS ceiling, and trace_summary must render the result. The
+# committed BENCH_scale.json is produced by the full default sweep (to 1M).
+scale_json="$(mktemp -t hfl_scale_XXXXXX.json)"
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace" "$comm_json" "$scale_json"' EXIT
+"$BUILD_DIR/bench/scale" --devices 10000 --edges 100 --rounds 2 \
+  --rss_ceiling_mb 512 --out "$scale_json" > /dev/null
+"$BUILD_DIR/tools/trace_summary" "$scale_json" | grep -q 'worst round p95'
+"$BUILD_DIR/tools/bench_diff" \
+  --baseline "$scale_json" --current "$scale_json" > /dev/null
+# Fresh smoke vs the committed full-sweep baseline: only the shared 10k x 100
+# case matches; wall-time/RSS gate with generous slack for machine variance,
+# warn-only on single-core containers (too noisy to gate).
+if [ "$(nproc 2>/dev/null || echo 1)" -le 1 ]; then
+  "$BUILD_DIR/tools/bench_diff" \
+    --baseline BENCH_scale.json --current "$scale_json" \
+    --threshold_pct 50 \
+    || echo "WARN: scale bench regressed vs the committed baseline" \
+            "(single-core container: warn-only, not gating)"
+else
+  "$BUILD_DIR/tools/bench_diff" \
+    --baseline BENCH_scale.json --current "$scale_json" \
+    --threshold_pct 50
+fi
+
 echo "== crash-resume smoke =="
 # Kill-and-resume end-to-end: a fixed-seed run SIGKILLs itself right after a
 # mid-run snapshot becomes durable, then a resumed run (at a different thread
@@ -142,17 +169,21 @@ if [ "${UBSAN:-1}" != "0" ]; then
   # plus the checkpoint suite (byte-codec casts, CRC table indexing and the
   # raw-byte RNG state round-trips are the risky parts), plus the comm suite
   # (float<->bits bit_casts, wire byte packing and int8 narrowing are the
-  # risky parts).
-  echo "== undefined behaviour sanitizer (kernels + faults + ckpt + comm) =="
+  # risky parts), plus the sampling + scale suites (Fenwick node index
+  # arithmetic, alias-bucket uniform splitting and the hash-based synthetic
+  # gradient mixing are the risky parts).
+  echo "== undefined behaviour sanitizer (kernels + faults + ckpt + comm + scale) =="
   UBSAN_DIR="${UBSAN_DIR:-${BUILD_DIR}-ubsan}"
   cmake -B "$UBSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
-  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt test_comm
+  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt test_comm test_sampling test_scale
   "$UBSAN_DIR/tests/test_tensor"
   "$UBSAN_DIR/tests/test_fault"
   "$UBSAN_DIR/tests/test_ckpt"
   "$UBSAN_DIR/tests/test_comm"
+  "$UBSAN_DIR/tests/test_sampling"
+  "$UBSAN_DIR/tests/test_scale"
 fi
 
 if [ "${TSAN:-1}" != "0" ]; then
@@ -165,7 +196,7 @@ if [ "${TSAN:-1}" != "0" ]; then
   cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault test_obs test_comm
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault test_obs test_comm test_scale
   "$TSAN_DIR/tests/test_runtime"
   "$TSAN_DIR/tests/test_hfl" --gtest_filter='ParallelDeterminism.*:ProfilerIntegration.*'
   # The fault replay/determinism suites drive 2- and 4-worker runs with the
@@ -177,6 +208,9 @@ if [ "${TSAN:-1}" != "0" ]; then
   # Lossy-codec runs at 2 and 4 workers: transcodes are coordinator-only by
   # design; TSan proves no codec state is touched from worker threads.
   "$TSAN_DIR/tests/test_comm" --gtest_filter='CommIntegration.*'
+  # Scale engine determinism/resume suite: single-threaded by design — TSan
+  # proves nothing in the million-device round loop spawns hidden threads.
+  "$TSAN_DIR/tests/test_scale"
 fi
 
 echo "CI OK"

@@ -30,7 +30,7 @@ class Bf16Codec final : public Codec {
   }
 
   void encode(std::span<const float> values, std::span<const float> /*reference*/,
-              std::vector<float>* /*residual*/, Encoded& out) const override {
+              std::span<float> /*residual*/, Encoded& out) const override {
     out.bytes.clear();
     out.bytes.reserve(values.size() * 2);
     for (const float v : values) {

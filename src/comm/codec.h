@@ -89,12 +89,15 @@ class Codec {
   /// encoded_bytes(values.size()) bytes afterwards).
   ///   * `reference`: shared reference tensor for delta codecs — empty means
   ///     all-zeros (non-delta codecs ignore it entirely).
-  ///   * `residual`: error-feedback state for stateful codecs; resized to
-  ///     values.size() (zero-filled) on first use and updated in place.
-  ///     Stateless codecs ignore it; pass nullptr for memoryless encoding.
+  ///   * `residual`: error-feedback state for stateful codecs — a caller-
+  ///     owned span of exactly values.size() floats (zero-filled before the
+  ///     first use), updated in place. Caller ownership is what lets the
+  ///     engine pack per-device residuals into one contiguous pooled slab
+  ///     (hfl::ResidualPool) instead of a vector per device. Stateless
+  ///     codecs ignore it; pass an empty span for memoryless encoding.
   virtual void encode(std::span<const float> values,
                       std::span<const float> reference,
-                      std::vector<float>* residual, Encoded& out) const = 0;
+                      std::span<float> residual, Encoded& out) const = 0;
 
   /// Reconstructs `count` parameters from a payload into `out` (resized).
   /// `reference` must match the encoder's. Throws std::runtime_error on a

@@ -21,7 +21,7 @@ class Fp32Codec final : public Codec {
   }
 
   void encode(std::span<const float> values, std::span<const float> /*reference*/,
-              std::vector<float>* /*residual*/, Encoded& out) const override {
+              std::span<float> /*residual*/, Encoded& out) const override {
     out.bytes.clear();
     out.bytes.reserve(values.size() * 4);
     for (const float v : values) wire::put_f32(out.bytes, v);

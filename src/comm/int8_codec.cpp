@@ -28,7 +28,7 @@ class Int8Codec final : public Codec {
   }
 
   void encode(std::span<const float> values, std::span<const float> /*reference*/,
-              std::vector<float>* /*residual*/, Encoded& out) const override {
+              std::span<float> /*residual*/, Encoded& out) const override {
     out.bytes.clear();
     out.bytes.reserve(4 + values.size());
     float max_abs = 0.0f;

@@ -2,7 +2,7 @@
 //
 // The sender forms the correction-augmented delta
 //     corrected = (values − reference) + residual
-// (reference empty ⇒ zeros; residual null ⇒ memoryless), transmits the
+// (reference empty ⇒ zeros; residual empty ⇒ memoryless), transmits the
 // k = ceil(density·count) largest-|corrected| entries as (index, value)
 // pairs, and banks everything it did not send back into the residual:
 //     residual ← corrected,  residual[sent] ← 0.
@@ -56,19 +56,19 @@ class TopKCodec final : public Codec {
   }
 
   void encode(std::span<const float> values, std::span<const float> reference,
-              std::vector<float>* residual, Encoded& out) const override {
+              std::span<float> residual, Encoded& out) const override {
     const std::size_t count = values.size();
     if (!reference.empty() && reference.size() != count) {
       throw std::runtime_error("topk codec: reference size mismatch");
     }
-    if (residual != nullptr && !residual->empty() && residual->size() != count) {
+    if (!residual.empty() && residual.size() != count) {
       throw std::runtime_error("topk codec: residual size mismatch");
     }
     corrected_.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
       float c = values[i];
       if (!reference.empty()) c -= reference[i];
-      if (residual != nullptr && !residual->empty()) c += (*residual)[i];
+      if (!residual.empty()) c += residual[i];
       corrected_[i] = c;
     }
     const std::size_t k = k_for(count);
@@ -92,9 +92,9 @@ class TopKCodec final : public Codec {
       wire::put_f32(out.bytes, corrected_[idx]);
     }
 
-    if (residual != nullptr) {
-      *residual = corrected_;
-      for (const std::uint32_t idx : selected_) (*residual)[idx] = 0.0f;
+    if (!residual.empty()) {
+      std::copy(corrected_.begin(), corrected_.end(), residual.begin());
+      for (const std::uint32_t idx : selected_) residual[idx] = 0.0f;
     }
   }
 

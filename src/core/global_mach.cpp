@@ -59,7 +59,7 @@ bool GlobalMachSampler::introspect(obs::SamplerIntrospection& out) const {
 }
 
 void GlobalMachSampler::save_state(ckpt::ByteWriter& out) const {
-  out.u8(1);  // blob version
+  out.u8(2);  // blob version (v2: SoA estimator accumulators)
   out.u64(transfer_.rounds_seen());
   out.boolean(estimator_.has_value());
   if (estimator_) estimator_->save_state(out);
@@ -68,7 +68,7 @@ void GlobalMachSampler::save_state(ckpt::ByteWriter& out) const {
 }
 
 void GlobalMachSampler::load_state(ckpt::ByteReader& in) {
-  if (in.u8() != 1) {
+  if (in.u8() != 2) {
     throw ckpt::CorruptPayload("GlobalMachSampler: unknown state version");
   }
   transfer_.set_rounds_seen(static_cast<std::size_t>(in.u64()));

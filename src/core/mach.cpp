@@ -68,11 +68,13 @@ std::vector<double> MachSampler::edge_probabilities(
   if (!estimator_) throw std::logic_error("MachSampler: bind() not called");
   const obs::SpanGuard span("mach_weights", static_cast<std::int64_t>(ctx.t),
                             static_cast<std::int64_t>(ctx.edge));
-  std::vector<double> g_squared(ctx.devices.size());
+  // Reused scratch: the per-round estimate gather allocates nothing in
+  // steady state (the returned probability vector is the caller's).
+  g2_scratch_.resize(ctx.devices.size());
   for (std::size_t i = 0; i < ctx.devices.size(); ++i) {
-    g_squared[i] = estimator_->estimate(ctx.devices[i]);
+    g2_scratch_[i] = estimator_->estimate(ctx.devices[i]);
   }
-  return edge_sampling_probabilities(g_squared, ctx.capacity,
+  return edge_sampling_probabilities(g2_scratch_, ctx.capacity,
                                      options_.use_transfer ? &transfer_ : nullptr);
 }
 
@@ -94,14 +96,14 @@ bool MachSampler::introspect(obs::SamplerIntrospection& out) const {
 }
 
 void MachSampler::save_state(ckpt::ByteWriter& out) const {
-  out.u8(1);  // blob version
+  out.u8(2);  // blob version (v2: SoA estimator accumulators)
   out.u64(transfer_.rounds_seen());
   out.boolean(estimator_.has_value());
   if (estimator_) estimator_->save_state(out);
 }
 
 void MachSampler::load_state(ckpt::ByteReader& in) {
-  if (in.u8() != 1) {
+  if (in.u8() != 2) {
     throw ckpt::CorruptPayload("MachSampler: unknown state version");
   }
   transfer_.set_rounds_seen(static_cast<std::size_t>(in.u64()));

@@ -60,6 +60,7 @@ class MachSampler final : public hfl::Sampler {
   MachOptions options_;
   std::optional<UcbEstimator> estimator_;  // sized at bind()
   TransferFunction transfer_;
+  std::vector<double> g2_scratch_;  // reused per-edge estimate gather
 };
 
 class MachOracleSampler final : public hfl::Sampler {

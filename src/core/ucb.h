@@ -8,6 +8,14 @@
 // (Eq. 15: exploitation term A = best per-round mean seen so far,
 // exploration term B = confidence radius shrinking with participations),
 // and the buffer is cleared (Alg. 2 line 4).
+//
+// Storage is structure-of-arrays with a fixed per-device byte budget: the
+// per-device experience buffer is held as a running (sum, count) pair — the
+// round mean Avg(G_m^t) is the same left-to-right fold either way, so the
+// estimates are bitwise identical to the buffered representation while the
+// state shrinks from an unbounded vector per device to 29 bytes per device.
+// Cloud-round refreshes walk only the devices that actually buffered
+// experience since the last refresh (O(participants), not O(M)).
 #pragma once
 
 #include <cstdint>
@@ -37,11 +45,12 @@ class UcbEstimator {
   UcbEstimator(std::size_t num_devices, UcbOptions options = {});
 
   /// Records one participation of `device`: the ||g||^2 values of its I
-  /// local steps are appended to its experience buffer (Eq. 14).
+  /// local steps are folded into its experience accumulator (Eq. 14).
   void record(std::uint32_t device, const std::vector<double>& grad_sq_norms);
 
-  /// Cloud-round bookkeeping: folds buffers into the per-round maxima and
-  /// (by default) clears them. `t` is the current global time step used in
+  /// Cloud-round bookkeeping: folds buffered experience into the per-round
+  /// maxima and (by default) clears it. Only devices that buffered since the
+  /// last refresh are visited. `t` is the current global time step used in
   /// the log t exploration numerator.
   void on_cloud_round(std::size_t t);
 
@@ -60,12 +69,16 @@ class UcbEstimator {
   /// Experiences buffered for `device` since the last cloud round (the
   /// |G_m^t| of Alg. 2 line 4; telemetry/introspection).
   std::size_t buffer_size(std::uint32_t device) const {
-    return buffers_.at(device).size();
+    return buffer_count_.at(device);
   }
   std::size_t num_devices() const noexcept { return counts_.size(); }
 
+  /// Fixed per-device state: sum(8) + count(4) + max_avg(8) + flags(1) +
+  /// participations(4) + active-list slot(4).
+  static constexpr std::size_t bytes_per_device() noexcept { return 29; }
+
   /// Checkpointing: serialises all of Algorithm 2's accumulated state —
-  /// experience buffers, per-round maxima, participation counts, the
+  /// experience accumulators, per-round maxima, participation counts, the
   /// population maximum and the last cloud-round time.
   void save_state(ckpt::ByteWriter& out) const;
   /// Restores a save_state blob into this estimator. Throws
@@ -74,11 +87,18 @@ class UcbEstimator {
   void load_state(ckpt::ByteReader& in);
 
  private:
+  static constexpr std::uint8_t kHasEstimate = 1;
+  static constexpr std::uint8_t kInActiveList = 2;
+
   UcbOptions options_;
-  std::vector<std::vector<double>> buffers_;  // G_m^t: current-round experiences
-  std::vector<double> max_round_avg_;         // max_{t'} Avg(G_m^{t'})
-  std::vector<bool> has_estimate_;
-  std::vector<std::size_t> counts_;           // sum_t' 1_m^{t'}
+  // SoA per-device state (parallel arrays).
+  std::vector<double> buffer_sum_;          // Σ G_m^t since last refresh
+  std::vector<std::uint32_t> buffer_count_; // |G_m^t|
+  std::vector<double> max_round_avg_;       // max_{t'} Avg(G_m^{t'})
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint32_t> counts_;       // sum_t' 1_m^{t'}
+  // Devices with a non-empty buffer — the only ones a refresh must visit.
+  std::vector<std::uint32_t> active_;
   double population_max_ = 0.0;
   std::size_t last_cloud_t_ = 0;
 };

@@ -86,7 +86,7 @@ HflSimulator::HflSimulator(const data::Dataset& train, const data::Dataset& test
 void HflSimulator::transcode(const comm::Codec& codec,
                              std::span<const float> values,
                              std::span<const float> reference,
-                             std::vector<float>* residual,
+                             std::span<float> residual,
                              std::vector<float>& out, std::int64_t t,
                              std::int64_t id) {
   {
@@ -371,8 +371,7 @@ void HflSimulator::save_checkpoint(Sampler& sampler, std::size_t steps,
   // fingerprint-compatible fp32 payload stays minimal.
   out.boolean(comm_lossy_);
   if (comm_lossy_) {
-    out.u64(upload_residuals_.size());
-    for (const auto& residual : upload_residuals_) out.vec_f32(residual);
+    upload_residuals_.save_state(out);
     out.vec_f32(last_broadcast_);
   }
 
@@ -480,16 +479,7 @@ std::size_t HflSimulator::restore_run_state(Sampler& sampler, std::size_t steps,
     throw ckpt::CorruptPayload("checkpoint: codec state/config mismatch");
   }
   if (comm_lossy_) {
-    const std::uint64_t num_residuals = in.u64();
-    if (num_residuals != upload_residuals_.size()) {
-      throw ckpt::CorruptPayload("checkpoint: residual count mismatch");
-    }
-    for (auto& residual : upload_residuals_) {
-      residual = in.vec_f32();
-      if (!residual.empty() && residual.size() != param_count_) {
-        throw ckpt::CorruptPayload("checkpoint: residual size mismatch");
-      }
-    }
+    upload_residuals_.load_state(in);
     last_broadcast_ = in.vec_f32();
     if (last_broadcast_.size() != param_count_) {
       throw ckpt::CorruptPayload("checkpoint: broadcast model size mismatch");
@@ -630,11 +620,11 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   // it: error-feedback residuals start empty (allocated lazily on a device's
   // first encode) and the cloud's last broadcast starts at the initial
   // global model every edge was constructed with.
-  upload_residuals_.clear();
+  upload_residuals_.reset(0, 0);
   last_broadcast_.clear();
   if (comm_lossy_) {
     if (codec_device_up_->stateful()) {
-      upload_residuals_.assign(num_devices(), {});
+      upload_residuals_.reset(num_devices(), param_count_);
     }
     last_broadcast_ = global_;
   }
@@ -768,7 +758,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           // decode is shared and each device is charged one message.
           const std::vector<float>* probe_view = &edge_model;
           if (!codec_probe_->lossless()) {
-            transcode(*codec_probe_, edge_model, {}, nullptr, probe_model_,
+            transcode(*codec_probe_, edge_model, {}, {}, probe_model_,
                       static_cast<std::int64_t>(t),
                       static_cast<std::int64_t>(n));
             probe_view = &probe_model_;
@@ -810,7 +800,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
       // to pre-codec builds.
       const std::vector<float>* device_view = &edge_model;
       if (!codec_device_down_->lossless() && !sampled_.empty()) {
-        transcode(*codec_device_down_, edge_model, {}, nullptr,
+        transcode(*codec_device_down_, edge_model, {}, {},
                   downlink_model_, static_cast<std::int64_t>(t),
                   static_cast<std::int64_t>(n));
         device_view = &downlink_model_;
@@ -988,9 +978,10 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         // residual for its next participation.
         const std::vector<float>* upload_view = &device_slot.params;
         if (!codec_device_up_->lossless()) {
-          std::vector<float>* residual = codec_device_up_->stateful()
-                                             ? &upload_residuals_[devices[i]]
-                                             : nullptr;
+          const std::span<float> residual =
+              codec_device_up_->stateful()
+                  ? upload_residuals_.get_or_alloc(devices[i])
+                  : std::span<float>{};
           transcode(*codec_device_up_, device_slot.params, *device_view,
                     residual, decoded_upload_, static_cast<std::int64_t>(t),
                     static_cast<std::int64_t>(devices[i]));
@@ -1111,7 +1102,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
           const std::vector<float>* up_view = &edge_models_[n];
           if (!codec_edge_up_->lossless()) {
             transcode(*codec_edge_up_, edge_models_[n], last_broadcast_,
-                      nullptr, decoded_upload_, static_cast<std::int64_t>(t),
+                      {}, decoded_upload_, static_cast<std::int64_t>(t),
                       static_cast<std::int64_t>(n));
             up_view = &decoded_upload_;
           }
@@ -1136,7 +1127,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
         // encoding means both ends can reproduce it exactly).
         const std::vector<float>* broadcast_view = &global_;
         if (!codec_cloud_down_->lossless()) {
-          transcode(*codec_cloud_down_, global_, {}, nullptr,
+          transcode(*codec_cloud_down_, global_, {}, {},
                     broadcast_model_, static_cast<std::int64_t>(t), -1);
           broadcast_view = &broadcast_model_;
         }

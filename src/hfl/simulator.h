@@ -36,6 +36,7 @@
 #include "fault/schedule.h"
 #include "hfl/cost.h"
 #include "hfl/metrics.h"
+#include "hfl/residual_pool.h"
 #include "hfl/sampler.h"
 #include "mobility/schedule.h"
 #include "nn/model.h"
@@ -256,7 +257,7 @@ class HflSimulator {
   /// wire buffer and decodes it into `out`, emitting comm.encode/comm.decode
   /// spans. Runs on the coordinator thread only.
   void transcode(const comm::Codec& codec, std::span<const float> values,
-                 std::span<const float> reference, std::vector<float>* residual,
+                 std::span<const float> reference, std::span<float> residual,
                  std::vector<float>& out, std::int64_t t, std::int64_t id);
 
   /// Freezes the complete run state into an atomic snapshot: emits the
@@ -323,9 +324,10 @@ class HflSimulator {
   std::uint64_t bytes_probe_ = 0;
   std::uint64_t bytes_edge_up_ = 0;
   std::uint64_t bytes_cloud_down_ = 0;
-  /// Per-device error-feedback residuals of the upload codec (empty unless
-  /// it is stateful); checkpointed so resume is bitwise identical.
-  std::vector<std::vector<float>> upload_residuals_;
+  /// Per-device error-feedback residuals of the upload codec, packed into
+  /// one contiguous slab with a u32 handle per device (inactive unless the
+  /// codec is stateful); checkpointed so resume is bitwise identical.
+  ResidualPool upload_residuals_;
   /// The last cloud broadcast as the edges received it — the shared
   /// reference both ends of a delta-coded edge→cloud upload agree on.
   std::vector<float> last_broadcast_;

@@ -37,6 +37,27 @@ MobilitySchedule MobilitySchedule::from_trace(const TraceReplay& replay,
   return MobilitySchedule(clustering.num_clusters(), devices, horizon, std::move(grid));
 }
 
+MobilitySchedule MobilitySchedule::from_stream(TraceStream& stream,
+                                               const Clustering& clustering,
+                                               std::size_t horizon) {
+  if (stream.t() != 0) {
+    throw std::invalid_argument(
+        "MobilitySchedule::from_stream: stream not at step 0");
+  }
+  const std::size_t devices = stream.num_devices();
+  std::vector<std::uint32_t> grid(horizon * devices);
+  std::vector<std::uint32_t> moved;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    if (t > 0) stream.advance(moved);
+    const auto stations = stream.stations();
+    for (std::size_t m = 0; m < devices; ++m) {
+      grid[t * devices + m] = clustering.assignment.at(stations[m]);
+    }
+  }
+  return MobilitySchedule(clustering.num_clusters(), devices, horizon,
+                          std::move(grid));
+}
+
 MobilitySchedule MobilitySchedule::stationary(std::size_t num_edges,
                                               std::size_t num_devices,
                                               std::size_t horizon, common::Rng& rng) {
@@ -66,6 +87,15 @@ std::vector<std::vector<std::uint32_t>> MobilitySchedule::devices_per_edge(
     result[edge_of(t, m)].push_back(static_cast<std::uint32_t>(m));
   }
   return result;
+}
+
+void MobilitySchedule::devices_per_edge_into(
+    std::size_t t, std::vector<std::vector<std::uint32_t>>& out) const {
+  out.resize(num_edges_);
+  for (auto& members : out) members.clear();
+  for (std::size_t m = 0; m < num_devices_; ++m) {
+    out[edge_of(t, m)].push_back(static_cast<std::uint32_t>(m));
+  }
 }
 
 double MobilitySchedule::churn_rate() const noexcept {

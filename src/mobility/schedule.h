@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "mobility/stations.h"
+#include "mobility/stream.h"
 #include "mobility/trace.h"
 
 namespace mach::mobility {
@@ -23,6 +24,13 @@ class MobilitySchedule {
   /// Maps each trace step through the clustering: edge = cluster(station).
   static MobilitySchedule from_trace(const TraceReplay& replay,
                                      const Clustering& clustering);
+
+  /// Materialises `horizon` steps of a stream (which must be at step 0)
+  /// through the clustering. Paper-scale convenience — at million-device
+  /// scale consume the stream directly instead of densifying it.
+  static MobilitySchedule from_stream(TraceStream& stream,
+                                      const Clustering& clustering,
+                                      std::size_t horizon);
 
   /// Devices never move: a fixed random edge per device.
   static MobilitySchedule stationary(std::size_t num_edges, std::size_t num_devices,
@@ -43,6 +51,11 @@ class MobilitySchedule {
 
   /// M_n^t: the device set of each edge at step t (Eq. 1's partition).
   std::vector<std::vector<std::uint32_t>> devices_per_edge(std::size_t t) const;
+
+  /// Allocation-free devices_per_edge: reuses `out`'s outer and inner
+  /// capacity across calls (the per-round hot path at scale).
+  void devices_per_edge_into(
+      std::size_t t, std::vector<std::vector<std::uint32_t>>& out) const;
 
   /// Fraction of (t>0, device) pairs that switched edges — edge-level churn.
   double churn_rate() const noexcept;

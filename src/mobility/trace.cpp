@@ -43,13 +43,25 @@ Trace Trace::read_csv(const std::string& path, std::size_t num_devices,
   Trace trace(num_devices, num_stations, horizon);
   std::string line;
   std::getline(in, line);  // header
+  std::size_t line_no = 1;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("Trace::read_csv: " + what + " at line " +
+                             std::to_string(line_no) + ": " + line);
+  };
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     std::istringstream ss(line);
     TraceRecord r;
     char comma = 0;
     ss >> r.device >> comma >> r.station >> comma >> r.t_start >> comma >> r.t_end;
-    if (!ss) throw std::runtime_error("Trace::read_csv: malformed line: " + line);
+    if (!ss) fail("malformed record");
+    // Validate here (not just in add_record) so a bad file reports the line
+    // that broke instead of silently corrupting replay downstream.
+    if (r.device >= num_devices) fail("device id out of range");
+    if (r.station >= num_stations) fail("station id out of range");
+    if (r.t_end <= r.t_start) fail("record has t_end <= t_start");
+    if (r.t_end > horizon) fail("record extends past the horizon");
     trace.add_record(r);
   }
   return trace;

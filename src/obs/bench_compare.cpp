@@ -66,6 +66,11 @@ MetricDirection metric_direction(std::string_view name) {
   if (ends_with(name, "_bytes") || name == "bytes_per_round") {
     return MetricDirection::LowerIsBetter;
   }
+  // Memory envelope (BENCH_scale.json): a fatter resident set or KiB-scale
+  // footprint for the same case is a regression.
+  if (contains(name, "rss") || ends_with(name, "_kb")) {
+    return MetricDirection::LowerIsBetter;
+  }
   // Model quality (BENCH_comm.json accuracy-vs-bytes cases).
   if (contains(name, "accuracy")) {
     return MetricDirection::HigherIsBetter;

@@ -1,0 +1,76 @@
+#include "sampling/alias.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mach::sampling {
+
+void AliasTable::build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  prob_.clear();
+  alias_.clear();
+  total_ = 0.0;
+  for (const double w : weights) total_ += std::max(w, 0.0);
+  if (n == 0 || total_ <= 0.0) {
+    total_ = 0.0;
+    return;
+  }
+
+  // Scale to mean 1: scaled_i = w_i * n / total.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = std::max(weights[i], 0.0) * static_cast<double>(n) / total_;
+  }
+
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
+
+  // Vose pairing with deterministic worklists: filled ascending, popped LIFO.
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers (either list) carry probability 1 up to rounding: make them
+  // self-aliasing certainties so no draw can escape the simplex.
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::draw(common::Rng& rng) const {
+  const std::size_t n = prob_.size();
+  if (n == 0) return 0;
+  const double x = rng.uniform() * static_cast<double>(n);
+  std::size_t bucket = static_cast<std::size_t>(x);
+  if (bucket >= n) bucket = n - 1;  // guard u ≈ 1 rounding
+  const double frac = x - static_cast<double>(bucket);
+  return frac < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::implied_probability(std::size_t i) const {
+  const std::size_t n = prob_.size();
+  if (i >= n) return 0.0;
+  double mass = prob_[i];
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i && alias_[j] == static_cast<std::uint32_t>(i)) {
+      mass += 1.0 - prob_[j];
+    }
+  }
+  // A self-aliasing bucket's failure branch also lands on i.
+  if (alias_[i] == static_cast<std::uint32_t>(i)) mass += 1.0 - prob_[i];
+  return mass / static_cast<double>(n);
+}
+
+}  // namespace mach::sampling

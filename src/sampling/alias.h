@@ -1,0 +1,56 @@
+// Walker/Vose alias table: O(n) construction, O(1) weighted draws — the
+// batch-draw half of the sublinear Eq. 16–18 sampling path.
+//
+// Where the Fenwick tree absorbs incremental weight churn, the alias table
+// is the cheapest possible *reader*: once built over a frozen weight vector
+// (e.g. per cloud round, when the UCB estimates refresh anyway), each draw
+// costs one uniform and two array reads regardless of population size. The
+// construction is fully deterministic — worklists are filled in ascending
+// index order and processed LIFO — so two tables built from the same weights
+// produce identical draw sequences from identical RNG streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mach::sampling {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights) { build(weights); }
+
+  /// Builds the table over `weights` (negatives clamped to 0). An empty or
+  /// all-zero weight vector yields an empty table (draw() returns size()).
+  void build(std::span<const double> weights);
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  bool empty() const noexcept { return prob_.empty(); }
+  double total() const noexcept { return total_; }
+
+  /// One weighted draw ∝ the build-time weights. Consumes exactly one
+  /// uniform: the integer part picks the bucket, the fractional part plays
+  /// the bucket's coin. Returns size() on an empty table.
+  std::size_t draw(common::Rng& rng) const;
+
+  /// Probability the table actually assigns to index i, reconstructed from
+  /// the buckets: (prob[i] + Σ_j alias[j]==i (1 − prob[j])) / n. Used by the
+  /// property tests to check the implied pmf equals weight[i] / total. O(n).
+  double implied_probability(std::size_t i) const;
+
+  std::size_t memory_bytes() const noexcept {
+    return prob_.capacity() * sizeof(double) +
+           alias_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<double> prob_;           // bucket threshold in [0, 1]
+  std::vector<std::uint32_t> alias_;   // partner index per bucket
+  double total_ = 0.0;
+};
+
+}  // namespace mach::sampling

@@ -1,0 +1,97 @@
+#include "sampling/fenwick.h"
+
+#include <algorithm>
+
+namespace mach::sampling {
+
+namespace {
+
+inline std::size_t lowest_bit(std::size_t j) { return j & (~j + 1); }
+
+}  // namespace
+
+void FenwickTree::recompute_node(std::size_t j) {
+  // tree_[j] covers values (j - lsb(j), j]; its children are the nodes
+  // j - 1, j - 2, j - 4, ... down to (but excluding) step lsb(j).
+  double sum = values_[j - 1];
+  for (std::size_t step = 1; step < lowest_bit(j); step <<= 1) {
+    sum += tree_[j - step];
+  }
+  tree_[j] = sum;
+}
+
+void FenwickTree::assign(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  values_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values_[i] = std::max(weights[i], 0.0);
+  }
+  tree_.assign(n + 1, 0.0);
+  for (std::size_t j = 1; j <= n; ++j) recompute_node(j);
+}
+
+void FenwickTree::resize(std::size_t n) {
+  if (n == values_.size()) return;
+  std::vector<double> weights(values_);
+  weights.resize(n, 0.0);
+  assign(weights);
+}
+
+void FenwickTree::set(std::size_t i, double w) {
+  values_[i] = std::max(w, 0.0);
+  for (std::size_t j = i + 1; j <= values_.size(); j += lowest_bit(j)) {
+    recompute_node(j);
+  }
+}
+
+double FenwickTree::prefix_sum(std::size_t i) const {
+  double sum = 0.0;
+  for (std::size_t j = std::min(i, values_.size()); j > 0; j -= lowest_bit(j)) {
+    sum += tree_[j];
+  }
+  return sum;
+}
+
+std::size_t FenwickTree::find(double target) const {
+  const std::size_t n = values_.size();
+  std::size_t top = 1;
+  while (top < n) top <<= 1;
+  std::size_t pos = 0;
+  double remaining = target;
+  for (std::size_t step = top; step > 0; step >>= 1) {
+    const std::size_t next = pos + step;
+    // remaining >= block sum ⇒ the draw lands past this block; moving on a
+    // tie is what makes zero-weight slots unreachable.
+    if (next <= n && remaining >= tree_[next]) {
+      pos = next;
+      remaining -= tree_[next];
+    }
+  }
+  return pos;  // pos == n when target >= total() (empty / all-zero tree)
+}
+
+std::size_t FenwickTree::draw(common::Rng& rng) const {
+  return find(rng.uniform() * total());
+}
+
+void FenwickTree::sample_without_replacement(std::size_t k, common::Rng& rng,
+                                             std::vector<std::uint32_t>& out) {
+  struct Drawn {
+    std::size_t index;
+    double weight;
+  };
+  std::vector<Drawn> drawn;
+  drawn.reserve(std::min(k, values_.size()));
+  for (std::size_t d = 0; d < k; ++d) {
+    const std::size_t i = draw(rng);
+    if (i >= values_.size()) break;  // remaining mass exhausted
+    out.push_back(static_cast<std::uint32_t>(i));
+    drawn.push_back({i, values_[i]});
+    set(i, 0.0);
+  }
+  // Bitwise restoration: set() rebuilds each affected node from children,
+  // so reinstating the original values reproduces the original tree exactly.
+  for (const Drawn& d : drawn) set(d.index, d.weight);
+}
+
+}  // namespace mach::sampling

@@ -1,0 +1,91 @@
+// Fenwick (binary-indexed) tree over non-negative device weights: the
+// incremental-update half of the sublinear Eq. 16–18 sampling path.
+//
+// A naive weighted draw over an edge's member set costs O(M) per round
+// (renormalise, scan the cumulative sum). The Fenwick tree keeps grouped
+// partial sums so a point assignment costs O(log² M), a cumulative search
+// costs O(log M), and a without-replacement batch of K draws costs
+// O(K log² M) — independent of the population size beyond the logarithm.
+//
+// Two properties the scale engine's determinism contract rests on:
+//   * `set` recomputes every affected node from its children in a fixed
+//     order instead of adding a float delta, so set(i, w); set(i, old)
+//     restores the tree *bitwise* — draw-zero-restore sampling leaves no
+//     floating-point residue behind.
+//   * `find(target)` walks the same grouped sums every time, so a given
+//     (weights, target) pair always selects the same index; with integer-
+//     valued weights the selection is provably identical to a naive
+//     left-to-right cumulative scan (see tests/sampling/test_fenwick_alias).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mach::sampling {
+
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+  /// n zero-weight slots.
+  explicit FenwickTree(std::size_t n) { resize(n); }
+  /// Builds over an initial weight vector in O(n).
+  explicit FenwickTree(std::span<const double> weights) { assign(weights); }
+
+  /// Rebuilds over `weights` (negatives are clamped to 0).
+  void assign(std::span<const double> weights);
+
+  /// Grows (or shrinks) to n slots; new slots have weight 0. Growing is
+  /// O(n) worst case (rebuild) but amortises to O(1) per slot under the
+  /// usual doubling pattern.
+  void resize(std::size_t n);
+
+  std::size_t size() const noexcept { return values_.size(); }
+
+  /// Point assignment (not a delta): slot i now weighs w. O(log² n).
+  void set(std::size_t i, double w);
+
+  /// Current weight of slot i.
+  double get(std::size_t i) const { return values_[i]; }
+
+  /// Sum of weights in [0, i). O(log n).
+  double prefix_sum(std::size_t i) const;
+
+  /// Sum of all weights. O(log n).
+  double total() const { return prefix_sum(values_.size()); }
+
+  /// Smallest index i with prefix_sum(i+1) > target — the slot a cumulative
+  /// draw at `target` lands in, skipping zero-weight slots. `target` must be
+  /// in [0, total()); with an empty or all-zero tree returns size().
+  std::size_t find(double target) const;
+
+  /// One weighted draw: find(uniform() * total()). Consumes exactly one
+  /// uniform from `rng`. Returns size() when the tree is empty/all-zero.
+  std::size_t draw(common::Rng& rng) const;
+
+  /// K distinct weighted draws without replacement, appended to `out`:
+  /// draw, zero, repeat, then restore the drawn weights bitwise. Stops
+  /// early when the remaining total hits zero. Consumes one uniform per
+  /// successful draw, in draw order.
+  void sample_without_replacement(std::size_t k, common::Rng& rng,
+                                  std::vector<std::uint32_t>& out);
+
+  /// Bytes held by the tree (capacity, both arrays) — scale accounting.
+  std::size_t memory_bytes() const noexcept {
+    return (tree_.capacity() + values_.capacity()) * sizeof(double);
+  }
+
+ private:
+  /// Recomputes 1-based node j from its value and child nodes, in fixed
+  /// ascending-child order (the same order assign() uses — bitwise
+  /// reproducible).
+  void recompute_node(std::size_t j);
+
+  std::vector<double> tree_;    // 1-based grouped sums; tree_[0] unused
+  std::vector<double> values_;  // current per-slot weights
+};
+
+}  // namespace mach::sampling

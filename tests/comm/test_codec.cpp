@@ -17,7 +17,7 @@ namespace {
 
 std::vector<float> roundtrip(const Codec& codec, std::span<const float> values,
                              std::span<const float> reference = {},
-                             std::vector<float>* residual = nullptr) {
+                             std::span<float> residual = {}) {
   Encoded wire;
   codec.encode(values, reference, residual, wire);
   EXPECT_EQ(wire.bytes.size(), codec.encoded_bytes(values.size()));
@@ -178,9 +178,9 @@ TEST(TopKCodec, SelectsLargestMagnitudeCorrectedEntries) {
   const std::vector<float> values = {1.5f, 1.0f, 0.0f, 1.1f, 3.0f, 0.9f};
   // corrected = values - reference = {0.5, 0, -1, 0.1, 2, -0.1}
   // top-3 by |.|: indices 4 (2.0), 2 (-1.0), 0 (0.5).
-  std::vector<float> residual;
+  std::vector<float> residual(values.size(), 0.0f);
   Encoded wire;
-  codec->encode(values, reference, &residual, wire);
+  codec->encode(values, reference, residual, wire);
   std::vector<float> out;
   codec->decode(wire, values.size(), reference, out);
   ASSERT_EQ(out.size(), values.size());
@@ -206,10 +206,10 @@ TEST(TopKCodec, ErrorFeedbackResidualFeedsTheNextMessage) {
   const std::vector<float> reference(8, 0.0f);
   const std::vector<float> values = {0.4f, -0.3f, 0.2f, -0.1f,
                                      0.05f, 1.0f,  0.0f, -0.02f};
-  std::vector<float> residual;
+  std::vector<float> residual(values.size(), 0.0f);
   Encoded wire;
   // k = ceil(0.25 * 8) = 2: first message ships indices 5 (1.0) and 0 (0.4).
-  codec->encode(values, reference, &residual, wire);
+  codec->encode(values, reference, residual, wire);
   std::vector<float> first;
   codec->decode(wire, values.size(), reference, first);
   EXPECT_FLOAT_EQ(first[5], 1.0f);
@@ -220,7 +220,7 @@ TEST(TopKCodec, ErrorFeedbackResidualFeedsTheNextMessage) {
   // Second message with identical values: corrected = values + residual, so
   // the previously-withheld -0.3 at index 1 now outranks 0.2 at index 2 —
   // error feedback guarantees starved coordinates eventually transmit.
-  codec->encode(values, reference, &residual, wire);
+  codec->encode(values, reference, residual, wire);
   std::vector<float> second;
   codec->decode(wire, values.size(), reference, second);
   EXPECT_FLOAT_EQ(second[5], 1.0f);           // 1.0 + 0 still top
@@ -239,7 +239,7 @@ TEST(TopKCodec, SentPlusResidualEqualsCorrectedBitwise) {
   residual[3] = 0.75f;
   const std::vector<float> residual_before = residual;
   Encoded wire;
-  codec->encode(values, reference, &residual, wire);
+  codec->encode(values, reference, residual, wire);
   // Mass conservation, bitwise: every corrected entry is either transmitted
   // exactly (and its residual zeroed) or banked exactly into the residual.
   // Parse the wire directly — reconstructing "sent" as decode(...) - reference
@@ -316,7 +316,7 @@ TEST(Codecs, DecodeRejectsMalformedPayloads) {
         CodecSpec{.kind = CodecKind::TopK, .topk_density = 0.5}}) {
     const auto codec = make_codec(spec);
     Encoded wire;
-    codec->encode(std::vector<float>{1.0f, 2.0f}, reference, nullptr, wire);
+    codec->encode(std::vector<float>{1.0f, 2.0f}, reference, {}, wire);
     Encoded truncated;
     truncated.bytes.assign(wire.bytes.begin(), wire.bytes.end() - 1);
     EXPECT_THROW(codec->decode(truncated, 2, reference, out),
@@ -326,7 +326,7 @@ TEST(Codecs, DecodeRejectsMalformedPayloads) {
   // TopK additionally validates indices.
   const auto topk = make_codec({.kind = CodecKind::TopK, .topk_density = 0.5});
   Encoded wire;
-  topk->encode(std::vector<float>{1.0f, 2.0f}, reference, nullptr, wire);
+  topk->encode(std::vector<float>{1.0f, 2.0f}, reference, {}, wire);
   wire.bytes[4] = 9;  // first index -> out of range for count == 2
   EXPECT_THROW(topk->decode(wire, 2, reference, out), std::runtime_error);
 }

@@ -51,7 +51,7 @@ TEST(CodecFuzz, Fp32IsBitwiseExact) {
     const std::size_t count = rng.uniform_index(512) + 1;
     const std::vector<float> values = random_tensor(rng, count);
     Encoded wire;
-    codec->encode(values, {}, nullptr, wire);
+    codec->encode(values, {}, {}, wire);
     ASSERT_EQ(wire.bytes.size(), codec->encoded_bytes(count));
     std::vector<float> out;
     codec->decode(wire, count, {}, out);
@@ -71,7 +71,7 @@ TEST(CodecFuzz, Bf16StaysWithinRelativeBoundAndIsIdempotent) {
     const std::size_t count = rng.uniform_index(512) + 1;
     const std::vector<float> values = random_tensor(rng, count);
     Encoded wire;
-    codec->encode(values, {}, nullptr, wire);
+    codec->encode(values, {}, {}, wire);
     std::vector<float> out;
     codec->decode(wire, count, {}, out);
     ASSERT_EQ(out.size(), count);
@@ -89,7 +89,7 @@ TEST(CodecFuzz, Bf16StaysWithinRelativeBoundAndIsIdempotent) {
     }
     // Idempotence: a second pass over the decoded tensor is bitwise exact.
     Encoded wire2;
-    codec->encode(out, {}, nullptr, wire2);
+    codec->encode(out, {}, {}, wire2);
     std::vector<float> out2;
     codec->decode(wire2, count, {}, out2);
     for (std::size_t i = 0; i < count; ++i) {
@@ -110,7 +110,7 @@ TEST(CodecFuzz, Int8StaysWithinHalfScale) {
     for (const float v : values) max_abs = std::max(max_abs, std::fabs(v));
     const float scale = max_abs / 127.0f;
     Encoded wire;
-    codec->encode(values, {}, nullptr, wire);
+    codec->encode(values, {}, {}, wire);
     ASSERT_EQ(wire.bytes.size(), codec->encoded_bytes(count));
     std::vector<float> out;
     codec->decode(wire, count, {}, out);
@@ -135,14 +135,13 @@ TEST(CodecFuzz, TopKConservesMassThroughErrorFeedback) {
         make_codec({.kind = CodecKind::TopK, .topk_density = density});
     const std::size_t count = rng.uniform_index(300) + 4;
     const std::vector<float> reference = random_tensor(rng, count);
-    std::vector<float> residual;
+    std::vector<float> residual(count, 0.0f);
     // Chain several messages so the residual actually accumulates.
     for (int msg = 0; msg < 4; ++msg) {
       const std::vector<float> values = random_tensor(rng, count);
-      const std::vector<float> residual_before =
-          residual.empty() ? std::vector<float>(count, 0.0f) : residual;
+      const std::vector<float> residual_before = residual;
       Encoded wire;
-      codec->encode(values, reference, &residual, wire);
+      codec->encode(values, reference, residual, wire);
       ASSERT_EQ(wire.bytes.size(), codec->encoded_bytes(count));
       ASSERT_EQ(residual.size(), count);
       // Invariant (bitwise): every corrected entry is either on the wire
@@ -196,13 +195,13 @@ TEST(CodecFuzz, WireSizeNeverDependsOnValues) {
     for (std::size_t iter = 0; iter < fuzz_iters(); ++iter) {
       const std::size_t count = rng.uniform_index(256) + 1;
       Encoded wire;
-      codec->encode(random_tensor(rng, count), {}, nullptr, wire);
+      codec->encode(random_tensor(rng, count), {}, {}, wire);
       // encoded_bytes() is the contract the byte ledger charges by — the
       // actual payload must match it for every value pattern, including the
       // all-zero tensor.
       ASSERT_EQ(wire.bytes.size(), codec->encoded_bytes(count))
           << codec->to_string() << " count " << count;
-      codec->encode(std::vector<float>(count, 0.0f), {}, nullptr, wire);
+      codec->encode(std::vector<float>(count, 0.0f), {}, {}, wire);
       ASSERT_EQ(wire.bytes.size(), codec->encoded_bytes(count))
           << codec->to_string() << " count " << count << " (zeros)";
     }

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "mobility/mobility_model.h"
 #include "mobility/stations.h"
@@ -82,6 +84,60 @@ TEST(Trace, CsvRoundTrip) {
 
 TEST(Trace, ReadCsvMissingFileThrows) {
   EXPECT_THROW(Trace::read_csv("/no/such/file.csv", 1, 1, 1), std::runtime_error);
+}
+
+TEST(Trace, MeanDwellOfEmptyTraceIsZero) {
+  const Trace trace(3, 2, 10);
+  EXPECT_DOUBLE_EQ(trace.mean_dwell(), 0.0);
+}
+
+namespace {
+std::string write_lines(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << "device,station,t_start,t_end\n" << body;
+  return path;
+}
+
+std::string read_csv_error(const std::string& path) {
+  try {
+    Trace::read_csv(path, 4, 4, 16);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+}  // namespace
+
+TEST(Trace, ReadCsvRejectsBadRecordsWithLineContext) {
+  struct Case {
+    const char* name;
+    const char* body;
+    const char* expect;  // substring of the error message
+  };
+  const Case cases[] = {
+      {"empty_interval.csv", "0,1,0,4\n1,2,5,5\n", "t_end <= t_start"},
+      {"inverted_interval.csv", "2,0,6,3\n", "t_end <= t_start"},
+      {"bad_device.csv", "0,1,0,4\n9,1,0,4\n", "device id out of range"},
+      {"bad_station.csv", "0,7,0,4\n", "station id out of range"},
+      {"past_horizon.csv", "0,1,0,99\n", "past the horizon"},
+      {"garbage.csv", "0,1,zero,4\n", "malformed record"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = write_lines(c.name, c.body);
+    const std::string error = read_csv_error(path);
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << c.name << ": " << error;
+    // Every rejection names the offending line so a corrupt multi-GB trace
+    // file is debuggable.
+    EXPECT_NE(error.find("at line"), std::string::npos) << c.name;
+    std::remove(path.c_str());
+  }
+  // The line number is 1-based and counts the header.
+  const std::string path = write_lines("line_number.csv", "0,1,0,4\n1,2,4,4\n");
+  const std::string error = read_csv_error(path);
+  EXPECT_NE(error.find("at line 3"), std::string::npos) << error;
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -49,6 +49,11 @@ TEST(MetricDirection, NameConventionMatchesTheEmitters) {
             MetricDirection::LowerIsBetter);
   EXPECT_EQ(metric_direction("final_accuracy"),
             MetricDirection::HigherIsBetter);
+  // Memory envelope (BENCH_scale.json): a fatter RSS is a regression.
+  EXPECT_EQ(metric_direction("peak_rss_kb"), MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("current_rss_kb"), MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("per_device_bytes"),
+            MetricDirection::LowerIsBetter);
   EXPECT_EQ(metric_direction("devices_trained"),
             MetricDirection::Informational);
   EXPECT_EQ(metric_direction("count"), MetricDirection::Informational);
