@@ -152,6 +152,30 @@ inline void apply_codec_flag(const common::CliParser& cli,
   }
 }
 
+/// Registers the shared --scenario flag: any bench can rerun its sweep inside
+/// a named mobility world (mobility/scenario.h presets, optional overrides).
+/// The empty default keeps each task preset's own mobility untouched.
+inline void add_scenario_flag(common::CliParser& cli) {
+  cli.add_flag("scenario", std::string(""),
+               "mobility scenario preset, e.g. 'vehicular' or "
+               "'metro:stay=0.6,stations=80' "
+               "(metro|campus|vehicular|flash_crowd; empty = preset default)");
+}
+
+/// Applies the parsed --scenario flag to one experiment config. A bad spec
+/// exits with the offending part named.
+inline void apply_scenario_flag(const common::CliParser& cli,
+                                hfl::ExperimentConfig& config) {
+  const std::string spec = cli.get_string("scenario");
+  if (spec.empty()) return;
+  try {
+    hfl::apply_scenario(mobility::Scenario::parse(spec), config);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "--scenario: " << error.what() << "\n";
+    std::exit(1);
+  }
+}
+
 /// Registers the shared checkpoint/resume flags. With a directory set, every
 /// (task, sampler, seed) run of the sweep snapshots its full state into its
 /// own subdirectory of --checkpoint_dir; --resume continues each run from its

@@ -45,9 +45,13 @@ hfl::AggregationForm parse_aggregation(const std::string& name) {
 int main(int argc, char** argv) {
   common::CliParser cli("Run one hierarchical FL experiment with full control.");
   cli.add_flag("task", std::string("mnist"), "mnist|fmnist|cifar10");
-  cli.add_flag("sampler", std::string("mach"),
-               "mach|mach_p|mach_global|uniform|class_balance|statistical|"
-               "power_of_choice|oort|full");
+  cli.add_flag("sampler", std::string("mach"), mach::core::sampler_flag_help());
+  cli.add_flag("scenario", std::string(""),
+               "mobility scenario preset with optional overrides, e.g. "
+               "'vehicular' or 'metro:stay=0.6,stations=80' "
+               "(presets: metro|campus|vehicular|flash_crowd; empty = the "
+               "task preset's default mobility). Composes freely with "
+               "--faults and --codec");
   cli.add_flag("devices", static_cast<std::int64_t>(0), "devices (0 = preset)");
   cli.add_flag("edges", static_cast<std::int64_t>(0), "edges (0 = preset)");
   cli.add_flag("steps", static_cast<std::int64_t>(0), "time steps (0 = preset)");
@@ -110,6 +114,17 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   auto config = mach::hfl::ExperimentConfig::preset(parse_task(cli.get_string("task")));
+  // Scenario first, explicit flags after: --stay_prob etc. override the preset.
+  const std::string scenario_spec = cli.get_string("scenario");
+  if (!scenario_spec.empty()) {
+    try {
+      mach::hfl::apply_scenario(mach::mobility::Scenario::parse(scenario_spec),
+                                config);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "--scenario: " << error.what() << "\n";
+      return 1;
+    }
+  }
   if (cli.get_int("devices") > 0) {
     config.num_devices = static_cast<std::size_t>(cli.get_int("devices"));
   }
@@ -270,6 +285,9 @@ int main(int argc, char** argv) {
             << " participation=" << config.hfl.participation
             << " aggregation=" << cli.get_string("aggregation")
             << " threads=" << mach::runtime::resolve_threads(config.hfl.parallel);
+  if (!config.scenario_name.empty()) {
+    std::cout << " scenario=" << config.scenario_name;
+  }
   if (!config.hfl.faults.empty()) {
     std::cout << " faults=" << config.hfl.faults.to_string();
   }

@@ -111,13 +111,41 @@ trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" 
 "$BUILD_DIR/tools/bench_diff" \
   --baseline "$comm_json" --current "$comm_json" > /dev/null
 
+echo "== algorithm zoo smoke =="
+# Sampler-x-scenario comparison end to end on a tiny grid: the bench must
+# produce a ranked report trace_summary can render, and the perf gate must
+# self-compare it cleanly (final_accuracy/reach_rate gate higher-is-better,
+# steps_to_target/total_bytes lower-is-better). The committed BENCH_zoo.json
+# is produced by a full default run (all zoo samplers x all four presets).
+zoo_json="$(mktemp -t hfl_zoo_XXXXXX.json)"
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace" "$comm_json" "$zoo_json"' EXIT
+"$BUILD_DIR/bench/zoo" --task mnist --samplers mach,uniform \
+  --scenarios metro,vehicular --horizon 20 --out "$zoo_json" > /dev/null
+"$BUILD_DIR/tools/trace_summary" "$zoo_json" | grep -q 'algorithm ranking'
+"$BUILD_DIR/tools/bench_diff" \
+  --baseline "$zoo_json" --current "$zoo_json" > /dev/null
+# The committed full-grid report must stay parseable and gateable.
+"$BUILD_DIR/tools/bench_diff" \
+  --baseline BENCH_zoo.json --current BENCH_zoo.json > /dev/null
+
+echo "== scenario flag smoke =="
+# --scenario composes with the rest of the CLI and rejects bad specs.
+"$BUILD_DIR/examples/experiment_runner" \
+  --devices 8 --edges 2 --steps 6 --local_epochs 1 \
+  --sampler churn_aware --scenario 'vehicular:stations=16' \
+  | grep -q 'scenario=vehicular:stations=16'
+if "$BUILD_DIR/examples/experiment_runner" --scenario bogus --steps 2 \
+  > /dev/null 2>&1; then
+  echo "unknown scenario preset was expected to fail"; exit 1
+fi
+
 echo "== scale smoke (10k devices, RSS ceiling) =="
 # Million-device engine end to end at CI scale: a 10k-device sweep must run
 # sub-second rounds inside the fixed per-device memory budget and a 512 MiB
 # process RSS ceiling, and trace_summary must render the result. The
 # committed BENCH_scale.json is produced by the full default sweep (to 1M).
 scale_json="$(mktemp -t hfl_scale_XXXXXX.json)"
-trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace" "$comm_json" "$scale_json"' EXIT
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace" "$comm_json" "$zoo_json" "$scale_json"' EXIT
 "$BUILD_DIR/bench/scale" --devices 10000 --edges 100 --rounds 2 \
   --rss_ceiling_mb 512 --out "$scale_json" > /dev/null
 "$BUILD_DIR/tools/trace_summary" "$scale_json" | grep -q 'worst round p95'
@@ -144,7 +172,7 @@ echo "== crash-resume smoke =="
 # count) must reproduce the uninterrupted reference CSV byte for byte and
 # leave checkpoint markers in the trace.
 ckpt_dir="$(mktemp -d -t hfl_ckpt_XXXXXX)"
-trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace"; rm -rf "$ckpt_dir"' EXIT
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace" "$comm_json" "$zoo_json" "$scale_json"; rm -rf "$ckpt_dir"' EXIT
 resume_args=(--task mnist --devices 8 --edges 2 --steps 12 --local_epochs 2 --seed 11)
 "$BUILD_DIR/examples/experiment_runner" "${resume_args[@]}" --threads 1 \
   --csv "$ckpt_dir/ref.csv" --trace "$ckpt_dir/ref.jsonl" > /dev/null
@@ -171,18 +199,22 @@ if [ "${UBSAN:-1}" != "0" ]; then
   # (float<->bits bit_casts, wire byte packing and int8 narrowing are the
   # risky parts), plus the sampling + scale suites (Fenwick node index
   # arithmetic, alias-bucket uniform splitting and the hash-based synthetic
-  # gradient mixing are the risky parts).
-  echo "== undefined behaviour sanitizer (kernels + faults + ckpt + comm + scale) =="
+  # gradient mixing are the risky parts; test_sampling now also carries the
+  # whole-registry conformance suite, so every zoo sampler's probability
+  # arithmetic runs sanitized), plus the mobility suite (the scenario spec
+  # parser's from_chars walking and its fuzz sweep are the risky parts).
+  echo "== undefined behaviour sanitizer (kernels + faults + ckpt + comm + sampling + mobility + scale) =="
   UBSAN_DIR="${UBSAN_DIR:-${BUILD_DIR}-ubsan}"
   cmake -B "$UBSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
-  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt test_comm test_sampling test_scale
+  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt test_comm test_sampling test_mobility test_scale
   "$UBSAN_DIR/tests/test_tensor"
   "$UBSAN_DIR/tests/test_fault"
   "$UBSAN_DIR/tests/test_ckpt"
   "$UBSAN_DIR/tests/test_comm"
   "$UBSAN_DIR/tests/test_sampling"
+  "$UBSAN_DIR/tests/test_mobility"
   "$UBSAN_DIR/tests/test_scale"
 fi
 
@@ -196,9 +228,13 @@ if [ "${TSAN:-1}" != "0" ]; then
   cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault test_obs test_comm test_scale
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_runtime test_hfl test_fault test_obs test_comm test_sampling test_scale
   "$TSAN_DIR/tests/test_runtime"
   "$TSAN_DIR/tests/test_hfl" --gtest_filter='ParallelDeterminism.*:ProfilerIntegration.*'
+  # Every registered sampler driven through real 2- and 4-worker simulator
+  # runs: samplers are coordinator-only by contract; TSan proves none of the
+  # zoo's per-device state is touched from worker threads.
+  "$TSAN_DIR/tests/test_sampling" --gtest_filter='*RunsBitwiseIdenticalAcrossThreadCounts*'
   # The fault replay/determinism suites drive 2- and 4-worker runs with the
   # injector active — the only new code reachable from worker threads.
   "$TSAN_DIR/tests/test_fault" --gtest_filter='FaultDeterminism.*:FailureReplay.*'

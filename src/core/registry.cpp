@@ -6,22 +6,107 @@
 #include "core/global_mach.h"
 #include "sampling/baselines.h"
 #include "sampling/extended.h"
+#include "sampling/zoo.h"
 
 namespace mach::core {
 
-hfl::SamplerPtr make_sampler(const std::string& name, const MachOptions& mach_options) {
-  if (name == "uniform") return std::make_unique<sampling::UniformSampler>();
-  if (name == "class_balance") return std::make_unique<sampling::ClassBalanceSampler>();
-  if (name == "statistical") return std::make_unique<sampling::StatisticalSampler>();
-  if (name == "mach") return std::make_unique<MachSampler>(mach_options);
-  if (name == "mach_p") return std::make_unique<MachOracleSampler>(mach_options);
-  if (name == "mach_global") return std::make_unique<GlobalMachSampler>(mach_options);
-  if (name == "full") return std::make_unique<sampling::FullParticipationSampler>();
-  if (name == "power_of_choice") {
-    return std::make_unique<sampling::PowerOfChoiceSampler>();
+namespace {
+
+constexpr SamplerInfo kRegistry[] = {
+    {"mach", "MACH", "the paper's mobility-aware UCB sampler (Alg. 1-3)", true, true,
+     [](const MachOptions& options) -> hfl::SamplerPtr {
+       return std::make_unique<MachSampler>(options);
+     }},
+    {"mach_p", "MACH-P", "MACH with oracle gradient probes (upper bound)", true, true,
+     [](const MachOptions& options) -> hfl::SamplerPtr {
+       return std::make_unique<MachOracleSampler>(options);
+     }},
+    {"mach_global", "MACH-G", "MACH with one federation-wide UCB table", true, false,
+     [](const MachOptions& options) -> hfl::SamplerPtr {
+       return std::make_unique<GlobalMachSampler>(options);
+     }},
+    {"uniform", "US", "uniform random sampling", true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::UniformSampler>();
+     }},
+    {"class_balance", "CS", "class-balance sampling (rare-class holders up)",
+     true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::ClassBalanceSampler>();
+     }},
+    {"statistical", "SS", "statistical-utility sampling (online loss EMA)",
+     true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::StatisticalSampler>();
+     }},
+    {"power_of_choice", "PoC", "power-of-choice candidate-set selection", true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::PowerOfChoiceSampler>();
+     }},
+    {"oort", "Oort", "Oort utility + staleness exploration bonus", true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::OortSampler>();
+     }},
+    {"mobility_cluster", "ClusterFL",
+     "cluster-then-sample per edge (arXiv 2108.09103)", true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::MobilityClusterSampler>();
+     }},
+    {"emd", "FedEMD", "label-distribution EMD-to-global scoring (arXiv 2310.00198)",
+     true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::EmdGuidedSampler>();
+     }},
+    {"churn_aware", "Churn", "newcomer/staleness priority for high mobility",
+     true, true,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::ChurnAwareSampler>();
+     }},
+    {"full", "FULL", "full participation, q = 1 (tests/ablations only)", false, false,
+     [](const MachOptions&) -> hfl::SamplerPtr {
+       return std::make_unique<sampling::FullParticipationSampler>();
+     }},
+};
+
+}  // namespace
+
+std::span<const SamplerInfo> sampler_registry() { return kRegistry; }
+
+const std::vector<std::string>& registered_samplers() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const SamplerInfo& info : kRegistry) out.emplace_back(info.name);
+    return out;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& zoo_algorithms() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const SamplerInfo& info : kRegistry) {
+      if (info.in_zoo) out.emplace_back(info.name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+std::string sampler_flag_help() {
+  std::string help;
+  for (const SamplerInfo& info : kRegistry) {
+    if (!help.empty()) help += '|';
+    help += info.name;
   }
-  if (name == "oort") return std::make_unique<sampling::OortSampler>();
-  throw std::invalid_argument("make_sampler: unknown sampler '" + name + "'");
+  return help;
+}
+
+hfl::SamplerPtr make_sampler(const std::string& name, const MachOptions& mach_options) {
+  for (const SamplerInfo& info : kRegistry) {
+    if (name == info.name) return info.factory(mach_options);
+  }
+  throw std::invalid_argument("make_sampler: unknown sampler '" + name +
+                              "' (valid: " + sampler_flag_help() + ")");
 }
 
 const std::vector<std::string>& paper_algorithms() {
@@ -31,15 +116,9 @@ const std::vector<std::string>& paper_algorithms() {
 }
 
 std::string display_name(const std::string& sampler_name) {
-  if (sampler_name == "mach") return "MACH";
-  if (sampler_name == "mach_p") return "MACH-P";
-  if (sampler_name == "uniform") return "US";
-  if (sampler_name == "class_balance") return "CS";
-  if (sampler_name == "statistical") return "SS";
-  if (sampler_name == "full") return "FULL";
-  if (sampler_name == "mach_global") return "MACH-G";
-  if (sampler_name == "power_of_choice") return "PoC";
-  if (sampler_name == "oort") return "Oort";
+  for (const SamplerInfo& info : kRegistry) {
+    if (sampler_name == info.name) return info.display;
+  }
   return sampler_name;
 }
 

@@ -1,6 +1,11 @@
-// Name-based sampler construction shared by benches, examples and tests.
+// The sampler registry: the single mapping CLI name -> factory shared by
+// experiment_runner, the benches (fig*/zoo) and the tests, so a sampler's
+// spelling exists in exactly one place. Every entry's canonical name equals
+// its Sampler::name() (asserted by tests/core/test_registry.cpp), which is
+// what checkpoint fingerprints and trace run_begin lines record.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,9 +14,41 @@
 
 namespace mach::core {
 
-/// Creates a sampler by its canonical name:
-///   "uniform" | "class_balance" | "statistical" | "mach" | "mach_p" | "full".
-/// Throws std::invalid_argument for unknown names.
+/// One registered sampling algorithm.
+struct SamplerInfo {
+  /// Canonical CLI name; equals the constructed Sampler::name().
+  const char* name;
+  /// Paper/figure display label ("MACH", "US", "FedEMD", ...).
+  const char* display;
+  /// One-line description for --help listings.
+  const char* summary;
+  /// True for algorithms the bench/zoo comparison sweeps by default
+  /// (everything except the tests-only full-participation sampler).
+  bool in_zoo;
+  /// True when the sampler promises sum(q) <= K_n per edge (Eq. 11/12).
+  /// False for samplers with a different budget contract: MACH-G spreads one
+  /// federation-wide budget (per-edge sums fluctuate around K_n while the
+  /// global sum stays bounded), and the full-participation ablation has no
+  /// budget at all. The conformance suite checks the matching invariant.
+  bool edge_budgeted;
+  hfl::SamplerPtr (*factory)(const MachOptions&);
+};
+
+/// Every registered sampler, in presentation order (paper algorithms first,
+/// then the extended and cross-paper zoo entries).
+std::span<const SamplerInfo> sampler_registry();
+
+/// Registry names in order, e.g. for exhaustive test instantiation.
+const std::vector<std::string>& registered_samplers();
+
+/// The registry names with in_zoo set — bench/zoo's default algorithm list.
+const std::vector<std::string>& zoo_algorithms();
+
+/// "mach|mach_p|..." for CLI flag help strings.
+std::string sampler_flag_help();
+
+/// Creates a sampler by its canonical name via the registry. Throws
+/// std::invalid_argument listing the valid names for unknown ones.
 hfl::SamplerPtr make_sampler(const std::string& name,
                              const MachOptions& mach_options = {});
 
@@ -19,7 +56,8 @@ hfl::SamplerPtr make_sampler(const std::string& name,
 /// order the figures/tables list them.
 const std::vector<std::string>& paper_algorithms();
 
-/// Paper display label ("MACH", "MACH-P", "US", "CS", "SS").
+/// Registry display label ("MACH", "MACH-P", "US", "CS", "SS", ...); echoes
+/// unknown names back unchanged.
 std::string display_name(const std::string& sampler_name);
 
 }  // namespace mach::core

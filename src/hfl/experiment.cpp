@@ -149,6 +149,9 @@ ExperimentArtifacts build_experiment(const ExperimentConfig& config) {
   mobility::StationLayoutSpec layout;
   layout.num_stations = config.num_stations;
   layout.num_hotspots = config.num_hotspots;
+  layout.area_size = config.area_size;
+  layout.hotspot_stddev = config.hotspot_stddev;
+  layout.background_fraction = config.background_fraction;
   auto stations = mobility::generate_stations(layout,
                                               common::split_seed(config.data_seed, 0x9e4));
   const auto clustering = mobility::cluster_stations(
@@ -163,6 +166,17 @@ ExperimentArtifacts build_experiment(const ExperimentConfig& config) {
 
   return ExperimentArtifacts{std::move(train), std::move(test), std::move(partition),
                              std::move(schedule)};
+}
+
+void apply_scenario(const mobility::Scenario& scenario, ExperimentConfig& config) {
+  config.num_stations = scenario.num_stations;
+  config.num_hotspots = scenario.num_hotspots;
+  config.area_size = scenario.area_size;
+  config.hotspot_stddev = scenario.hotspot_stddev;
+  config.background_fraction = scenario.background_fraction;
+  config.stay_prob = scenario.stay_prob;
+  config.move_range = scenario.move_range;
+  config.scenario_name = scenario.to_string();
 }
 
 ModelFactory make_model_factory(const ExperimentConfig& config) {
@@ -215,6 +229,14 @@ RunResult run_experiment(const ExperimentConfig& config, Sampler& sampler,
     h = ckpt::hash_f64(h, config.hfl.learning_rate);
     h = ckpt::hash_f64(h, config.stay_prob);
     h = ckpt::hash_f64(h, config.long_tail_ratio);
+    // Scenario-shaped world knobs: sweeps over --scenario must not share
+    // snapshot directories between presets.
+    h = ckpt::hash_u64(h, config.num_stations);
+    h = ckpt::hash_u64(h, config.num_hotspots);
+    h = ckpt::hash_f64(h, config.area_size);
+    h = ckpt::hash_f64(h, config.hotspot_stddev);
+    h = ckpt::hash_f64(h, config.background_fraction);
+    h = ckpt::hash_f64(h, config.move_range);
     h = ckpt::hash_str(h, config.hfl.faults.empty() ? ""
                                                     : config.hfl.faults.to_string());
     h = ckpt::hash_str(h, config.hfl.comm.all_fp32() ? ""

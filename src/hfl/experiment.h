@@ -16,6 +16,7 @@
 
 #include "data/synthetic.h"
 #include "hfl/simulator.h"
+#include "mobility/scenario.h"
 
 namespace mach::hfl {
 
@@ -46,11 +47,19 @@ struct ExperimentConfig {
   std::size_t horizon = 120;      // time steps per run
   double target_accuracy = 0.75;  // the task's time-to-accuracy target
 
-  /// Mobility: telecom-style layout replayed through the Markov model.
+  /// Mobility: telecom-style layout replayed through the Markov model. The
+  /// layout knobs default to StationLayoutSpec's values; a named scenario
+  /// preset (mobility/scenario.h) overrides the whole group at once via
+  /// apply_scenario().
   std::size_t num_stations = 60;
   std::size_t num_hotspots = 6;
+  double area_size = 100.0;
+  double hotspot_stddev = 8.0;
+  double background_fraction = 0.25;
   double stay_prob = 0.8;
   double move_range = 25.0;
+  /// Name of the scenario preset applied (banners/reports only; "" = none).
+  std::string scenario_name;
 
   /// Run seed: model init, Bernoulli device sampling, local minibatches.
   /// Varied across the averaged repetitions (the paper repeats each
@@ -83,6 +92,11 @@ struct ExperimentArtifacts {
 
 /// Deterministically synthesises data + partition + mobility for the config.
 ExperimentArtifacts build_experiment(const ExperimentConfig& config);
+
+/// Pastes a mobility scenario preset (mobility/scenario.h) into the config's
+/// station-layout and Markov-model knobs. Orthogonal to --faults/--codec/
+/// --threads: scenarios only shape the world the run moves through.
+void apply_scenario(const mobility::Scenario& scenario, ExperimentConfig& config);
 
 /// Model builder matching the config's task/model kind.
 ModelFactory make_model_factory(const ExperimentConfig& config);

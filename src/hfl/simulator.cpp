@@ -298,6 +298,16 @@ std::uint64_t HflSimulator::run_fingerprint(const Sampler& sampler,
   h = ckpt::hash_str(h, options_.comm.all_fp32() ? "" : options_.comm.to_string());
   h = ckpt::hash_str(h, sampler.name());
   h = ckpt::hash_u64(h, steps);
+  // The mobility world itself: scenario presets and layout knobs (stations,
+  // hotspots, stay probability, ...) change the device->edge association
+  // stream without touching any hyperparameter above, and resuming into a
+  // different world silently corrupts the run.
+  h = ckpt::hash_u64(h, schedule_.horizon());
+  for (std::size_t t = 0; t < schedule_.horizon(); ++t) {
+    for (std::size_t device = 0; device < num_devices(); ++device) {
+      h = ckpt::hash_u64(h, schedule_.edge_of(t, device));
+    }
+  }
   return h;
 }
 

@@ -1,0 +1,241 @@
+#include "mobility/scenario.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace mach::mobility {
+
+namespace {
+
+Scenario make_metro() {
+  Scenario s;
+  s.preset = "metro";
+  s.num_stations = 64;
+  s.num_hotspots = 8;
+  s.area_size = 100.0;
+  s.hotspot_stddev = 6.0;
+  s.background_fraction = 0.15;
+  s.stay_prob = 0.85;
+  s.move_range = 18.0;
+  return s;
+}
+
+Scenario make_campus() {
+  Scenario s;
+  s.preset = "campus";
+  s.num_stations = 24;
+  s.num_hotspots = 3;
+  s.area_size = 50.0;
+  s.hotspot_stddev = 5.0;
+  s.background_fraction = 0.2;
+  s.stay_prob = 0.75;
+  s.move_range = 10.0;
+  return s;
+}
+
+Scenario make_vehicular() {
+  Scenario s;
+  s.preset = "vehicular";
+  s.num_stations = 48;
+  s.num_hotspots = 6;
+  s.area_size = 120.0;
+  s.hotspot_stddev = 10.0;
+  s.background_fraction = 0.4;
+  s.stay_prob = 0.35;
+  s.move_range = 60.0;
+  return s;
+}
+
+Scenario make_flash_crowd() {
+  Scenario s;
+  s.preset = "flash_crowd";
+  s.num_stations = 40;
+  s.num_hotspots = 1;
+  s.area_size = 100.0;
+  s.hotspot_stddev = 4.0;
+  s.background_fraction = 0.05;
+  s.stay_prob = 0.6;
+  s.move_range = 30.0;
+  return s;
+}
+
+std::string valid_presets_hint() {
+  std::string hint = "valid presets:";
+  for (const auto& name : Scenario::preset_names()) {
+    hint += ' ';
+    hint += name;
+  }
+  return hint;
+}
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("scenario spec: " + what);
+}
+
+double parse_number(std::string_view key, std::string_view text) {
+  if (text.empty()) bad_spec("override '" + std::string(key) + "' has no value");
+  double value = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    bad_spec("override '" + std::string(key) + "' has non-numeric value '" +
+             std::string(text) + "'");
+  }
+  return value;
+}
+
+std::size_t parse_count(std::string_view key, std::string_view text) {
+  const double value = parse_number(key, text);
+  const auto count = static_cast<std::size_t>(value);
+  if (value < 0.0 || static_cast<double>(count) != value) {
+    bad_spec("override '" + std::string(key) + "' must be a non-negative integer, got '" +
+             std::string(text) + "'");
+  }
+  return count;
+}
+
+/// Trims `v` of a double to the shortest decimal that std::ostringstream's
+/// default precision produces — enough for the canonical-spec round-trip
+/// (preset knobs and CLI overrides are short decimals, not float noise).
+std::string format_knob(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& Scenario::preset_names() {
+  static const std::vector<std::string> names = {"metro", "campus", "vehicular",
+                                                 "flash_crowd"};
+  return names;
+}
+
+Scenario Scenario::preset_by_name(std::string_view name) {
+  if (name == "metro") return make_metro();
+  if (name == "campus") return make_campus();
+  if (name == "vehicular") return make_vehicular();
+  if (name == "flash_crowd") return make_flash_crowd();
+  bad_spec("unknown preset '" + std::string(name) + "' (" + valid_presets_hint() +
+           ")");
+}
+
+Scenario Scenario::parse(std::string_view spec) {
+  if (spec.empty()) bad_spec("empty spec (" + valid_presets_hint() + ")");
+
+  const std::size_t colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  Scenario scenario = preset_by_name(name);
+  if (colon == std::string_view::npos) return scenario;
+
+  std::string_view overrides = spec.substr(colon + 1);
+  if (overrides.empty()) {
+    bad_spec("preset '" + std::string(name) + "' followed by ':' but no overrides");
+  }
+
+  std::vector<std::string> seen;
+  while (!overrides.empty()) {
+    const std::size_t comma = overrides.find(',');
+    const std::string_view clause = overrides.substr(0, comma);
+    if (comma != std::string_view::npos && comma + 1 == overrides.size()) {
+      bad_spec("trailing ',' after override '" + std::string(clause) + "'");
+    }
+    overrides = comma == std::string_view::npos ? std::string_view{}
+                                                : overrides.substr(comma + 1);
+    if (clause.empty()) bad_spec("empty override clause (stray ',')");
+
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec("override '" + std::string(clause) + "' is missing '='");
+    }
+    const std::string key(clause.substr(0, eq));
+    const std::string_view value = clause.substr(eq + 1);
+
+    for (const auto& previous : seen) {
+      if (previous == key) {
+        bad_spec("conflicting overrides: '" + key + "' given twice");
+      }
+    }
+    seen.push_back(key);
+
+    if (key == "stations") {
+      scenario.num_stations = parse_count(key, value);
+    } else if (key == "hotspots") {
+      scenario.num_hotspots = parse_count(key, value);
+    } else if (key == "stay") {
+      scenario.stay_prob = parse_number(key, value);
+    } else if (key == "range") {
+      scenario.move_range = parse_number(key, value);
+    } else if (key == "area") {
+      scenario.area_size = parse_number(key, value);
+    } else if (key == "stddev") {
+      scenario.hotspot_stddev = parse_number(key, value);
+    } else if (key == "background") {
+      scenario.background_fraction = parse_number(key, value);
+    } else {
+      bad_spec("unknown override key '" + key +
+               "' (valid: stations, hotspots, stay, range, area, stddev, "
+               "background)");
+    }
+  }
+
+  scenario.validate();
+  return scenario;
+}
+
+void Scenario::validate() const {
+  if (num_stations == 0) bad_spec("'" + preset + "' needs stations >= 1");
+  if (num_hotspots == 0 || num_hotspots > num_stations) {
+    bad_spec("'" + preset + "' needs 1 <= hotspots <= stations (got hotspots=" +
+             std::to_string(num_hotspots) + ", stations=" +
+             std::to_string(num_stations) + ")");
+  }
+  if (stay_prob < 0.0 || stay_prob > 1.0) {
+    bad_spec("'" + preset + "' needs stay in [0, 1], got " + format_knob(stay_prob));
+  }
+  if (background_fraction < 0.0 || background_fraction > 1.0) {
+    bad_spec("'" + preset + "' needs background in [0, 1], got " +
+             format_knob(background_fraction));
+  }
+  if (move_range <= 0.0) {
+    bad_spec("'" + preset + "' needs range > 0, got " + format_knob(move_range));
+  }
+  if (area_size <= 0.0) {
+    bad_spec("'" + preset + "' needs area > 0, got " + format_knob(area_size));
+  }
+  if (hotspot_stddev <= 0.0) {
+    bad_spec("'" + preset + "' needs stddev > 0, got " + format_knob(hotspot_stddev));
+  }
+}
+
+std::string Scenario::to_string() const {
+  const Scenario defaults = preset_by_name(preset);
+  std::string spec = preset;
+  char sep = ':';
+  const auto emit = [&](const char* key, const std::string& value) {
+    spec += sep;
+    spec += key;
+    spec += '=';
+    spec += value;
+    sep = ',';
+  };
+  if (num_stations != defaults.num_stations) {
+    emit("stations", std::to_string(num_stations));
+  }
+  if (num_hotspots != defaults.num_hotspots) {
+    emit("hotspots", std::to_string(num_hotspots));
+  }
+  if (stay_prob != defaults.stay_prob) emit("stay", format_knob(stay_prob));
+  if (move_range != defaults.move_range) emit("range", format_knob(move_range));
+  if (area_size != defaults.area_size) emit("area", format_knob(area_size));
+  if (hotspot_stddev != defaults.hotspot_stddev) {
+    emit("stddev", format_knob(hotspot_stddev));
+  }
+  if (background_fraction != defaults.background_fraction) {
+    emit("background", format_knob(background_fraction));
+  }
+  return spec;
+}
+
+}  // namespace mach::mobility

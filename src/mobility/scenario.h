@@ -1,0 +1,81 @@
+// Declarative mobility scenario presets.
+//
+// A Scenario is a named parameterisation of the existing mobility pipeline
+// (station layout + Markov model): the preset picks every knob — station
+// count, hotspot count and scatter, service-area size, stay probability and
+// movement range — and the spec grammar lets individual knobs be overridden:
+//
+//   metro                      — dense urban commuting: many stations around
+//                                many hotspots, long dwell times (low churn);
+//   campus                     — small-area locality: few stations, short
+//                                trips, moderate dwell;
+//   vehicular                  — high-mobility regime: low stay probability
+//                                and a long movement range, so devices
+//                                shuffle between edges nearly every step;
+//   flash_crowd                — one dominant hotspot absorbs almost every
+//                                station (stadium/concert), with devices
+//                                drifting in and out of the crowd.
+//
+// Spec strings follow the same shape as the `--faults` grammar: a preset
+// name, optionally followed by ':'-separated overrides, e.g.
+//
+//   vehicular
+//   metro:stay=0.6,stations=80
+//   flash_crowd:hotspots=2,background=0.1
+//
+// Override keys: stations, hotspots, stay, range, area, stddev, background.
+// parse() validates everything (unknown presets, unknown/duplicate keys,
+// out-of-range values) and to_string() emits a canonical spec that parses
+// back to the same scenario. Scenarios are pure configuration — composing
+// one with --faults/--codec/--threads is the caller pasting fields into an
+// ExperimentConfig (see hfl::apply_scenario).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mach::mobility {
+
+struct Scenario {
+  /// Preset this scenario was derived from ("metro", ...).
+  std::string preset;
+
+  /// Station layout (StationLayoutSpec fields).
+  std::size_t num_stations = 60;
+  std::size_t num_hotspots = 6;
+  double area_size = 100.0;
+  double hotspot_stddev = 8.0;
+  double background_fraction = 0.25;
+
+  /// Markov mobility model.
+  double stay_prob = 0.8;
+  double move_range = 25.0;
+
+  /// The four preset names, in canonical order.
+  static const std::vector<std::string>& preset_names();
+
+  /// The named preset with no overrides. Throws std::invalid_argument for
+  /// unknown names (the message lists the valid presets).
+  static Scenario preset_by_name(std::string_view name);
+
+  /// Parses "name[:key=value[,key=value]...]" and validates. Throws
+  /// std::invalid_argument naming the offending token on any malformed
+  /// input: empty spec, unknown preset, unknown key, duplicate (conflicting)
+  /// override, non-numeric or out-of-range value.
+  static Scenario parse(std::string_view spec);
+
+  /// Canonical spec: the preset name plus any knob that differs from the
+  /// preset's default, in fixed key order. parse(to_string()) == *this.
+  std::string to_string() const;
+
+  /// Range checks (parse() already calls this): stations >= 1,
+  /// 1 <= hotspots <= stations, stay in [0,1], background in [0,1],
+  /// range/area/stddev > 0. Throws std::invalid_argument.
+  void validate() const;
+
+  bool operator==(const Scenario&) const = default;
+};
+
+}  // namespace mach::mobility

@@ -71,9 +71,15 @@ MetricDirection metric_direction(std::string_view name) {
   if (contains(name, "rss") || ends_with(name, "_kb")) {
     return MetricDirection::LowerIsBetter;
   }
-  // Model quality (BENCH_comm.json accuracy-vs-bytes cases).
-  if (contains(name, "accuracy")) {
+  // Model quality (BENCH_comm.json accuracy-vs-bytes cases, BENCH_zoo.json
+  // sampler-x-scenario cases).
+  if (contains(name, "accuracy") || contains(name, "reach_rate")) {
     return MetricDirection::HigherIsBetter;
+  }
+  // Convergence speed (BENCH_zoo.json): more steps to the accuracy target
+  // for the same (sampler, scenario) case is a regression.
+  if (contains(name, "steps_to")) {
+    return MetricDirection::LowerIsBetter;
   }
   if (contains(name, "trained") || contains(name, "count")) {
     return MetricDirection::Informational;

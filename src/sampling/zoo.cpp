@@ -1,0 +1,240 @@
+#include "sampling/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ckpt/bytes.h"
+#include "sampling/baselines.h"
+#include "sampling/budget.h"
+
+namespace mach::sampling {
+
+// ---------------------------------------------------------------------------
+// MobilityClusterSampler
+
+void MobilityClusterSampler::bind(const hfl::FederationInfo& info) {
+  directions_.assign(info.num_devices, {});
+  for (std::size_t m = 0; m < info.class_histograms.size(); ++m) {
+    const auto& histogram = info.class_histograms[m];
+    std::vector<double> direction(histogram.size(), 0.0);
+    double norm_sq = 0.0;
+    for (std::size_t c = 0; c < histogram.size(); ++c) {
+      direction[c] = static_cast<double>(histogram[c]);
+      norm_sq += direction[c] * direction[c];
+    }
+    if (norm_sq > 0.0) {
+      const double inv_norm = 1.0 / std::sqrt(norm_sq);
+      for (double& v : direction) v *= inv_norm;
+    }
+    directions_[m] = std::move(direction);
+  }
+}
+
+std::vector<std::uint32_t> MobilityClusterSampler::cluster_devices(
+    std::span<const std::uint32_t> devices) const {
+  // Greedy leader clustering: walk devices in edge order; join the first
+  // cluster whose leader is similar enough, else found a new one. Leaders
+  // are fixed once created, so the assignment is deterministic and does not
+  // depend on any RNG or iteration subtleties.
+  std::vector<std::uint32_t> assignment(devices.size(), 0);
+  std::vector<std::uint32_t> leaders;  // device index into `devices`
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const std::uint32_t device = devices[i];
+    const bool known =
+        device < directions_.size() && !directions_[device].empty();
+    std::uint32_t cluster = kNoCluster;
+    if (known) {
+      const auto& direction = directions_[device];
+      for (std::size_t c = 0; c < leaders.size(); ++c) {
+        const auto& leader = directions_[devices[leaders[c]]];
+        if (leader.size() != direction.size()) continue;
+        double cosine = 0.0;
+        for (std::size_t k = 0; k < direction.size(); ++k) {
+          cosine += direction[k] * leader[k];
+        }
+        if (cosine >= similarity_threshold_) {
+          cluster = static_cast<std::uint32_t>(c);
+          break;
+        }
+      }
+    } else if (!leaders.empty()) {
+      // Unbound device histograms: everyone shares one cluster (uniform).
+      cluster = 0;
+    }
+    if (cluster == kNoCluster) {
+      cluster = static_cast<std::uint32_t>(leaders.size());
+      leaders.push_back(static_cast<std::uint32_t>(i));
+    }
+    assignment[i] = cluster;
+  }
+  return assignment;
+}
+
+std::vector<double> MobilityClusterSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  const std::size_t n = ctx.devices.size();
+  if (n == 0) return {};
+  const std::vector<std::uint32_t> assignment = cluster_devices(ctx.devices);
+  std::size_t num_clusters = 0;
+  for (const std::uint32_t c : assignment) {
+    num_clusters = std::max<std::size_t>(num_clusters, c + 1);
+  }
+  std::vector<double> cluster_size(num_clusters, 0.0);
+  for (const std::uint32_t c : assignment) cluster_size[c] += 1.0;
+  // Budget split evenly across clusters, uniformly within each cluster:
+  // weight ∝ 1 / (num_clusters * |cluster|). Water-filling renormalises to
+  // the edge budget and redistributes where the per-device cap of 1 binds
+  // (e.g. a singleton cluster whose even share exceeds one device).
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / (static_cast<double>(num_clusters) * cluster_size[assignment[i]]);
+  }
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+// ---------------------------------------------------------------------------
+// EmdGuidedSampler
+
+void EmdGuidedSampler::bind(const hfl::FederationInfo& info) {
+  emd_.assign(info.num_devices, 0.0);
+  if (info.num_classes == 0 || info.class_histograms.empty()) return;
+
+  // Global label marginal = sum of per-device histograms.
+  std::vector<double> global(info.num_classes, 0.0);
+  double global_total = 0.0;
+  for (const auto& histogram : info.class_histograms) {
+    for (std::size_t c = 0; c < histogram.size() && c < info.num_classes; ++c) {
+      global[c] += static_cast<double>(histogram[c]);
+      global_total += static_cast<double>(histogram[c]);
+    }
+  }
+  if (global_total <= 0.0) return;
+  for (double& v : global) v /= global_total;
+
+  // W1 on the class index: EMD(p, g) = sum_c |CDF_p(c) - CDF_g(c)|, the
+  // standard discrete transport distance FedEMD scores label skew with.
+  for (std::size_t m = 0; m < info.class_histograms.size(); ++m) {
+    const auto& histogram = info.class_histograms[m];
+    double device_total = 0.0;
+    for (const auto count : histogram) device_total += static_cast<double>(count);
+    if (device_total <= 0.0) continue;
+    double device_cdf = 0.0, global_cdf = 0.0, distance = 0.0;
+    for (std::size_t c = 0; c < info.num_classes; ++c) {
+      device_cdf +=
+          (c < histogram.size() ? static_cast<double>(histogram[c]) : 0.0) /
+          device_total;
+      global_cdf += global[c];
+      distance += std::abs(device_cdf - global_cdf);
+    }
+    emd_[m] = distance;
+  }
+}
+
+double EmdGuidedSampler::emd(std::uint32_t device) const {
+  return device < emd_.size() ? emd_[device] : 0.0;
+}
+
+std::vector<double> EmdGuidedSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  const std::size_t n = ctx.devices.size();
+  std::vector<double> weights(n, 1.0);
+  constexpr double kEpsilon = 0.05;  // keeps perfectly-global devices finite
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t device = ctx.devices[i];
+    if (device >= emd_.size()) continue;  // unbound: uniform fallback
+    weights[i] = 1.0 / std::pow(kEpsilon + emd_[device], sharpness_);
+  }
+  clip_weight_spread(weights, max_weight_ratio_);
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+// ---------------------------------------------------------------------------
+// ChurnAwareSampler
+
+ChurnAwareSampler::ChurnAwareSampler() : ChurnAwareSampler(Options{}) {}
+
+ChurnAwareSampler::ChurnAwareSampler(Options options) : options_(options) {}
+
+void ChurnAwareSampler::bind(const hfl::FederationInfo& info) {
+  last_edge_.assign(info.num_devices, kNoEdge);
+  last_observed_.assign(info.num_devices, 0);
+  ever_observed_.assign(info.num_devices, false);
+}
+
+double ChurnAwareSampler::priority(std::uint32_t device, std::size_t t,
+                                   std::size_t edge) const {
+  double weight = 1.0;
+  if (device < last_edge_.size() && last_edge_[device] != kNoEdge &&
+      last_edge_[device] != static_cast<std::uint32_t>(edge)) {
+    // The device shuffled edges since its previous appearance: its data is
+    // new to this edge's model, exactly the updates fast churn delivers.
+    weight += options_.churn_bonus;
+  }
+  // Saturating staleness bonus: never-sampled devices count as stale since
+  // the start of the run.
+  double staleness;
+  if (device < ever_observed_.size() && ever_observed_[device]) {
+    staleness = static_cast<double>(
+        t - std::min<std::uint64_t>(t, last_observed_[device]));
+  } else {
+    staleness = static_cast<double>(t) + options_.staleness_half_life;
+  }
+  weight += options_.staleness_weight * staleness /
+            (staleness + options_.staleness_half_life);
+  return weight;
+}
+
+std::vector<double> ChurnAwareSampler::edge_probabilities(
+    const hfl::EdgeSamplingContext& ctx) {
+  const std::size_t n = ctx.devices.size();
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = priority(ctx.devices[i], ctx.t, ctx.edge);
+  }
+  clip_weight_spread(weights, options_.max_weight_ratio);
+  // A device appears in exactly one edge per step, and the engine walks
+  // edges on the coordinator in index order, so recording the sighting here
+  // is deterministic at any thread count.
+  for (const std::uint32_t device : ctx.devices) {
+    if (device < last_edge_.size()) {
+      last_edge_[device] = static_cast<std::uint32_t>(ctx.edge);
+    }
+  }
+  return budgeted_probabilities(weights, ctx.capacity);
+}
+
+void ChurnAwareSampler::observe_training(const hfl::TrainingObservation& obs) {
+  if (obs.device >= last_observed_.size()) return;
+  last_observed_[obs.device] = obs.t;
+  ever_observed_[obs.device] = true;
+}
+
+void ChurnAwareSampler::save_state(ckpt::ByteWriter& out) const {
+  out.u8(1);  // blob version
+  out.u64(last_edge_.size());
+  for (const std::uint32_t edge : last_edge_) out.u32(edge);
+  out.vec_u64(last_observed_);
+  for (std::size_t m = 0; m < ever_observed_.size(); ++m) {
+    out.boolean(ever_observed_[m]);
+  }
+}
+
+void ChurnAwareSampler::load_state(ckpt::ByteReader& in) {
+  if (in.u8() != 1) {
+    throw ckpt::CorruptPayload("ChurnAwareSampler: unknown state version");
+  }
+  if (in.u64() != last_edge_.size()) {
+    throw ckpt::CorruptPayload("ChurnAwareSampler: snapshot device mismatch");
+  }
+  for (auto& edge : last_edge_) edge = in.u32();
+  std::vector<std::uint64_t> observed_at = in.vec_u64();
+  if (observed_at.size() != last_observed_.size()) {
+    throw ckpt::CorruptPayload("ChurnAwareSampler: snapshot last-observed mismatch");
+  }
+  last_observed_ = std::move(observed_at);
+  for (std::size_t m = 0; m < ever_observed_.size(); ++m) {
+    ever_observed_[m] = in.boolean();
+  }
+}
+
+}  // namespace mach::sampling

@@ -1,0 +1,115 @@
+// Cross-paper algorithm zoo: device samplers from the mobility-FL literature
+// beyond the paper's own baselines, for the bench/zoo comparison sweeps.
+//
+//  * MobilityClusterSampler — cluster-then-sample per edge (mobility-aware
+//    cluster FL, arXiv 2108.09103): the devices currently inside an edge are
+//    grouped into label-distribution clusters and the participation budget
+//    is split evenly across clusters, so every sampled cohort spans the
+//    data-heterogeneity spectrum the edge currently sees regardless of how
+//    mobility skews the headcount per cluster.
+//  * EmdGuidedSampler — heterogeneity-guided client sampling à la FedEMD
+//    (arXiv 2310.00198): each device is scored by the Earth Mover's Distance
+//    between its label distribution and the global one; devices closer to
+//    the global distribution are upweighted, pulling the sampled mixture
+//    towards the global marginal.
+//  * ChurnAwareSampler — high-mobility vehicular regime (arXiv 2401.09656:
+//    fast edge churn accelerates convergence): devices that just moved into
+//    an edge carry data its model has not aggregated recently, so newcomers
+//    and long-unsampled devices get a priority bonus. The faster devices
+//    shuffle between edges, the more the strategy differs from uniform.
+//
+// All three run behind the ordinary hfl::Sampler interface and respect the
+// expected-participation budget via water-filling (sum q == min(K_n, |M|)).
+#pragma once
+
+#include <vector>
+
+#include "hfl/sampler.h"
+
+namespace mach::sampling {
+
+class MobilityClusterSampler final : public hfl::Sampler {
+ public:
+  /// `similarity_threshold`: minimum cosine similarity between a device's
+  /// label distribution and a cluster leader's for the device to join that
+  /// cluster (greedy leader clustering — deterministic, order-stable).
+  explicit MobilityClusterSampler(double similarity_threshold = 0.9)
+      : similarity_threshold_(similarity_threshold) {}
+
+  std::string name() const override { return "mobility_cluster"; }
+  void bind(const hfl::FederationInfo& info) override;
+  std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
+
+  /// Cluster id per device of `devices` (same order), exposed for tests.
+  std::vector<std::uint32_t> cluster_devices(
+      std::span<const std::uint32_t> devices) const;
+
+ private:
+  double similarity_threshold_;
+  /// Per-device L2-normalised label distribution (num_devices x num_classes).
+  std::vector<std::vector<double>> directions_;
+
+  static constexpr std::uint32_t kNoCluster = 0xffffffffu;
+};
+
+class EmdGuidedSampler final : public hfl::Sampler {
+ public:
+  /// `sharpness` scales how strongly low-EMD (global-like) devices are
+  /// preferred: weight = 1 / (epsilon + EMD)^sharpness. `max_weight_ratio`
+  /// bounds the spread (see clip_weight_spread); <= 1 disables clipping.
+  explicit EmdGuidedSampler(double sharpness = 1.0, double max_weight_ratio = 3.5)
+      : sharpness_(sharpness), max_weight_ratio_(max_weight_ratio) {}
+
+  std::string name() const override { return "emd"; }
+  void bind(const hfl::FederationInfo& info) override;
+  std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
+
+  /// EMD between a device's label distribution and the global one (W1 on the
+  /// class index; exposed for tests). Devices outside bind() return 0.
+  double emd(std::uint32_t device) const;
+
+ private:
+  double sharpness_;
+  double max_weight_ratio_;
+  std::vector<double> emd_;  // per-device distance to the global marginal
+};
+
+class ChurnAwareSampler final : public hfl::Sampler {
+ public:
+  struct Options {
+    /// Additive priority for a device whose current edge differs from the
+    /// edge it was seen at on its previous appearance (it moved).
+    double churn_bonus = 2.0;
+    /// Weight of the saturating staleness bonus for long-unsampled devices.
+    double staleness_weight = 1.0;
+    /// Steps at which the staleness bonus reaches half its maximum.
+    double staleness_half_life = 8.0;
+    /// Utility-spread clip ratio (<= 1 disables).
+    double max_weight_ratio = 4.0;
+  };
+
+  ChurnAwareSampler();
+  explicit ChurnAwareSampler(Options options);
+
+  std::string name() const override { return "churn_aware"; }
+  void bind(const hfl::FederationInfo& info) override;
+  std::vector<double> edge_probabilities(const hfl::EdgeSamplingContext& ctx) override;
+  void observe_training(const hfl::TrainingObservation& obs) override;
+  void save_state(ckpt::ByteWriter& out) const override;
+  void load_state(ckpt::ByteReader& in) override;
+
+  /// The raw priority a device would get at (t, edge) right now (tests).
+  double priority(std::uint32_t device, std::size_t t, std::size_t edge) const;
+
+ private:
+  Options options_;
+  /// Edge each device was seen at on its last appearance; kNoEdge = never.
+  std::vector<std::uint32_t> last_edge_;
+  /// Step of each device's last *arrived* training observation.
+  std::vector<std::uint64_t> last_observed_;
+  std::vector<bool> ever_observed_;
+
+  static constexpr std::uint32_t kNoEdge = 0xffffffffu;
+};
+
+}  // namespace mach::sampling

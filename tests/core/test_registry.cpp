@@ -1,0 +1,112 @@
+// Registry tests: the single CLI-name -> factory table (core/registry.h) is
+// internally consistent (unique names, canonical name == Sampler::name(),
+// non-empty display labels), unknown names fail with the valid list, and —
+// exhaustively — every registered sampler constructs and survives one real
+// simulated round. A sampler that parses flags but crashes on its first
+// edge_probabilities call can't hide behind an unexercised registry entry.
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hfl/experiment.h"
+
+namespace mach::core {
+namespace {
+
+TEST(Registry, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  std::set<std::string> displays;
+  for (const SamplerInfo& info : sampler_registry()) {
+    ASSERT_NE(info.name, nullptr);
+    ASSERT_NE(info.display, nullptr);
+    ASSERT_NE(info.summary, nullptr);
+    EXPECT_FALSE(std::string(info.name).empty());
+    EXPECT_FALSE(std::string(info.display).empty());
+    EXPECT_FALSE(std::string(info.summary).empty());
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate sampler name " << info.name;
+    EXPECT_TRUE(displays.insert(info.display).second)
+        << "duplicate display label " << info.display;
+  }
+  EXPECT_EQ(names.size(), registered_samplers().size());
+}
+
+TEST(Registry, FactoryNameMatchesRegistryName) {
+  // Checkpoint fingerprints and trace run_begin lines record name(); the
+  // registry key must be the same string or resumes cross-wire samplers.
+  for (const std::string& name : registered_samplers()) {
+    const auto sampler = make_sampler(name);
+    ASSERT_NE(sampler, nullptr);
+    EXPECT_EQ(sampler->name(), name);
+  }
+}
+
+TEST(Registry, ZooListExcludesOnlyFullParticipation) {
+  const auto& zoo = zoo_algorithms();
+  EXPECT_EQ(zoo.size(), registered_samplers().size() - 1);
+  for (const std::string& name : zoo) EXPECT_NE(name, "full");
+  // The paper's comparison set is a subset of the registry.
+  for (const std::string& name : paper_algorithms()) {
+    EXPECT_NO_THROW(make_sampler(name)) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsListingValid) {
+  try {
+    make_sampler("gradient_descent_into_madness");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("gradient_descent_into_madness"), std::string::npos);
+    for (const std::string& name : registered_samplers()) {
+      EXPECT_NE(what.find(name), std::string::npos)
+          << "error message omits valid name " << name;
+    }
+  }
+}
+
+TEST(Registry, DisplayNamesResolve) {
+  EXPECT_EQ(display_name("mach"), "MACH");
+  EXPECT_EQ(display_name("uniform"), "US");
+  EXPECT_EQ(display_name("emd"), "FedEMD");
+  // Unknown names echo back unchanged (benches print what they were given).
+  EXPECT_EQ(display_name("mystery"), "mystery");
+}
+
+TEST(Registry, FlagHelpListsEveryName) {
+  const std::string help = sampler_flag_help();
+  for (const std::string& name : registered_samplers()) {
+    EXPECT_NE(help.find(name), std::string::npos) << help;
+  }
+}
+
+TEST(Registry, EveryRegisteredSamplerRunsOneRound) {
+  // One tiny end-to-end simulated round per entry: construction, bind,
+  // edge_probabilities, observe_training and on_cloud_round all fire.
+  hfl::ExperimentConfig config =
+      hfl::ExperimentConfig::smoke(data::TaskKind::MnistLike);
+  config.num_devices = 6;
+  config.num_edges = 2;
+  config.train_per_device = 8;
+  config.test_examples = 20;
+  config.mlp_hidden = 6;
+  config.hfl.local_epochs = 1;
+  config.hfl.cloud_interval = 1;
+  config.horizon = 2;
+  config.num_stations = 4;
+  config.num_hotspots = 2;
+  config = config.with_seed(77);
+
+  for (const std::string& name : registered_samplers()) {
+    SCOPED_TRACE(name);
+    auto sampler = make_sampler(name);
+    const hfl::RunResult run = hfl::run_experiment(config, *sampler);
+    EXPECT_FALSE(run.metrics.points().empty());
+    EXPECT_EQ(run.sampler_name, name);
+  }
+}
+
+}  // namespace
+}  // namespace mach::core

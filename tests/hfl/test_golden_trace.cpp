@@ -12,6 +12,8 @@
 // then commit the rewritten files alongside the change that justified them.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -54,7 +56,8 @@ struct GoldenArtifacts {
   std::string trace;  // canonicalised, newline-terminated
 };
 
-GoldenArtifacts run_scenario(const fault::FaultSchedule& faults) {
+GoldenArtifacts run_scenario(const fault::FaultSchedule& faults,
+                             const std::string& sampler_name = "mach") {
   const ExperimentConfig config = golden_scenario();
   const ExperimentArtifacts artifacts = build_experiment(config);
 
@@ -71,12 +74,16 @@ GoldenArtifacts run_scenario(const fault::FaultSchedule& faults) {
   trace_options.device_events = true;
   obs::JsonlTraceWriter trace(trace_stream, trace_options);
   simulator.set_observer(&trace);
-  auto sampler = core::make_sampler("mach");
+  auto sampler = core::make_sampler(sampler_name);
   const MetricsRecorder metrics = simulator.run(*sampler, config.horizon);
   simulator.set_observer(nullptr);
 
   GoldenArtifacts result;
-  const std::string csv_path = ::testing::TempDir() + "golden_scratch.csv";
+  // Unique per run: ctest executes the golden tests as concurrent processes
+  // and a shared scratch name races (write/read/remove on the same file).
+  const std::string csv_path = ::testing::TempDir() + "golden_scratch_" +
+                               sampler_name + "_" +
+                               std::to_string(::getpid()) + ".csv";
   EXPECT_TRUE(metrics.write_csv(csv_path));
   result.csv = slurp(csv_path);
   std::remove(csv_path.c_str());
@@ -134,6 +141,28 @@ TEST(GoldenTrace, BaselineRunMatchesPinnedArtifacts) {
   check_or_update("baseline_metrics.csv", run.csv);
   check_or_update("baseline_trace.jsonl", run.trace);
 }
+
+// Each cross-paper zoo sampler (sampling/zoo.h) gets its own pinned run on
+// the same tiny scenario: the goldens freeze not just the engine but each
+// algorithm's exact probability stream — a silently changed weight formula
+// shows up as a byte diff here before it shows up as a bench regression.
+class GoldenZooSampler : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenZooSampler, RunMatchesPinnedArtifacts) {
+  const std::string name = GetParam();
+  const GoldenArtifacts run = run_scenario(fault::FaultSchedule{}, name);
+  ASSERT_FALSE(run.csv.empty());
+  ASSERT_FALSE(run.trace.empty());
+  check_or_update("zoo_" + name + "_metrics.csv", run.csv);
+  check_or_update("zoo_" + name + "_trace.jsonl", run.trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooSamplers, GoldenZooSampler,
+    ::testing::Values("mobility_cluster", "emd", "churn_aware"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
 
 TEST(GoldenTrace, FaultedRunMatchesPinnedArtifacts) {
   const fault::FaultSchedule schedule = fault::FaultSchedule::parse(

@@ -1,0 +1,172 @@
+// Scenario preset/spec-grammar tests: preset resolution, override parsing,
+// canonical round-trips, a fuzz sweep of malformed specs (every parse()
+// either succeeds with validate() passing or throws std::invalid_argument —
+// never crashes or returns garbage), and the end-to-end property the presets
+// exist for: the vehicular world really does churn devices across edges
+// faster than the metro world.
+#include "mobility/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "hfl/experiment.h"
+
+namespace mach::mobility {
+namespace {
+
+TEST(Scenario, PresetNamesResolve) {
+  for (const std::string& name : Scenario::preset_names()) {
+    const Scenario scenario = Scenario::preset_by_name(name);
+    EXPECT_EQ(scenario.preset, name);
+    EXPECT_NO_THROW(scenario.validate());
+    // A bare preset name is its own canonical spec.
+    EXPECT_EQ(scenario.to_string(), name);
+  }
+}
+
+TEST(Scenario, UnknownPresetThrowsListingValid) {
+  try {
+    Scenario::preset_by_name("downtown");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("downtown"), std::string::npos);
+    EXPECT_NE(what.find("metro"), std::string::npos) << what;
+  }
+}
+
+TEST(Scenario, PresetsAreDistinctParameterisations) {
+  const Scenario metro = Scenario::preset_by_name("metro");
+  const Scenario vehicular = Scenario::preset_by_name("vehicular");
+  const Scenario flash = Scenario::preset_by_name("flash_crowd");
+  EXPECT_GT(metro.stay_prob, vehicular.stay_prob);
+  EXPECT_LT(metro.move_range, vehicular.move_range);
+  EXPECT_EQ(flash.num_hotspots, 1u);
+}
+
+TEST(Scenario, OverridesApplyAndValidate) {
+  const Scenario scenario = Scenario::parse("metro:stay=0.6,stations=80");
+  EXPECT_EQ(scenario.preset, "metro");
+  EXPECT_DOUBLE_EQ(scenario.stay_prob, 0.6);
+  EXPECT_EQ(scenario.num_stations, 80u);
+  // Untouched knobs keep the preset's values.
+  const Scenario base = Scenario::preset_by_name("metro");
+  EXPECT_EQ(scenario.num_hotspots, base.num_hotspots);
+  EXPECT_DOUBLE_EQ(scenario.move_range, base.move_range);
+}
+
+TEST(Scenario, ToStringRoundTripsThroughParse) {
+  const std::vector<std::string> specs = {
+      "metro",
+      "campus",
+      "vehicular",
+      "flash_crowd",
+      "metro:stay=0.6,stations=80",
+      "vehicular:range=90",
+      "flash_crowd:hotspots=2,background=0.1",
+      "campus:area=75.5,stddev=3.25",
+  };
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    const Scenario once = Scenario::parse(spec);
+    const Scenario twice = Scenario::parse(once.to_string());
+    EXPECT_EQ(once, twice);
+    // Canonical form is a fixed point.
+    EXPECT_EQ(once.to_string(), twice.to_string());
+  }
+}
+
+TEST(Scenario, MalformedSpecsThrowInvalidArgument) {
+  const std::vector<std::string> bad = {
+      "",                            // empty spec
+      "bogus",                       // unknown preset
+      "metro:",                      // trailing ':' with no overrides
+      "metro:stay",                  // missing '='
+      "metro:stay=",                 // missing value
+      "metro:=0.5",                  // missing key
+      "metro:dwell=0.5",             // unknown key
+      "metro:stay=0.5,stay=0.6",     // conflicting overrides
+      "metro:stay=fast",             // non-numeric value
+      "metro:stay=0.5x",             // trailing junk in value
+      "metro:stations=0",            // stations < 1
+      "metro:stay=1.5",              // stay outside [0, 1]
+      "metro:stay=-0.1",             // stay outside [0, 1]
+      "metro:background=2",          // background outside [0, 1]
+      "metro:range=0",               // range must be positive
+      "metro:area=-5",               // area must be positive
+      "metro:hotspots=999",          // hotspots > stations
+      "metro:,stay=0.5",             // stray ','
+      "metro:stay=0.5,",             // trailing ','
+      ":stay=0.5",                   // empty preset
+  };
+  for (const std::string& spec : bad) {
+    SCOPED_TRACE("spec '" + spec + "'");
+    EXPECT_THROW(Scenario::parse(spec), std::invalid_argument);
+  }
+}
+
+TEST(Scenario, FuzzedSpecsNeverCrash) {
+  // Deterministic mutation fuzz over the grammar's alphabet: every outcome
+  // must be either a validated scenario or std::invalid_argument.
+  const std::string alphabet = "metro:sty=0.5,_48xvhclbafg;|";
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    std::string spec;
+    const std::size_t length = next() % 24;
+    for (std::size_t j = 0; j < length; ++j) {
+      spec += alphabet[next() % alphabet.size()];
+    }
+    try {
+      const Scenario scenario = Scenario::parse(spec);
+      EXPECT_NO_THROW(scenario.validate()) << "spec '" << spec << "'";
+    } catch (const std::invalid_argument&) {
+      // Expected for malformed specs.
+    }
+  }
+}
+
+TEST(Scenario, ApplyScenarioPastesAllKnobs) {
+  auto config = hfl::ExperimentConfig::smoke(data::TaskKind::MnistLike);
+  const Scenario scenario = Scenario::parse("vehicular:stations=32");
+  hfl::apply_scenario(scenario, config);
+  EXPECT_EQ(config.num_stations, 32u);
+  EXPECT_EQ(config.num_hotspots, scenario.num_hotspots);
+  EXPECT_DOUBLE_EQ(config.area_size, scenario.area_size);
+  EXPECT_DOUBLE_EQ(config.hotspot_stddev, scenario.hotspot_stddev);
+  EXPECT_DOUBLE_EQ(config.background_fraction, scenario.background_fraction);
+  EXPECT_DOUBLE_EQ(config.stay_prob, scenario.stay_prob);
+  EXPECT_DOUBLE_EQ(config.move_range, scenario.move_range);
+  EXPECT_EQ(config.scenario_name, "vehicular:stations=32");
+}
+
+TEST(Scenario, VehicularWorldChurnsFasterThanMetro) {
+  // The property the presets encode: a vehicular run shuffles devices across
+  // edges far more often than a metro run of the same population.
+  auto base = hfl::ExperimentConfig::smoke(data::TaskKind::MnistLike);
+  base.num_devices = 20;
+  base.num_edges = 4;
+  base.train_per_device = 4;  // data size is irrelevant to the schedule
+  base.test_examples = 8;
+  base.horizon = 40;
+
+  auto metro = base;
+  hfl::apply_scenario(Scenario::preset_by_name("metro"), metro);
+  auto vehicular = base;
+  hfl::apply_scenario(Scenario::preset_by_name("vehicular"), vehicular);
+
+  const double metro_churn =
+      hfl::build_experiment(metro).schedule.churn_rate();
+  const double vehicular_churn =
+      hfl::build_experiment(vehicular).schedule.churn_rate();
+  EXPECT_GT(vehicular_churn, metro_churn * 1.5)
+      << "metro " << metro_churn << " vehicular " << vehicular_churn;
+  EXPECT_GT(vehicular_churn, 0.2);
+}
+
+}  // namespace
+}  // namespace mach::mobility

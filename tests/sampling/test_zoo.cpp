@@ -1,0 +1,203 @@
+// Unit tests for the cross-paper zoo samplers (sampling/zoo.h): cluster
+// assignment, EMD scoring against hand-computed distances, and the churn /
+// staleness priority shaping. The shared conformance obligations (budget,
+// HT unbiasedness, determinism, checkpoint round-trip) live in
+// test_conformance.cpp — these tests pin the algorithm-specific behaviour.
+#include "sampling/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ckpt/bytes.h"
+#include "sampling/budget.h"
+
+namespace mach::sampling {
+namespace {
+
+hfl::FederationInfo make_info(std::vector<std::vector<std::size_t>> histograms) {
+  hfl::FederationInfo info;
+  info.num_devices = histograms.size();
+  info.num_edges = 2;
+  info.num_classes = histograms.empty() ? 0 : histograms.front().size();
+  info.class_histograms = std::move(histograms);
+  return info;
+}
+
+hfl::EdgeSamplingContext make_ctx(const std::vector<std::uint32_t>& devices,
+                                  double capacity, std::size_t t = 0,
+                                  std::size_t edge = 0) {
+  hfl::EdgeSamplingContext ctx;
+  ctx.t = t;
+  ctx.edge = edge;
+  ctx.capacity = capacity;
+  ctx.devices = devices;
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// MobilityClusterSampler
+
+TEST(MobilityClusterSampler, GroupsIdenticalDistributions) {
+  MobilityClusterSampler sampler;
+  // Devices 0,1 hold only class 0; devices 2,3 hold only class 1.
+  sampler.bind(make_info({{10, 0}, {10, 0}, {0, 10}, {0, 10}}));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3};
+  const auto clusters = sampler.cluster_devices(devices);
+  ASSERT_EQ(clusters.size(), 4u);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[2], clusters[3]);
+  EXPECT_NE(clusters[0], clusters[2]);
+}
+
+TEST(MobilityClusterSampler, ScaleInvariantMembership) {
+  // Cosine similarity ignores shard size: a device with 10x the examples of
+  // another but the same label mix joins the same cluster.
+  MobilityClusterSampler sampler;
+  sampler.bind(make_info({{5, 5}, {50, 50}, {10, 0}}));
+  const std::vector<std::uint32_t> devices = {0, 1, 2};
+  const auto clusters = sampler.cluster_devices(devices);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_NE(clusters[0], clusters[2]);
+}
+
+TEST(MobilityClusterSampler, BudgetSplitsEvenlyAcrossClusters) {
+  MobilityClusterSampler sampler;
+  // Cluster A = {0, 1, 2} (class 0), cluster B = {3} (class 1): the minority
+  // cluster's lone member gets the whole of its cluster's half-budget.
+  sampler.bind(make_info({{10, 0}, {10, 0}, {10, 0}, {0, 10}}));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_NEAR(q[0], q[1], 1e-12);
+  EXPECT_NEAR(q[1], q[2], 1e-12);
+  EXPECT_NEAR(q[3], 3.0 * q[0], 1e-9);
+  EXPECT_NEAR(std::accumulate(q.begin(), q.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(MobilityClusterSampler, UnboundFallsBackToUniform) {
+  MobilityClusterSampler sampler;  // bind() never called
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 2.0));
+  for (const double p : q) EXPECT_NEAR(p, 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// EmdGuidedSampler
+
+TEST(EmdGuidedSampler, HandComputedDistances) {
+  EmdGuidedSampler sampler;
+  // Global marginal: (30+0+15) / 60 = 0.75 class 0, 0.25 class 1.
+  sampler.bind(make_info({{30, 0}, {0, 15}, {15, 0}}));
+  // Device 0: p = (1, 0).   CDF diff |1 - 0.75| = 0.25, |1 - 1| = 0.
+  EXPECT_NEAR(sampler.emd(0), 0.25, 1e-12);
+  // Device 1: p = (0, 1).   CDF diff |0 - 0.75| = 0.75.
+  EXPECT_NEAR(sampler.emd(1), 0.75, 1e-12);
+  EXPECT_NEAR(sampler.emd(2), 0.25, 1e-12);
+}
+
+TEST(EmdGuidedSampler, GlobalLikeDeviceUpweighted) {
+  EmdGuidedSampler sampler;
+  // Device 2 matches the global mix far better than the one-class devices.
+  sampler.bind(make_info({{20, 0}, {0, 20}, {10, 10}}));
+  const std::vector<std::uint32_t> devices = {0, 1, 2};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_GT(q[2], q[0]);
+  EXPECT_GT(q[2], q[1]);
+  // Devices 0 and 1 are symmetric around the global marginal.
+  EXPECT_NEAR(q[0], q[1], 1e-9);
+}
+
+TEST(EmdGuidedSampler, SpreadBoundedByClipRatio) {
+  EmdGuidedSampler sampler(/*sharpness=*/4.0, /*max_weight_ratio=*/2.0);
+  sampler.bind(make_info({{40, 0}, {0, 40}, {20, 20}, {20, 20}}));
+  const std::vector<std::uint32_t> devices = {0, 1, 2, 3};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.5));
+  double lo = 1.0, hi = 0.0;
+  for (const double p : q) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_LE(hi / lo, 2.0 + 1e-9);
+}
+
+TEST(EmdGuidedSampler, PerfectlyGlobalDeviceStaysFinite) {
+  EmdGuidedSampler sampler;
+  sampler.bind(make_info({{10, 10}, {10, 10}}));  // both exactly global
+  EXPECT_NEAR(sampler.emd(0), 0.0, 1e-12);
+  const std::vector<std::uint32_t> devices = {0, 1};
+  const auto q = sampler.edge_probabilities(make_ctx(devices, 1.0));
+  EXPECT_NEAR(q[0], 0.5, 1e-9);
+  EXPECT_NEAR(q[1], 0.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// ChurnAwareSampler
+
+TEST(ChurnAwareSampler, NewcomerToEdgeGetsChurnBonus) {
+  ChurnAwareSampler sampler;
+  sampler.bind(make_info({{5, 5}, {5, 5}}));
+  // Step 0: both devices seen at edge 0.
+  const std::vector<std::uint32_t> devices = {0, 1};
+  sampler.edge_probabilities(make_ctx(devices, 1.0, /*t=*/0, /*edge=*/0));
+  // Step 1: device 0 moved to edge 1, device 1 stayed at edge 0.
+  const double moved = sampler.priority(0, 1, /*edge=*/1);
+  const double stayed = sampler.priority(1, 1, /*edge=*/0);
+  EXPECT_NEAR(moved - stayed, ChurnAwareSampler::Options{}.churn_bonus, 1e-12);
+}
+
+TEST(ChurnAwareSampler, StalenessGrowsAndSaturates) {
+  ChurnAwareSampler sampler;
+  sampler.bind(make_info({{5, 5}}));
+  hfl::TrainingObservation obs;
+  obs.t = 0;
+  obs.device = 0;
+  obs.edge = 0;
+  sampler.observe_training(obs);
+  const double fresh = sampler.priority(0, 1, 0);
+  const double stale = sampler.priority(0, 20, 0);
+  const double very_stale = sampler.priority(0, 200, 0);
+  EXPECT_LT(fresh, stale);
+  EXPECT_LT(stale, very_stale);
+  // The bonus saturates below staleness_weight (never unbounded).
+  const ChurnAwareSampler::Options defaults;
+  EXPECT_LT(very_stale, 1.0 + defaults.churn_bonus + defaults.staleness_weight);
+}
+
+TEST(ChurnAwareSampler, NeverObservedOutranksRecentlyObserved) {
+  ChurnAwareSampler sampler;
+  sampler.bind(make_info({{5, 5}, {5, 5}}));
+  hfl::TrainingObservation obs;
+  obs.t = 3;
+  obs.device = 0;
+  obs.edge = 0;
+  sampler.observe_training(obs);
+  EXPECT_GT(sampler.priority(1, 4, 0), sampler.priority(0, 4, 0));
+}
+
+TEST(ChurnAwareSampler, CorruptSnapshotThrows) {
+  ChurnAwareSampler sampler;
+  sampler.bind(make_info({{5, 5}, {5, 5}}));
+  ckpt::ByteWriter writer;
+  sampler.save_state(writer);
+
+  // Version byte flipped.
+  {
+    auto bytes = writer.data();
+    bytes[0] = 0x7F;
+    ChurnAwareSampler fresh;
+    fresh.bind(make_info({{5, 5}, {5, 5}}));
+    ckpt::ByteReader reader(bytes);
+    EXPECT_THROW(fresh.load_state(reader), ckpt::CorruptPayload);
+  }
+  // Snapshot from a differently sized federation.
+  {
+    ChurnAwareSampler fresh;
+    fresh.bind(make_info({{5, 5}}));
+    ckpt::ByteReader reader(writer.data());
+    EXPECT_THROW(fresh.load_state(reader), ckpt::CorruptPayload);
+  }
+}
+
+}  // namespace
+}  // namespace mach::sampling

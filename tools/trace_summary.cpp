@@ -342,6 +342,36 @@ int summarize_bench(const JsonValue& doc, const std::string& path) {
     }
   }
 
+  // The zoo bench ships its ranked comparison in a separate "ranking" key
+  // (one row per scenario x rank) plus a cross-scenario "leaderboard".
+  const JsonValue& ranking = doc["ranking"];
+  if (ranking.is_array() && !ranking.as_array().empty()) {
+    std::cout << "algorithm ranking (per scenario, by final accuracy):\n";
+    mach::common::Table ranks({"scenario", "rank", "sampler", "final acc"});
+    for (const JsonValue& entry : ranking.as_array()) {
+      if (!entry.is_object()) continue;
+      ranks.row()
+          .cell(entry.string_or("scenario", "?"))
+          .cell(static_cast<std::size_t>(entry.number_or("rank", 0)))
+          .cell(entry.string_or("display", entry.string_or("sampler", "?")))
+          .cell(entry.number_or("final_accuracy", 0.0), 4);
+    }
+    ranks.print(std::cout);
+    const JsonValue& leaderboard = doc["leaderboard"];
+    if (leaderboard.is_array() && !leaderboard.as_array().empty()) {
+      std::cout << "overall leaderboard (mean per-scenario rank):\n";
+      mach::common::Table overall({"rank", "sampler", "mean rank"});
+      for (const JsonValue& entry : leaderboard.as_array()) {
+        if (!entry.is_object()) continue;
+        overall.row()
+            .cell(static_cast<std::size_t>(entry.number_or("rank", 0)))
+            .cell(entry.string_or("display", entry.string_or("sampler", "?")))
+            .cell(entry.number_or("mean_rank", 0.0), 2);
+      }
+      overall.print(std::cout);
+    }
+  }
+
   const JsonValue& results = doc["results"];
   if (!results.is_array() || results.as_array().empty()) {
     std::cout << "no results[] cases\n";
@@ -352,7 +382,7 @@ int summarize_bench(const JsonValue& doc, const std::string& path) {
   const auto case_label = [](const JsonValue& entry) {
     std::string label;
     for (const char* field : {"task", "codec", "kernel", "name", "case",
-                              "devices", "edges"}) {
+                              "sampler", "scenario", "devices", "edges"}) {
       const JsonValue& value = entry[field];
       if (value.is_string()) {
         if (!label.empty()) label += ' ';
