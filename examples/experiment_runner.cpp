@@ -5,6 +5,16 @@
 //
 //   ./experiment_runner --task fmnist --sampler oort --devices 60 --edges 8 \
 //       --participation 0.4 --steps 150 --aggregation self_normalized
+//
+// Exit-code contract (what tools/sweep_runner and scripts key on):
+//   0   run completed
+//   2   configuration/usage error (bad flag, unknown preset, unusable path,
+//       snapshot version mismatch) — retrying the same argv cannot succeed
+//   3   runtime failure (exception out of the engine) — retryable
+//   75  drained: SIGTERM/SIGINT arrived, the run checkpointed at the next
+//       step barrier and exited; rerun with --resume to continue (75 =
+//       EX_TEMPFAIL, "temporary failure, retry later")
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -39,6 +49,17 @@ hfl::AggregationForm parse_aggregation(const std::string& name) {
   if (name == "update") return hfl::AggregationForm::UpdateForm;
   throw std::invalid_argument("unknown aggregation form: " + name);
 }
+
+// Exit-code contract (documented in the file comment and DESIGN.md §16).
+constexpr int kExitOk = 0;
+constexpr int kExitConfig = 2;
+constexpr int kExitRuntime = 3;
+constexpr int kExitDrained = 75;
+
+// SIGTERM/SIGINT request a checkpoint-and-exit drain via the engine's
+// cooperative stop flag; the handler only stores (async-signal-safe).
+volatile std::sig_atomic_t g_stop_requested = 0;
+extern "C" void request_stop(int) { g_stop_requested = 1; }
 
 }  // namespace
 
@@ -102,6 +123,10 @@ int main(int argc, char** argv) {
   cli.add_flag("kill_at_step", static_cast<std::int64_t>(0),
                "crash-test harness: SIGKILL this process right after the "
                "snapshot covering step N is durable (0 = off)");
+  cli.add_flag("hang_at_step", static_cast<std::int64_t>(0),
+               "hang-test harness: freeze the process forever once step N "
+               "completed, heartbeat included — a supervisor watchdog must "
+               "SIGKILL it (0 = off)");
   cli.add_flag("phase_times", false,
                "print the wall-clock phase breakdown after the run");
   cli.add_flag("profile", std::string(""),
@@ -111,7 +136,7 @@ int main(int argc, char** argv) {
   cli.add_flag("status", std::string(""),
                "rewrite a live status.json heartbeat at this path during the "
                "run (atomic rename; safe to poll)");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? kExitOk : kExitConfig;
 
   auto config = mach::hfl::ExperimentConfig::preset(parse_task(cli.get_string("task")));
   // Scenario first, explicit flags after: --stay_prob etc. override the preset.
@@ -122,7 +147,7 @@ int main(int argc, char** argv) {
                                 config);
     } catch (const std::invalid_argument& error) {
       std::cerr << "--scenario: " << error.what() << "\n";
-      return 1;
+      return kExitConfig;
     }
   }
   if (cli.get_int("devices") > 0) {
@@ -172,14 +197,14 @@ int main(int argc, char** argv) {
       config.hfl.faults.validate_topology(config.num_devices, config.num_edges);
     } catch (const std::invalid_argument& error) {
       std::cerr << "--faults: " << error.what() << "\n";
-      return 1;
+      return kExitConfig;
     }
   }
   try {
     config.hfl.comm = mach::comm::CommConfig::parse(cli.get_string("codec"));
   } catch (const std::invalid_argument& error) {
     std::cerr << "--codec: " << error.what() << "\n";
-    return 1;
+    return kExitConfig;
   }
   config.data_seed = static_cast<std::uint64_t>(cli.get_int("data_seed"));
   config = config.with_seed(static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -198,12 +223,26 @@ int main(int argc, char** argv) {
   }
   if (checkpoint.enabled() && checkpoint.dir.empty()) {
     std::cerr << "--checkpoint_every/--resume require --checkpoint_dir\n";
-    return 1;
+    return kExitConfig;
   }
+  if (cli.get_int("hang_at_step") > 0) {
+    config.hfl.hang_at = static_cast<std::size_t>(cli.get_int("hang_at_step"));
+  }
+
+  // Drain contract: SIGTERM/SIGINT set the engine's cooperative stop flag;
+  // the run checkpoints at the next step barrier and exits kExitDrained. A
+  // second signal falls back to the default disposition (terminate), so a
+  // hung drain stays killable.
+  std::signal(SIGTERM, request_stop);
+  std::signal(SIGINT, request_stop);
+  config.hfl.stop_flag = &g_stop_requested;
 
   config.hfl.profile.trace_path = cli.get_string("profile");
   config.hfl.profile.status_path = cli.get_string("status");
 
+  // Everything below can throw; translate to the exit-code contract at the
+  // bottom instead of letting std::terminate eat the diagnostic.
+  const auto run_configured = [&]() -> int {
   auto sampler = mach::core::make_sampler(cli.get_string("sampler"));
 
   // Build by hand (instead of run_experiment) so we can query cost/confusion.
@@ -226,14 +265,14 @@ int main(int argc, char** argv) {
                   << " does not match this engine's version "
                   << mach::ckpt::kRunStateVersion
                   << " (delete " << checkpoint.dir << " to start fresh)\n";
-        return 1;
+        return kExitConfig;
       }
       try {
         mach::ckpt::ByteReader reader(loaded->payload);
         resume_header = mach::ckpt::RunStateHeader::decode(reader);
       } catch (const mach::ckpt::CorruptPayload& error) {
         std::cerr << "--resume: " << error.what() << "\n";
-        return 1;
+        return kExitConfig;
       }
       simulator.set_resume_payload(std::move(loaded->payload));
       std::cout << "resuming from " << checkpoint.dir << " at step "
@@ -253,7 +292,7 @@ int main(int argc, char** argv) {
     if (path.empty()) continue;
     if (!std::ofstream(path, std::ios::app)) {
       std::cerr << "cannot open " << path << " for writing\n";
-      return 1;
+      return kExitConfig;
     }
   }
 
@@ -274,7 +313,7 @@ int main(int argc, char** argv) {
       }
     } catch (const std::runtime_error& error) {
       std::cerr << error.what() << "\n";
-      return 1;
+      return kExitConfig;
     }
     simulator.set_observer(trace.get());
   }
@@ -304,6 +343,19 @@ int main(int argc, char** argv) {
         p.participants);
   }
   curve.print(std::cout);
+
+  if (const auto cut = simulator.interrupted_at()) {
+    const std::string drained_csv = cli.get_string("csv");
+    if (!drained_csv.empty()) metrics.write_csv(drained_csv);
+    std::cout << "\ndrained: stop signal honoured at step " << *cut << " / "
+              << config.horizon;
+    if (config.hfl.checkpoint.every > 0) {
+      std::cout << " (snapshot durable in " << config.hfl.checkpoint.dir
+                << "; rerun with --resume to continue)";
+    }
+    std::cout << "\n";
+    return kExitDrained;
+  }
 
   const auto target_t = metrics.time_to_accuracy(config.target_accuracy);
   std::cout << "\nbest accuracy:  " << metrics.best_accuracy() << '\n'
@@ -388,5 +440,16 @@ int main(int argc, char** argv) {
     }
     std::cout << ")\n";
   }
-  return 0;
+  return kExitOk;
+  };
+
+  try {
+    return run_configured();
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "configuration error: " << error.what() << "\n";
+    return kExitConfig;
+  } catch (const std::exception& error) {
+    std::cerr << "runtime failure: " << error.what() << "\n";
+    return kExitRuntime;
+  }
 }

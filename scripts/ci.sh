@@ -190,6 +190,42 @@ cmp "$ckpt_dir/ref.csv" "$ckpt_dir/run.csv"
 grep -q '"event":"checkpoint"' "$ckpt_dir/run.jsonl"
 "$BUILD_DIR/tools/trace_summary" "$ckpt_dir/run.jsonl" | grep -q 'checkpointed run'
 
+echo "== sweep orchestrator smoke =="
+# Self-healing sweep end to end: a 6-point sweep where one injected config
+# hangs forever must finish with the five healthy points done and the hung
+# config watchdog-killed twice then quarantined — reported via exit code 1
+# and a journaled failure history the report renderer surfaces.
+sweep_dir="$(mktemp -d -t hfl_sweep_XXXXXX)"
+trap 'rm -f "$trace" "$kernels_json" "$prof_json" "$status_json" "$fault_trace" "$codec_trace" "$comm_json" "$zoo_json" "$scale_json"; rm -rf "$ckpt_dir" "$sweep_dir"' EXIT
+cat > "$sweep_dir/spec.json" <<'SPEC'
+{
+  "name": "ci_smoke",
+  "defaults": {"task": "mnist", "devices": 8, "edges": 2, "steps": 6,
+               "local_epochs": 1, "participation": 0.5},
+  "grid": {"seed": [1, 2, 3, 4, 5]},
+  "points": [{"seed": 6, "steps": 40, "hang_at_step": 1}]
+}
+SPEC
+sweep_status=0
+"$BUILD_DIR/tools/sweep_runner" --spec "$sweep_dir/spec.json" \
+  --out "$sweep_dir/out" --parallel 2 --watchdog 2 --max_attempts 2 \
+  --backoff_base 0.1 > /dev/null || sweep_status=$?
+if [ "$sweep_status" -ne 1 ]; then
+  echo "sweep with a hanging config must exit 1 (quarantined), got $sweep_status"
+  exit 1
+fi
+grep -q '"outcome":"quarantined"' "$sweep_dir/out/report.json"
+grep -q 'watchdog: heartbeat made no progress' "$sweep_dir/out/report.json"
+"$BUILD_DIR/tools/trace_summary" "$sweep_dir/out/report.json" \
+  | grep -q 'sweep report'
+# Rerunning a finished sweep relaunches nothing and reproduces the report
+# byte for byte (the exactly-once property CI can check cheaply).
+cp "$sweep_dir/out/report.json" "$sweep_dir/report.before"
+"$BUILD_DIR/tools/sweep_runner" --spec "$sweep_dir/spec.json" \
+  --out "$sweep_dir/out" --watchdog 2 --max_attempts 2 > /dev/null \
+  || true  # still exits 1: the quarantined point stays quarantined
+cmp "$sweep_dir/report.before" "$sweep_dir/out/report.json"
+
 if [ "${UBSAN:-1}" != "0" ]; then
   # Undefined-behaviour check over the kernel layer: a separate UBSan build
   # running the blocked-vs-reference equivalence suite (pointer arithmetic,
@@ -202,13 +238,18 @@ if [ "${UBSAN:-1}" != "0" ]; then
   # gradient mixing are the risky parts; test_sampling now also carries the
   # whole-registry conformance suite, so every zoo sampler's probability
   # arithmetic runs sanitized), plus the mobility suite (the scenario spec
-  # parser's from_chars walking and its fuzz sweep are the risky parts).
-  echo "== undefined behaviour sanitizer (kernels + faults + ckpt + comm + sampling + mobility + scale) =="
+  # parser's from_chars walking and its fuzz sweep are the risky parts),
+  # plus the sweep suite with a raised fuzz budget (the spec parser's strict
+  # validation layers, the journal's CRC framing / torn-tail byte walking,
+  # and the orchestrator's waitpid status decoding are the risky parts; the
+  # e2e tests fork UBSan-built child binaries, so the engine's drain/hang
+  # harness paths run sanitized too).
+  echo "== undefined behaviour sanitizer (kernels + faults + ckpt + comm + sampling + mobility + scale + sweep) =="
   UBSAN_DIR="${UBSAN_DIR:-${BUILD_DIR}-ubsan}"
   cmake -B "$UBSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
-  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt test_comm test_sampling test_mobility test_scale
+  cmake --build "$UBSAN_DIR" -j "$JOBS" --target test_tensor test_fault test_ckpt test_comm test_sampling test_mobility test_scale test_sweep
   "$UBSAN_DIR/tests/test_tensor"
   "$UBSAN_DIR/tests/test_fault"
   "$UBSAN_DIR/tests/test_ckpt"
@@ -216,6 +257,7 @@ if [ "${UBSAN:-1}" != "0" ]; then
   "$UBSAN_DIR/tests/test_sampling"
   "$UBSAN_DIR/tests/test_mobility"
   "$UBSAN_DIR/tests/test_scale"
+  MACH_SWEEP_FUZZ_ITERS=1500 "$UBSAN_DIR/tests/test_sweep"
 fi
 
 if [ "${TSAN:-1}" != "0" ]; then

@@ -94,8 +94,16 @@ std::optional<CheckpointBlob> read_checkpoint_file(const std::string& path,
   }
   std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
                                 std::istreambuf_iterator<char>());
+  // Zero-length and truncated-header files are the normal debris of a crash
+  // between open and the first write of a non-atomic writer (or of a full
+  // disk); both are corrupt snapshots, named distinctly for the fallback log.
+  if (raw.empty()) {
+    fail(error, path + ": empty snapshot file (zero bytes)");
+    return std::nullopt;
+  }
   if (raw.size() < kHeaderSize) {
-    fail(error, path + ": file shorter than checkpoint header");
+    fail(error, path + ": truncated header (" + std::to_string(raw.size()) +
+                    " of " + std::to_string(kHeaderSize) + " header bytes)");
     return std::nullopt;
   }
   ByteReader reader(raw);

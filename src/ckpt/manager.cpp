@@ -100,6 +100,12 @@ std::optional<LoadedCheckpoint> CheckpointManager::load_latest() const {
       loaded.version = blob->version;
       loaded.payload = std::move(blob->payload);
       loaded.path = *it;
+      // Name what was actually restored: after a corrupt-latest fallback the
+      // "resumed from" step differs from the newest filename, and a silent
+      // substitution is exactly what an operator debugging lost work needs
+      // surfaced.
+      common::log_info("checkpoint: loaded ", loaded.path, " (step ",
+                       loaded.step, ")");
       return loaded;
     }
     common::log_warn("checkpoint: skipping invalid snapshot — ", error,

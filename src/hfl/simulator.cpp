@@ -564,6 +564,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   resources_.reset();
   status_.reset();
   profile_export_ok_ = true;
+  interrupted_at_.reset();
   if (options_.profile.spans_enabled()) {
     const std::size_t tracks = 1 + (pool_ != nullptr ? pool_->num_workers() : 0);
     profiler_ = std::make_unique<obs::SpanProfiler>(
@@ -577,6 +578,10 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     status_ = std::make_unique<obs::StatusWriter>(
         options_.profile.status_path, options_.profile.status_interval_seconds);
   }
+  // If anything below throws, the scope unwind re-writes the last heartbeat
+  // with aborted=true — a terminal document for watchers, with no atexit
+  // hook. Inert when the heartbeat is off or the final write was `finished`.
+  const obs::StatusWriter::AbortScope status_abort_scope(status_.get());
   // Track 0 (coordinator) binding for the whole run; workers bind per
   // parallel section to track slot+1.
   std::optional<obs::SpanProfiler::ThreadScope> profile_scope;
@@ -1216,6 +1221,33 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
       }
     }
 
+    // Test/CI harness: freeze the coordinator so the heartbeat stops
+    // advancing — the deterministic hang a supervisor's watchdog must
+    // detect and SIGKILL. pause() returns on caught signals; looping keeps
+    // the freeze absolute short of SIGKILL.
+    if (options_.hang_at > 0 && done >= options_.hang_at) {
+      common::log_warn("harness: hanging forever at step ", done,
+                       " (hang_at=", options_.hang_at, ")");
+      for (;;) ::pause();
+    }
+
+    // Cooperative drain (SIGTERM/SIGINT via HflOptions::stop_flag): make the
+    // completed work durable with one extra snapshot if the interval block
+    // above didn't just write one, then return early. The resumed run
+    // replays the remaining steps bitwise-identically, so a drained fleet
+    // loses nothing but wall-clock time.
+    if (options_.stop_flag != nullptr && *options_.stop_flag != 0 &&
+        done < steps) {
+      if (options_.checkpoint.every > 0 && done % options_.checkpoint.every != 0) {
+        obs::ScopedTimer timer(timers_, obs::Phase::Checkpoint);
+        const obs::SpanGuard span("checkpoint", static_cast<std::int64_t>(done));
+        save_checkpoint(sampler, steps, done, cloud_rounds, window_train_loss,
+                        window_participants, metrics);
+      }
+      interrupted_at_ = done;
+      break;
+    }
+
     // Telemetry upkeep at the step barrier: no parallel section is running,
     // so draining the worker rings is race-free, and the heartbeat reflects
     // a fully-completed step.
@@ -1269,7 +1301,7 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
   if (status_ != nullptr) {
     obs::StatusSnapshot snap;
     snap.sampler = sampler.name();
-    snap.step = steps;
+    snap.step = interrupted_at_.value_or(steps);
     snap.total_steps = steps;
     snap.cloud_rounds = cloud_rounds;
     snap.devices_trained = ctr_trained.value();
@@ -1285,8 +1317,15 @@ MetricsRecorder HflSimulator::run(Sampler& sampler, std::size_t steps) {
     const obs::ResourceSample resource = resources_->latest();
     snap.current_rss_kb = resource.usage.current_rss_kb;
     snap.peak_rss_kb = resource.usage.peak_rss_kb;
-    snap.finished = true;
-    status_->maybe_write(snap);
+    // A drained (stop_flag) run is terminal but not finished; its final
+    // document bypasses the interval gate, and the AbortScope above then
+    // upgrades it with aborted=true on scope exit.
+    snap.finished = !interrupted_at_.has_value();
+    if (snap.finished) {
+      status_->maybe_write(snap);
+    } else {
+      status_->write_now(snap);
+    }
   }
   if (profiler_ != nullptr) {
     profile_export_ok_ = profiler_->write_chrome_trace(

@@ -19,6 +19,7 @@
 // (Eq. 19) analyses (lowest variance; ablation).
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -134,6 +135,19 @@ struct HflOptions {
   /// pre-profiler code path, and even with profiling on the RNG streams,
   /// trace events and CSV output are untouched.
   obs::ProfileOptions profile;
+  /// Cooperative-stop flag polled at every step barrier (nullptr = never
+  /// stops early). When it becomes nonzero the engine saves one extra
+  /// snapshot at the current step (when checkpointing is configured), skips
+  /// the remaining steps and returns; interrupted_at() reports the cut. Set
+  /// it from a SIGTERM/SIGINT handler — sig_atomic_t stores are
+  /// async-signal-safe — to get checkpoint-and-exit drains (the contract
+  /// the sweep orchestrator relies on).
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+  /// Test/CI harness: busy-hang the coordinator forever once this many
+  /// steps completed (0 = off). The heartbeat stops advancing, which is
+  /// exactly what a supervisor's watchdog must detect; nothing but SIGKILL
+  /// gets the process out.
+  std::size_t hang_at = 0;
   /// Per-link transfer codecs (src/comm/). The default (all links fp32)
   /// takes the exact pre-codec model path — bitwise identical to a build
   /// without the comm layer — while the encoded-byte ledger (pure integer
@@ -217,6 +231,14 @@ class HflSimulator {
   /// landed on disk (true when profiling was off). A failed export is also
   /// logged as a warning at run end.
   bool profile_export_ok() const noexcept { return profile_export_ok_; }
+
+  /// Step count at which the last run() honoured HflOptions::stop_flag and
+  /// returned early (nullopt = ran to completion). When checkpointing was
+  /// configured, a snapshot covering exactly this many steps is durable, so
+  /// a --resume continues bitwise-identically from the cut.
+  std::optional<std::size_t> interrupted_at() const noexcept {
+    return interrupted_at_;
+  }
 
   std::size_t num_devices() const noexcept { return partition_.size(); }
   std::size_t num_edges() const noexcept { return schedule_.num_edges(); }
@@ -349,6 +371,7 @@ class HflSimulator {
   std::unique_ptr<obs::ResourceSampler> resources_;
   std::unique_ptr<obs::StatusWriter> status_;
   bool profile_export_ok_ = true;
+  std::optional<std::size_t> interrupted_at_;
 
   // Checkpoint runtime (null until a run with checkpoint.every > 0 starts).
   std::unique_ptr<ckpt::CheckpointManager> ckpt_manager_;

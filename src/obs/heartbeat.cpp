@@ -1,0 +1,76 @@
+#include "obs/heartbeat.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace mach::obs {
+
+std::optional<Heartbeat> read_heartbeat(const std::string& path,
+                                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string parse_error;
+  const auto doc = parse_json(buffer.str(), &parse_error);
+  if (!doc || !doc->is_object()) {
+    if (error != nullptr) {
+      *error = path + ": " +
+               (parse_error.empty() ? "not a JSON object" : parse_error);
+    }
+    return std::nullopt;
+  }
+  if (doc->string_or("kind", "") != "mach_status") {
+    if (error != nullptr) *error = path + ": not a mach_status heartbeat";
+    return std::nullopt;
+  }
+
+  Heartbeat heartbeat;
+  heartbeat.sequence =
+      static_cast<std::uint64_t>(doc->number_or("sequence", 0));
+  heartbeat.updated_unix = doc->number_or("updated_unix", 0);
+  heartbeat.pid = static_cast<std::int64_t>(doc->number_or("pid", 0));
+  heartbeat.uptime_ms =
+      static_cast<std::uint64_t>(doc->number_or("uptime_ms", 0));
+  heartbeat.step = static_cast<std::uint64_t>(doc->number_or("step", 0));
+  heartbeat.total_steps =
+      static_cast<std::uint64_t>(doc->number_or("total_steps", 0));
+  const JsonValue& finished = (*doc)["finished"];
+  heartbeat.finished = finished.is_bool() && finished.as_bool();
+  const JsonValue& aborted = (*doc)["aborted"];
+  heartbeat.aborted = aborted.is_bool() && aborted.as_bool();
+  heartbeat.sampler = doc->string_or("sampler", "");
+  return heartbeat;
+}
+
+double heartbeat_age_seconds(const Heartbeat& heartbeat, double now_unix) {
+  return std::max(0.0, now_unix - heartbeat.updated_unix);
+}
+
+double HeartbeatMonitor::observe(const std::optional<Heartbeat>& heartbeat,
+                                 double now) noexcept {
+  if (heartbeat.has_value()) {
+    const bool progressed = !seen_ || heartbeat->pid != last_pid_ ||
+                            heartbeat->sequence != last_sequence_ ||
+                            heartbeat->uptime_ms != last_uptime_ms_ ||
+                            heartbeat->step != last_step_;
+    if (progressed) {
+      seen_ = true;
+      last_pid_ = heartbeat->pid;
+      last_sequence_ = heartbeat->sequence;
+      last_uptime_ms_ = heartbeat->uptime_ms;
+      last_step_ = heartbeat->step;
+      last_progress_ = now;
+    }
+  }
+  return std::max(0.0, now - last_progress_);
+}
+
+}  // namespace mach::obs

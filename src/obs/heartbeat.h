@@ -1,0 +1,82 @@
+// Reader side of the status.json heartbeat (see obs/status_writer.h) plus
+// the staleness primitives a supervisor needs to decide "this run is hung".
+//
+// Two distinct clocks are involved, deliberately:
+//   * `updated_unix` is the writer's wall clock — human-friendly, but a
+//     supervisor must not kill on it (NTP steps and container clock skew
+//     make wall-clock age lie in both directions);
+//   * `pid` + `sequence` + `uptime_ms` are skew-immune progress evidence:
+//     the pid identifies which process wrote the document (a fresh attempt
+//     vs a dead predecessor's leftover file), and sequence/uptime_ms only
+//     ever advance on the writer's monotonic clock.
+//
+// HeartbeatMonitor folds that evidence into one number: seconds (on the
+// *observer's* monotonic clock) since the heartbeat last showed progress.
+// The sweep orchestrator's watchdog kills a child when that number crosses
+// its threshold.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mach::obs {
+
+/// One parsed status.json document. Fields absent from older documents
+/// (pid/uptime_ms predate nothing in-tree, but torn or foreign files may
+/// lack them) parse as their zero defaults.
+struct Heartbeat {
+  std::uint64_t sequence = 0;
+  double updated_unix = 0.0;
+  std::int64_t pid = 0;
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t step = 0;
+  std::uint64_t total_steps = 0;
+  bool finished = false;
+  bool aborted = false;
+  std::string sampler;
+};
+
+/// Parses the status.json at `path`. Returns nullopt (and the reason in
+/// `error` when non-null) for a missing file, malformed JSON, or a document
+/// that is not a mach_status heartbeat. A torn read cannot happen for
+/// writer-side atomic renames, but a foreign file at the path is an
+/// expected input for a supervisor and must not throw.
+std::optional<Heartbeat> read_heartbeat(const std::string& path,
+                                        std::string* error = nullptr);
+
+/// Wall-clock age of the heartbeat: `now_unix - updated_unix`, clamped at 0
+/// from below. Display/diagnostics only — see the header comment for why
+/// kill decisions must not use it.
+double heartbeat_age_seconds(const Heartbeat& heartbeat, double now_unix);
+
+/// Skew-immune staleness tracker for one supervised process. Feed it every
+/// poll (`now` on the observer's own monotonic clock, seconds); it returns
+/// how long the heartbeat has shown no progress, where progress is any
+/// change in (pid, sequence, uptime_ms, step) — including the very first
+/// readable document. A missing/unreadable heartbeat never counts as
+/// progress, so a child that dies before its first write times out from
+/// `started`.
+class HeartbeatMonitor {
+ public:
+  /// `started` is the observer-monotonic time the supervised process was
+  /// spawned — the baseline until the first heartbeat lands.
+  explicit HeartbeatMonitor(double started) noexcept
+      : last_progress_(started) {}
+
+  /// Records an observation and returns seconds since last progress.
+  double observe(const std::optional<Heartbeat>& heartbeat, double now) noexcept;
+
+  /// True once any readable heartbeat was observed.
+  bool ever_seen() const noexcept { return seen_; }
+
+ private:
+  bool seen_ = false;
+  std::int64_t last_pid_ = 0;
+  std::uint64_t last_sequence_ = 0;
+  std::uint64_t last_uptime_ms_ = 0;
+  std::uint64_t last_step_ = 0;
+  double last_progress_;
+};
+
+}  // namespace mach::obs

@@ -147,7 +147,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
 
   std::optional<JsonValue> parse(std::string* error) {
     auto value = parse_value();
@@ -366,6 +367,10 @@ class Parser {
       }
       auto value = parse_value();
       if (!value) return std::nullopt;
+      if (options_.reject_duplicate_keys && members.count(*key) != 0) {
+        fail("duplicate object key \"" + *key + "\"");
+        return std::nullopt;
+      }
       members.insert_or_assign(std::move(*key), std::move(*value));
       skip_whitespace();
       if (consume('}')) return JsonValue(std::move(members));
@@ -379,6 +384,7 @@ class Parser {
   static constexpr std::size_t kMaxDepth = 128;
 
   std::string_view text_;
+  JsonParseOptions options_;
   std::size_t pos_ = 0;
   std::size_t depth_ = 0;
   std::string error_;
@@ -387,7 +393,12 @@ class Parser {
 }  // namespace
 
 std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
-  return Parser(text).parse(error);
+  return Parser(text, JsonParseOptions{}).parse(error);
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error,
+                                    const JsonParseOptions& options) {
+  return Parser(text, options).parse(error);
 }
 
 }  // namespace mach::obs

@@ -110,4 +110,14 @@ class JsonValue {
 std::optional<JsonValue> parse_json(std::string_view text,
                                     std::string* error = nullptr);
 
+struct JsonParseOptions {
+  /// Reject objects that spell the same key twice instead of keeping the
+  /// last occurrence. Config parsers (the sweep spec) want the strictness;
+  /// trace readers keep the lenient default.
+  bool reject_duplicate_keys = false;
+};
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error,
+                                    const JsonParseOptions& options);
+
 }  // namespace mach::obs

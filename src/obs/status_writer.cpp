@@ -1,5 +1,7 @@
 #include "obs/status_writer.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -21,7 +23,9 @@ double steady_seconds() {
 StatusWriter::StatusWriter(std::string path, double interval_seconds)
     : path_(std::move(path)),
       tmp_path_(path_ + ".tmp"),
-      interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 0.5) {}
+      interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 0.5),
+      start_seconds_(steady_seconds()),
+      pid_(static_cast<long>(::getpid())) {}
 
 bool StatusWriter::maybe_write(const StatusSnapshot& snapshot) {
   const double now = steady_seconds();
@@ -34,6 +38,21 @@ bool StatusWriter::maybe_write(const StatusSnapshot& snapshot) {
 }
 
 bool StatusWriter::write_now(const StatusSnapshot& snapshot) {
+  return write_document(snapshot, /*aborted=*/false);
+}
+
+bool StatusWriter::write_aborted() {
+  if (!have_snapshot_ || last_snapshot_.finished) return false;
+  const StatusSnapshot snap = last_snapshot_;  // copy: write_document aliases
+  const bool ok = write_document(snap, /*aborted=*/true);
+  last_snapshot_.finished = true;  // fire once per run, even if called twice
+  return ok;
+}
+
+bool StatusWriter::write_document(const StatusSnapshot& snapshot, bool aborted) {
+  last_snapshot_ = snapshot;
+  have_snapshot_ = true;
+
   JsonObjectWriter out;
   out.begin();
   out.field("kind", "mach_status");
@@ -42,6 +61,10 @@ bool StatusWriter::write_now(const StatusSnapshot& snapshot) {
             std::chrono::duration<double>(
                 std::chrono::system_clock::now().time_since_epoch())
                 .count());
+  out.field("pid", static_cast<std::int64_t>(pid_));
+  out.field("uptime_ms",
+            static_cast<std::uint64_t>(
+                (steady_seconds() - start_seconds_) * 1000.0));
   out.field("sampler", snapshot.sampler);
   out.field("step", static_cast<std::uint64_t>(snapshot.step));
   out.field("total_steps", static_cast<std::uint64_t>(snapshot.total_steps));
@@ -55,6 +78,7 @@ bool StatusWriter::write_now(const StatusSnapshot& snapshot) {
   out.field("current_rss_kb", static_cast<std::int64_t>(snapshot.current_rss_kb));
   out.field("peak_rss_kb", static_cast<std::int64_t>(snapshot.peak_rss_kb));
   out.field("finished", snapshot.finished);
+  out.field("aborted", aborted);
   const std::string body = out.end();
 
   {

@@ -1,0 +1,46 @@
+// Retry delay policy: exponential backoff with deterministic jitter.
+//
+// Jitter matters (a sweep retrying many configs at once must not stampede
+// the machine in lockstep), but wall-clock or PRNG-seeded jitter would make
+// supervision traces unreproducible. So the jitter is a pure function of
+// (fingerprint, attempt): hash both through splitmix64 and scale the delay
+// into [0.75, 1.25) of its nominal value. Same sweep, same retry schedule,
+// every run.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mach::sweep {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Delay before retry number `attempt` (1-based: the wait after the first
+/// failure uses attempt=1). `base * 2^(attempt-1)`, capped at `cap`, then
+/// jittered deterministically by the config fingerprint.
+inline double backoff_delay_seconds(double base_seconds, double cap_seconds,
+                                    std::uint32_t attempt,
+                                    std::string_view fingerprint) {
+  if (base_seconds <= 0.0) return 0.0;
+  double delay = base_seconds;
+  for (std::uint32_t i = 1; i < attempt && delay < cap_seconds; ++i) {
+    delay *= 2.0;
+  }
+  if (delay > cap_seconds) delay = cap_seconds;
+
+  std::uint64_t salt = attempt;
+  for (const char c : fingerprint) {
+    salt = salt * 131 + static_cast<std::uint8_t>(c);
+  }
+  const std::uint64_t hashed = splitmix64(salt);
+  const double unit =
+      static_cast<double>(hashed >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  return delay * (0.75 + 0.5 * unit);
+}
+
+}  // namespace mach::sweep

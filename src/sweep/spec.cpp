@@ -1,0 +1,254 @@
+#include "sweep/spec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace mach::sweep {
+
+namespace {
+
+// Flags the orchestrator injects itself; a spec must not fight over them.
+constexpr const char* kReservedKeys[] = {
+    "status", "trace", "csv", "profile", "checkpoint_dir",
+    "checkpoint_every", "checkpoint_keep", "resume", "help",
+};
+
+// Expansion ceilings: `max_points` defaults low enough that a fat-fingered
+// grid fails fast, and even an explicit override cannot exceed the hard cap
+// (a 100k-process sweep is a typo, not a plan).
+constexpr std::size_t kDefaultMaxPoints = 4096;
+constexpr std::size_t kHardCapPoints = 100000;
+
+bool valid_key(std::string_view key) {
+  if (key.empty() || key.size() > 64) return false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return (key[0] < '0' || key[0] > '9');
+}
+
+void check_key(const std::string& key, const char* where) {
+  if (!valid_key(key)) {
+    throw SpecError(std::string(where) + ": invalid flag name \"" + key +
+                    "\" (want [A-Za-z_][A-Za-z0-9_]*)");
+  }
+  for (const char* reserved : kReservedKeys) {
+    if (key == reserved) {
+      throw SpecError(std::string(where) + ": \"" + key +
+                      "\" is reserved — the orchestrator sets it per run");
+    }
+  }
+}
+
+/// Renders a scalar JSON value the way it must appear in `--key=value`.
+/// Integer-valued numbers print without a fraction so `"seed": 3` and the
+/// runner's echo of it fingerprint identically.
+std::string render_scalar(const obs::JsonValue& value, const std::string& key,
+                          const char* where) {
+  switch (value.kind()) {
+    case obs::JsonValue::Kind::String: {
+      const std::string& s = value.as_string();
+      for (const char c : s) {
+        if (c == '\n' || c == '\0') {
+          throw SpecError(std::string(where) + ": value for \"" + key +
+                          "\" contains a control character");
+        }
+      }
+      return s;
+    }
+    case obs::JsonValue::Kind::Bool:
+      return value.as_bool() ? "true" : "false";
+    case obs::JsonValue::Kind::Number: {
+      const double d = value.as_number();
+      if (std::nearbyint(d) == d && std::fabs(d) < 9.0e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(d));
+        return buffer;
+      }
+      return obs::json_number(d);
+    }
+    default:
+      throw SpecError(std::string(where) + ": value for \"" + key +
+                      "\" must be a string, number or bool");
+  }
+}
+
+const obs::JsonValue::Object& require_object(const obs::JsonValue& value,
+                                             const char* where) {
+  if (!value.is_object()) {
+    throw SpecError(std::string(where) + ": expected a JSON object");
+  }
+  return value.as_object();
+}
+
+}  // namespace
+
+std::string canonical_config(const ConfigMap& config) {
+  std::string out;
+  for (const auto& [key, value] : config) {
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fingerprint_config(std::string_view canonical) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : canonical) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+SweepSpec SweepSpec::parse(std::string_view json) {
+  std::string error;
+  obs::JsonParseOptions options;
+  options.reject_duplicate_keys = true;
+  const auto doc = obs::parse_json(json, &error, options);
+  if (!doc) throw SpecError("sweep spec: " + error);
+  const auto& root = require_object(*doc, "sweep spec");
+
+  SweepSpec spec;
+  std::size_t max_points = kDefaultMaxPoints;
+  for (const auto& [key, value] : root) {
+    if (key == "name") {
+      if (!value.is_string() || value.as_string().empty()) {
+        throw SpecError("sweep spec: \"name\" must be a non-empty string");
+      }
+      spec.name = value.as_string();
+    } else if (key == "max_points") {
+      if (!value.is_number() || value.as_number() < 1.0 ||
+          std::nearbyint(value.as_number()) != value.as_number()) {
+        throw SpecError("sweep spec: \"max_points\" must be a positive integer");
+      }
+      max_points = static_cast<std::size_t>(value.as_number());
+      if (max_points > kHardCapPoints) {
+        throw SpecError("sweep spec: \"max_points\" exceeds the hard cap of " +
+                        std::to_string(kHardCapPoints));
+      }
+    } else if (key != "defaults" && key != "grid" && key != "points") {
+      throw SpecError("sweep spec: unknown top-level key \"" + key + "\"");
+    }
+  }
+
+  ConfigMap defaults;
+  if (root.count("defaults") != 0) {
+    for (const auto& [key, value] :
+         require_object(root.at("defaults"), "defaults")) {
+      check_key(key, "defaults");
+      defaults[key] = render_scalar(value, key, "defaults");
+    }
+  }
+
+  // Grid axes in sorted key order (JsonValue::Object is a std::map), each
+  // axis pre-rendered; expansion is an odometer with the last axis fastest.
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+  std::size_t product = 1;
+  if (root.count("grid") != 0) {
+    for (const auto& [key, value] : require_object(root.at("grid"), "grid")) {
+      check_key(key, "grid");
+      if (!value.is_array()) {
+        throw SpecError("grid: axis \"" + key + "\" must be an array");
+      }
+      std::vector<std::string> rendered;
+      for (const auto& entry : value.as_array()) {
+        rendered.push_back(render_scalar(entry, key, "grid"));
+      }
+      if (rendered.empty()) {
+        throw SpecError("grid: axis \"" + key +
+                        "\" is empty — it would erase the whole sweep");
+      }
+      if (product > max_points / rendered.size()) {
+        throw SpecError("grid: cartesian product exceeds max_points=" +
+                        std::to_string(max_points) +
+                        " (raise \"max_points\" if the size is intentional)");
+      }
+      product *= rendered.size();
+      axes.emplace_back(key, std::move(rendered));
+    }
+  }
+
+  std::vector<ConfigMap> expanded;
+  if (!axes.empty()) {
+    std::vector<std::size_t> odometer(axes.size(), 0);
+    while (true) {
+      ConfigMap config = defaults;
+      for (std::size_t i = 0; i < axes.size(); ++i) {
+        config[axes[i].first] = axes[i].second[odometer[i]];
+      }
+      expanded.push_back(std::move(config));
+      bool wrapped = false;
+      std::size_t axis = axes.size();
+      while (axis > 0) {
+        --axis;
+        if (++odometer[axis] < axes[axis].second.size()) break;
+        odometer[axis] = 0;
+        wrapped = (axis == 0);  // carried past the slowest axis: done
+      }
+      if (wrapped) break;
+    }
+  }
+
+  if (root.count("points") != 0) {
+    const auto& points = root.at("points");
+    if (!points.is_array()) {
+      throw SpecError("sweep spec: \"points\" must be an array of objects");
+    }
+    for (const auto& entry : points.as_array()) {
+      ConfigMap config = defaults;
+      for (const auto& [key, value] : require_object(entry, "points")) {
+        check_key(key, "points");
+        config[key] = render_scalar(value, key, "points");
+      }
+      expanded.push_back(std::move(config));
+      if (expanded.size() > max_points) {
+        throw SpecError("sweep spec: more than max_points=" +
+                        std::to_string(max_points) + " points");
+      }
+    }
+  }
+
+  if (expanded.empty()) {
+    throw SpecError("sweep spec: no points — provide \"grid\" and/or \"points\"");
+  }
+
+  // Dedupe by fingerprint, first occurrence wins, order preserved: a grid
+  // axis overridden by an explicit point may collapse configs, and running
+  // the same argv twice would break the exactly-once report contract.
+  std::map<std::string, std::size_t> seen;
+  for (auto& config : expanded) {
+    SweepPoint point;
+    point.canonical = canonical_config(config);
+    point.fingerprint = fingerprint_config(point.canonical);
+    point.config = std::move(config);
+    if (seen.emplace(point.fingerprint, spec.points.size()).second) {
+      spec.points.push_back(std::move(point));
+    } else {
+      ++spec.duplicates_dropped;
+    }
+  }
+  return spec;
+}
+
+SweepSpec SweepSpec::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SpecError("sweep spec: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace mach::sweep

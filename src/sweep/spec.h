@@ -1,0 +1,73 @@
+// Sweep specification: a small JSON format describing a family of
+// experiment_runner invocations, expanded eagerly into concrete points.
+//
+//   {
+//     "name": "fig3_grid",
+//     "defaults": {"task": "mnist", "steps": 40},
+//     "grid": {"sampler": ["mach", "random"], "seed": [1, 2, 3]},
+//     "points": [{"sampler": "oort", "seed": 9}],
+//     "max_points": 512
+//   }
+//
+// Expansion is deterministic: grid axes are iterated in sorted key order
+// with the last axis fastest (an odometer), then explicit `points` follow in
+// file order; every point is `defaults` overlaid with its own pairs. Each
+// expanded point gets a canonical string ("k=v" lines, keys sorted) and a
+// 64-bit FNV-1a fingerprint of it — the identity the journal, run
+// directories and report are keyed by, so a re-run of the same spec dedupes
+// against completed work even after editing cosmetic fields like `name`.
+//
+// The parser is strict on purpose (it feeds a fork/exec loop): duplicate
+// JSON keys, unknown top-level fields, non-scalar values, reserved flags the
+// orchestrator owns (--status, --csv, --checkpoint_dir, ...), empty grid
+// axes and cartesian products beyond `max_points` are all hard errors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mach::sweep {
+
+/// Thrown for any structural problem with a sweep spec. The message names
+/// the offending field; sweep_runner maps it to its usage exit code.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One fully-expanded configuration: flag name -> rendered value (the
+/// orchestrator passes each pair as `--name=value`).
+using ConfigMap = std::map<std::string, std::string>;
+
+/// Canonical form of a config: one `key=value` per line, keys sorted,
+/// terminated by '\n'. Values may contain '=', ',' or ';' (scenario and
+/// fault specs do); keys are identifier-shaped, so the first '=' of a line
+/// always delimits unambiguously.
+std::string canonical_config(const ConfigMap& config);
+
+/// 64-bit FNV-1a of the canonical string, rendered as 16 lowercase hex
+/// digits. Stable across platforms and runs.
+std::string fingerprint_config(std::string_view canonical);
+
+struct SweepPoint {
+  ConfigMap config;
+  std::string canonical;
+  std::string fingerprint;
+};
+
+struct SweepSpec {
+  std::string name = "sweep";
+  std::vector<SweepPoint> points;  // expansion order; fingerprint-deduped
+  std::size_t duplicates_dropped = 0;
+
+  /// Parses and expands a spec document. Throws SpecError on any problem.
+  static SweepSpec parse(std::string_view json);
+  /// Reads `path` and delegates to parse(); unreadable file -> SpecError.
+  static SweepSpec parse_file(const std::string& path);
+};
+
+}  // namespace mach::sweep

@@ -1,0 +1,184 @@
+// Reader side of the status.json heartbeat plus the staleness logic the
+// sweep orchestrator's watchdog is built on.
+#include "obs/heartbeat.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/status_writer.h"
+
+namespace {
+
+using mach::obs::Heartbeat;
+using mach::obs::HeartbeatMonitor;
+using mach::obs::StatusSnapshot;
+using mach::obs::StatusWriter;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          (name + "." + std::to_string(::getpid())))
+      .string();
+}
+
+struct PathGuard {
+  explicit PathGuard(std::string p) : path(std::move(p)) {}
+  ~PathGuard() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Heartbeat, RoundTripsThroughStatusWriter) {
+  PathGuard guard(temp_path("hb_roundtrip"));
+  StatusWriter writer(guard.path, 0.0);
+  StatusSnapshot snapshot;
+  snapshot.sampler = "mach";
+  snapshot.step = 17;
+  snapshot.total_steps = 40;
+  ASSERT_TRUE(writer.write_now(snapshot));
+
+  std::string error;
+  const auto heartbeat = mach::obs::read_heartbeat(guard.path, &error);
+  ASSERT_TRUE(heartbeat.has_value()) << error;
+  EXPECT_EQ(heartbeat->sequence, 1u);
+  EXPECT_EQ(heartbeat->pid, static_cast<std::int64_t>(::getpid()));
+  EXPECT_EQ(heartbeat->step, 17u);
+  EXPECT_EQ(heartbeat->total_steps, 40u);
+  EXPECT_EQ(heartbeat->sampler, "mach");
+  EXPECT_FALSE(heartbeat->finished);
+  EXPECT_FALSE(heartbeat->aborted);
+  EXPECT_GT(heartbeat->updated_unix, 0.0);
+}
+
+TEST(Heartbeat, AbortScopeProducesTerminalAbortedDocument) {
+  PathGuard guard(temp_path("hb_abort"));
+  {
+    StatusWriter writer(guard.path, 0.0);
+    StatusWriter::AbortScope scope(&writer);
+    StatusSnapshot snapshot;
+    snapshot.step = 3;
+    snapshot.total_steps = 100;
+    writer.write_now(snapshot);
+    // Scope unwinds here, as if an exception tore through the run loop.
+  }
+  const auto heartbeat = mach::obs::read_heartbeat(guard.path);
+  ASSERT_TRUE(heartbeat.has_value());
+  EXPECT_TRUE(heartbeat->aborted);
+  EXPECT_EQ(heartbeat->step, 3u);
+  // A second sequence number proves the abort document was a fresh write,
+  // not the original heartbeat re-read.
+  EXPECT_EQ(heartbeat->sequence, 2u);
+}
+
+TEST(Heartbeat, AbortScopeIsSilentAfterFinishedWrite) {
+  PathGuard guard(temp_path("hb_abort_finished"));
+  {
+    StatusWriter writer(guard.path, 0.0);
+    StatusWriter::AbortScope scope(&writer);
+    StatusSnapshot snapshot;
+    snapshot.step = 100;
+    snapshot.total_steps = 100;
+    snapshot.finished = true;
+    writer.write_now(snapshot);
+  }
+  const auto heartbeat = mach::obs::read_heartbeat(guard.path);
+  ASSERT_TRUE(heartbeat.has_value());
+  EXPECT_TRUE(heartbeat->finished);
+  EXPECT_FALSE(heartbeat->aborted);
+  EXPECT_EQ(heartbeat->sequence, 1u);
+}
+
+TEST(Heartbeat, UptimeIsMonotonicAcrossWrites) {
+  PathGuard guard(temp_path("hb_uptime"));
+  StatusWriter writer(guard.path, 0.0);
+  StatusSnapshot snapshot;
+  writer.write_now(snapshot);
+  const auto first = mach::obs::read_heartbeat(guard.path);
+  writer.write_now(snapshot);
+  const auto second = mach::obs::read_heartbeat(guard.path);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GE(second->uptime_ms, first->uptime_ms);
+  EXPECT_EQ(second->sequence, first->sequence + 1);
+}
+
+TEST(Heartbeat, MissingAndMalformedFilesAreNotHeartbeats) {
+  std::string error;
+  EXPECT_FALSE(
+      mach::obs::read_heartbeat(temp_path("hb_nonexistent"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  PathGuard garbage(temp_path("hb_garbage"));
+  std::ofstream(garbage.path) << "not json at all {";
+  EXPECT_FALSE(mach::obs::read_heartbeat(garbage.path, &error).has_value());
+
+  PathGuard foreign(temp_path("hb_foreign"));
+  std::ofstream(foreign.path) << R"({"kind":"something_else","step":4})";
+  EXPECT_FALSE(mach::obs::read_heartbeat(foreign.path, &error).has_value());
+  EXPECT_NE(error.find("mach_status"), std::string::npos);
+}
+
+TEST(Heartbeat, AgeClampsAtZero) {
+  Heartbeat heartbeat;
+  heartbeat.updated_unix = 1000.0;
+  EXPECT_DOUBLE_EQ(mach::obs::heartbeat_age_seconds(heartbeat, 1012.5), 12.5);
+  // Clock skew can make the writer's wall clock run ahead of ours.
+  EXPECT_DOUBLE_EQ(mach::obs::heartbeat_age_seconds(heartbeat, 990.0), 0.0);
+}
+
+TEST(HeartbeatMonitor, FirstObservationCountsAsProgress) {
+  HeartbeatMonitor monitor(100.0);
+  Heartbeat heartbeat;
+  heartbeat.pid = 42;
+  heartbeat.sequence = 1;
+  EXPECT_DOUBLE_EQ(monitor.observe(heartbeat, 103.0), 0.0);
+  EXPECT_TRUE(monitor.ever_seen());
+}
+
+TEST(HeartbeatMonitor, UnchangedHeartbeatAccumulatesStaleness) {
+  HeartbeatMonitor monitor(100.0);
+  Heartbeat heartbeat;
+  heartbeat.pid = 42;
+  heartbeat.sequence = 5;
+  heartbeat.uptime_ms = 1234;
+  monitor.observe(heartbeat, 100.0);
+  EXPECT_DOUBLE_EQ(monitor.observe(heartbeat, 101.0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.observe(heartbeat, 104.5), 4.5);
+  // Any monotonic field advancing resets the staleness clock...
+  heartbeat.uptime_ms = 1300;
+  EXPECT_DOUBLE_EQ(monitor.observe(heartbeat, 105.0), 0.0);
+  // ...and wall-clock-only changes do not exist in the tuple by design:
+  // updated_unix is deliberately not consulted.
+  heartbeat.updated_unix = 9.9e9;
+  EXPECT_DOUBLE_EQ(monitor.observe(heartbeat, 107.0), 2.0);
+}
+
+TEST(HeartbeatMonitor, NewPidIsProgress) {
+  // A retry spawns a fresh process that starts from sequence 1 again; the
+  // pid change must register as progress even if sequence goes "backwards".
+  HeartbeatMonitor monitor(50.0);
+  Heartbeat heartbeat;
+  heartbeat.pid = 100;
+  heartbeat.sequence = 9;
+  monitor.observe(heartbeat, 51.0);
+  heartbeat.pid = 101;
+  heartbeat.sequence = 1;
+  EXPECT_DOUBLE_EQ(monitor.observe(heartbeat, 55.0), 0.0);
+}
+
+TEST(HeartbeatMonitor, MissingHeartbeatTimesOutFromSpawn) {
+  HeartbeatMonitor monitor(200.0);
+  EXPECT_DOUBLE_EQ(monitor.observe(std::nullopt, 203.0), 3.0);
+  EXPECT_FALSE(monitor.ever_seen());
+  // A heartbeat finally landing is progress from that moment on.
+  Heartbeat heartbeat;
+  heartbeat.pid = 7;
+  EXPECT_DOUBLE_EQ(monitor.observe(heartbeat, 210.0), 0.0);
+  // Its file disappearing again (run dir cleaned underfoot) is not progress.
+  EXPECT_DOUBLE_EQ(monitor.observe(std::nullopt, 212.0), 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Crash-safety of the sweep journal: CRC-framed appends, torn-tail repair
+// at every truncation point, and refusal to clobber foreign files.
+#include "sweep/journal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+using mach::sweep::JournalRecord;
+using mach::sweep::RecordKind;
+using mach::sweep::SweepJournal;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sweep_journal_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "journal.machswj").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static JournalRecord failed(const std::string& fingerprint,
+                              std::uint32_t attempt) {
+    return {RecordKind::AttemptFailed, fingerprint, "cfg=" + fingerprint + "\n",
+            attempt, -1, 9, "killed by signal 9"};
+  }
+  static JournalRecord done(const std::string& fingerprint) {
+    return {RecordKind::Done, fingerprint, "cfg=" + fingerprint + "\n",
+            0, 0, 0, ""};
+  }
+
+  std::vector<std::uint8_t> file_bytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, RoundTripsRecordsAndFoldsState) {
+  {
+    SweepJournal journal(path_);
+    EXPECT_EQ(journal.repaired_bytes(), 0u);
+    journal.append(failed("aaaa", 1));
+    journal.append(failed("aaaa", 2));
+    journal.append(done("bbbb"));
+    journal.append({RecordKind::Quarantined, "aaaa", "cfg=aaaa\n", 0, 0, 0, ""});
+  }
+  SweepJournal replayed(path_);
+  EXPECT_EQ(replayed.repaired_bytes(), 0u);
+  ASSERT_EQ(replayed.records().size(), 4u);
+  EXPECT_EQ(replayed.records()[0].kind, RecordKind::AttemptFailed);
+  EXPECT_EQ(replayed.records()[0].reason, "killed by signal 9");
+  EXPECT_EQ(replayed.records()[0].exit_code, -1);
+  EXPECT_EQ(replayed.records()[0].term_signal, 9);
+
+  const auto& aaaa = replayed.states().at("aaaa");
+  EXPECT_FALSE(aaaa.done);
+  EXPECT_TRUE(aaaa.quarantined);
+  ASSERT_EQ(aaaa.failures.size(), 2u);
+  EXPECT_EQ(aaaa.failures[1].attempt, 2u);
+  EXPECT_EQ(aaaa.canonical, "cfg=aaaa\n");
+  EXPECT_TRUE(replayed.states().at("bbbb").done);
+}
+
+TEST_F(JournalTest, EveryTruncationPointRepairsToAValidPrefix) {
+  {
+    SweepJournal journal(path_);
+    journal.append(failed("aaaa", 1));
+    journal.append(done("aaaa"));
+    journal.append(done("bbbb"));
+  }
+  const std::vector<std::uint8_t> full = file_bytes();
+  ASSERT_GT(full.size(), 8u);
+
+  // SIGKILL can tear the tail at any byte. Truncate at every length and
+  // verify: open succeeds, the surviving records are a prefix of the
+  // original sequence, and the journal accepts appends afterwards.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string victim =
+        (dir_ / ("cut_" + std::to_string(cut) + ".machswj")).string();
+    std::ofstream(victim, std::ios::binary)
+        .write(reinterpret_cast<const char*>(full.data()),
+               static_cast<std::streamsize>(cut));
+    std::size_t survivors = 0;
+    {
+      SweepJournal repaired(victim);
+      survivors = repaired.records().size();
+      EXPECT_LE(survivors, 3u);
+      for (std::size_t i = 0; i < survivors; ++i) {
+        EXPECT_EQ(repaired.records()[i].fingerprint, i < 2 ? "aaaa" : "bbbb");
+      }
+      repaired.append(done("cccc"));
+    }
+    SweepJournal reread(victim);
+    EXPECT_EQ(reread.repaired_bytes(), 0u) << "repair must be durable";
+    ASSERT_EQ(reread.records().size(), survivors + 1);
+    EXPECT_TRUE(reread.states().at("cccc").done);
+  }
+}
+
+TEST_F(JournalTest, CorruptMiddleByteDropsTheTail) {
+  {
+    SweepJournal journal(path_);
+    journal.append(done("aaaa"));
+    journal.append(done("bbbb"));
+  }
+  std::vector<std::uint8_t> bytes = file_bytes();
+  // Flip a byte inside the second record's payload: its CRC fails, so
+  // replay keeps record one and repairs the rest away.
+  bytes[bytes.size() - 3] ^= 0x40;
+  std::ofstream(path_, std::ios::binary)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  SweepJournal repaired(path_);
+  EXPECT_GT(repaired.repaired_bytes(), 0u);
+  ASSERT_EQ(repaired.records().size(), 1u);
+  EXPECT_EQ(repaired.records()[0].fingerprint, "aaaa");
+}
+
+TEST_F(JournalTest, RefusesForeignFiles) {
+  std::ofstream(path_, std::ios::binary) << "definitely not a journal file";
+  EXPECT_THROW(SweepJournal journal(path_), std::runtime_error);
+  // And the foreign file is untouched by the refusal.
+  std::ifstream in(path_);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "definitely not a journal file");
+}
+
+TEST_F(JournalTest, AppendsAreDurableWithoutDestructor) {
+  // Simulate "orchestrator SIGKILLed right after append returned": the
+  // record must be readable by a fresh replay even though the first
+  // journal object is never destroyed cleanly (we leak its fd on purpose).
+  auto* journal = new SweepJournal(path_);
+  journal->append(done("aaaa"));
+  // No delete: the fd stays open, like a killed process's would until reap.
+  SweepJournal replayed(path_);
+  ASSERT_EQ(replayed.records().size(), 1u);
+  EXPECT_TRUE(replayed.states().at("aaaa").done);
+  delete journal;  // silence leak checkers; the property was already shown
+}
+
+}  // namespace

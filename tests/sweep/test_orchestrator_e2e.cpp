@@ -1,0 +1,282 @@
+// End-to-end crash paths of the sweep orchestrator, against the real
+// experiment_runner binary (paths injected at compile time):
+//
+//   * happy path + rerun dedupe (byte-identical report, zero re-execution)
+//   * SIGKILLed orchestrator mid-sweep -> restart finishes every point
+//     exactly once and the report matches an uninterrupted sweep's bytes
+//   * SIGKILLed child mid-run -> the retry resumes from the latest snapshot
+//     rather than step 0
+//   * hung child -> watchdog kills it, repeated hangs quarantine the point
+//   * SIGTERM drain -> resumable journal, rerun completes byte-identically
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "sweep/journal.h"
+#include "sweep/orchestrator.h"
+#include "sweep/spec.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mach::sweep::OrchestratorOptions;
+using mach::sweep::RecordKind;
+using mach::sweep::SweepJournal;
+using mach::sweep::SweepResult;
+using mach::sweep::SweepSpec;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class OrchestratorE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sweep_e2e_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  OrchestratorOptions options(const std::string& out_name) const {
+    OrchestratorOptions options;
+    options.runner_binary = MACH_EXPERIMENT_RUNNER_BIN;
+    options.out_dir = (dir_ / out_name).string();
+    options.parallel = 2;
+    options.checkpoint_every = 2;
+    options.poll_seconds = 0.02;
+    options.backoff_base_seconds = 0.05;
+    options.backoff_cap_seconds = 0.2;
+    return options;
+  }
+
+  /// The small two-point sweep used by the deterministic-report tests.
+  static SweepSpec small_spec() {
+    return SweepSpec::parse(R"({
+      "name": "e2e",
+      "defaults": {"task": "mnist", "steps": 6, "devices": 12, "edges": 2,
+                   "participation": 0.5},
+      "grid": {"seed": [1, 2]}
+    })");
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(OrchestratorE2E, HappyPathThenRerunReExecutesNothing) {
+  const SweepSpec spec = small_spec();
+  const SweepResult first = run_sweep(spec, options("out"));
+  EXPECT_EQ(first.total, 2u);
+  EXPECT_EQ(first.done, 2u);
+  EXPECT_EQ(first.ran_here, 2u);
+  EXPECT_EQ(first.quarantined, 0u);
+  EXPECT_FALSE(first.drained);
+  ASSERT_FALSE(first.report_path.empty());
+  const std::string report = read_file(first.report_path);
+  EXPECT_NE(report.find("\"kind\":\"mach_sweep_report\""), std::string::npos);
+  EXPECT_NE(report.find("\"final_accuracy\":"), std::string::npos);
+
+  // Same spec, same out dir: the journal says everything is done, so the
+  // rerun launches zero children and regenerates the identical report.
+  const SweepResult second = run_sweep(spec, options("out"));
+  EXPECT_EQ(second.done, 2u);
+  EXPECT_EQ(second.ran_here, 0u);
+  EXPECT_EQ(read_file(second.report_path), report);
+}
+
+TEST_F(OrchestratorE2E, OrchestratorSigkillMidSweepCompletesExactlyOnce) {
+  // Reference: the same sweep run to completion without interference.
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "name": "killres",
+    "defaults": {"task": "mnist", "steps": 6, "devices": 12, "edges": 2,
+                 "participation": 0.5},
+    "grid": {"seed": [1, 2, 3]}
+  })");
+  const SweepResult reference = run_sweep(spec, options("ref"));
+  ASSERT_EQ(reference.done, 3u);
+  const std::string reference_report = read_file(reference.report_path);
+
+  // Interrupted: sweep_runner SIGKILLs itself (a real separate process —
+  // raise(SIGKILL) takes the whole test down otherwise) after the first
+  // point's Done record is durable.
+  const std::string out = (dir_ / "out").string();
+  const std::string spec_path = (dir_ / "spec.json").string();
+  std::ofstream(spec_path) << R"({
+    "name": "killres",
+    "defaults": {"task": "mnist", "steps": 6, "devices": 12, "edges": 2,
+                 "participation": 0.5},
+    "grid": {"seed": [1, 2, 3]}
+  })";
+  const std::string base_cmd = std::string(MACH_SWEEP_RUNNER_BIN) +
+                               " --spec=" + spec_path + " --out=" + out +
+                               " --runner=" + MACH_EXPERIMENT_RUNNER_BIN +
+                               " --parallel=1 --checkpoint_every=2" +
+                               " --poll=0.02 --backoff_base=0.05";
+  const int killed = std::system(
+      (base_cmd + " --kill_after_points=1 > /dev/null 2>&1").c_str());
+  // The shell reports a SIGKILLed child as exit 128+9; a shell-less system()
+  // would surface the signal directly. Either way, it must not exit cleanly.
+  const bool died_by_sigkill =
+      (WIFSIGNALED(killed) && WTERMSIG(killed) == SIGKILL) ||
+      (WIFEXITED(killed) && WEXITSTATUS(killed) == 128 + SIGKILL);
+  ASSERT_TRUE(died_by_sigkill)
+      << "harness kill did not fire, status=" << killed;
+
+  {
+    SweepJournal journal((fs::path(out) / "journal.machswj").string());
+    std::size_t done_records = 0;
+    for (const auto& record : journal.records()) {
+      if (record.kind == RecordKind::Done) ++done_records;
+    }
+    ASSERT_EQ(done_records, 1u) << "exactly one point survived the kill";
+  }
+
+  // Restart with the *library* entry point (same journal, same contract):
+  // the finished point is skipped, the other two run, and the report is
+  // byte-identical to the uninterrupted sweep's.
+  const SweepResult resumed = run_sweep(spec, options("out"));
+  EXPECT_EQ(resumed.done, 3u);
+  EXPECT_EQ(resumed.ran_here, 2u) << "completed point must not re-execute";
+  EXPECT_EQ(read_file(resumed.report_path), reference_report);
+
+  // The journal agrees: one Done per fingerprint, never two.
+  SweepJournal journal((fs::path(out) / "journal.machswj").string());
+  std::map<std::string, int> done_per_point;
+  for (const auto& record : journal.records()) {
+    if (record.kind == RecordKind::Done) ++done_per_point[record.fingerprint];
+  }
+  EXPECT_EQ(done_per_point.size(), 3u);
+  for (const auto& [fingerprint, count] : done_per_point) {
+    EXPECT_EQ(count, 1) << fingerprint;
+  }
+}
+
+TEST_F(OrchestratorE2E, ChildSigkillRetriesResumeFromSnapshots) {
+  // kill_at_step=4 with checkpoint_every=2 and steps=10 SIGKILLs the child
+  // at the snapshots covering steps 4, 6 and 8 (each retry resumes further
+  // along, so the kill point advances), then attempt 4 reaches step 10.
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "name": "childkill",
+    "points": [{"task": "mnist", "steps": 10, "devices": 12, "edges": 2,
+                "participation": 0.5, "seed": 3, "kill_at_step": 4}]
+  })");
+  OrchestratorOptions opts = options("out");
+  opts.max_attempts = 5;
+  const SweepResult result = run_sweep(spec, opts);
+  EXPECT_EQ(result.done, 1u);
+  EXPECT_EQ(result.quarantined, 0u);
+
+  SweepJournal journal(
+      (fs::path(opts.out_dir) / "journal.machswj").string());
+  const auto& state = journal.states().at(spec.points[0].fingerprint);
+  EXPECT_TRUE(state.done);
+  ASSERT_EQ(state.failures.size(), 3u)
+      << "resume must advance the kill point: exactly 3 kills before success";
+  for (const auto& failure : state.failures) {
+    EXPECT_EQ(failure.term_signal, SIGKILL);
+    EXPECT_EQ(failure.exit_code, -1);
+  }
+
+  // The child's own log proves the retries resumed from snapshots instead
+  // of starting over: the engine names every snapshot it restores.
+  const std::string log = read_file(
+      (fs::path(opts.out_dir) / "runs" / spec.points[0].fingerprint /
+       "log.txt")
+          .string());
+  EXPECT_NE(log.find("checkpoint: loaded"), std::string::npos);
+  EXPECT_NE(log.find("step 8"), std::string::npos)
+      << "final attempt should restore the step-8 snapshot, not step 0";
+}
+
+TEST_F(OrchestratorE2E, HungChildIsWatchdogKilledAndQuarantined) {
+  // hang_at_step freezes the child (heartbeat included) every attempt, so
+  // the watchdog SIGKILLs it and the second failure quarantines the point.
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "name": "hang",
+    "points": [{"task": "mnist", "steps": 50, "devices": 12, "edges": 2,
+                "participation": 0.5, "hang_at_step": 1}]
+  })");
+  OrchestratorOptions opts = options("out");
+  opts.max_attempts = 2;
+  opts.watchdog_seconds = 1.5;
+  const SweepResult result = run_sweep(spec, opts);
+  EXPECT_EQ(result.done, 0u);
+  EXPECT_EQ(result.quarantined, 1u);
+  ASSERT_FALSE(result.report_path.empty())
+      << "a fully-resolved sweep (even all-quarantined) gets a report";
+
+  const std::string report = read_file(result.report_path);
+  EXPECT_NE(report.find("\"outcome\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(report.find("watchdog: heartbeat made no progress"),
+            std::string::npos);
+
+  SweepJournal journal(
+      (fs::path(opts.out_dir) / "journal.machswj").string());
+  const auto& state = journal.states().at(spec.points[0].fingerprint);
+  EXPECT_TRUE(state.quarantined);
+  ASSERT_EQ(state.failures.size(), 2u);
+  for (const auto& failure : state.failures) {
+    EXPECT_EQ(failure.term_signal, SIGKILL);
+    EXPECT_EQ(failure.reason, "watchdog: heartbeat made no progress");
+  }
+}
+
+TEST_F(OrchestratorE2E, DrainLeavesAResumableJournal) {
+  // Reference first, for the byte-identity check at the end.
+  const SweepSpec spec = SweepSpec::parse(R"({
+    "name": "drain",
+    "defaults": {"task": "mnist", "steps": 30, "devices": 16, "edges": 2,
+                 "participation": 0.5},
+    "grid": {"seed": [1, 2]}
+  })");
+  const SweepResult reference = run_sweep(spec, options("ref"));
+  const std::string reference_report = read_file(reference.report_path);
+
+  // Drain: flip the orchestrator's stop flag shortly after launch, exactly
+  // as sweep_runner's SIGTERM handler would.
+  static volatile std::sig_atomic_t drain_flag;
+  drain_flag = 0;
+  OrchestratorOptions opts = options("out");
+  opts.parallel = 1;  // guarantee work is still queued when the drain lands
+  opts.drain_flag = &drain_flag;
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    drain_flag = 1;
+  });
+  const SweepResult drained = run_sweep(spec, opts);
+  trigger.join();
+
+  if (drained.drained) {
+    EXPECT_GT(drained.pending, 0u);
+    EXPECT_TRUE(drained.report_path.empty())
+        << "a drained sweep must not publish a partial report";
+    // The drained child checkpointed: its snaps directory is non-empty for
+    // at least one pending point (the in-flight one).
+  } else {
+    // The machine outran the 250ms trigger — legal, just less interesting.
+    EXPECT_EQ(drained.done, 2u);
+  }
+
+  // Rerun to completion; the report must match the uninterrupted bytes.
+  const SweepResult finished = run_sweep(spec, options("out"));
+  EXPECT_EQ(finished.done, 2u);
+  EXPECT_EQ(finished.pending, 0u);
+  EXPECT_EQ(read_file(finished.report_path), reference_report);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Sweep-spec parsing and expansion: deterministic odometer order, defaults
+// overlay, fingerprint dedupe, and the strict rejection paths that keep a
+// typo from becoming a 100k-process fork storm.
+#include "sweep/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using mach::sweep::SpecError;
+using mach::sweep::SweepSpec;
+
+TEST(SweepSpec, ExpandsGridInSortedKeyOrderLastAxisFastest) {
+  const auto spec = SweepSpec::parse(R"({
+    "name": "grid",
+    "grid": {"seed": [1, 2, 3], "sampler": ["mach", "uniform"]}
+  })");
+  EXPECT_EQ(spec.name, "grid");
+  ASSERT_EQ(spec.points.size(), 6u);
+  // Axes sort to (sampler, seed); seed is the last axis, so it spins fastest.
+  EXPECT_EQ(spec.points[0].canonical, "sampler=mach\nseed=1\n");
+  EXPECT_EQ(spec.points[1].canonical, "sampler=mach\nseed=2\n");
+  EXPECT_EQ(spec.points[2].canonical, "sampler=mach\nseed=3\n");
+  EXPECT_EQ(spec.points[3].canonical, "sampler=uniform\nseed=1\n");
+  EXPECT_EQ(spec.points[5].canonical, "sampler=uniform\nseed=3\n");
+}
+
+TEST(SweepSpec, DefaultsOverlayAndExplicitPointsAppend) {
+  const auto spec = SweepSpec::parse(R"({
+    "defaults": {"task": "mnist", "steps": 40},
+    "grid": {"steps": [10, 20]},
+    "points": [{"task": "fmnist", "cnn": true, "lr": 0.05}]
+  })");
+  ASSERT_EQ(spec.points.size(), 3u);
+  // Grid values override defaults; untouched defaults ride along.
+  EXPECT_EQ(spec.points[0].canonical, "steps=10\ntask=mnist\n");
+  EXPECT_EQ(spec.points[1].canonical, "steps=20\ntask=mnist\n");
+  // Explicit points overlay defaults too, and render bools/doubles.
+  EXPECT_EQ(spec.points[2].canonical,
+            "cnn=true\nlr=0.05\nsteps=40\ntask=fmnist\n");
+}
+
+TEST(SweepSpec, FingerprintsAreStableAndDistinct) {
+  const auto spec = SweepSpec::parse(
+      R"({"grid": {"seed": [1, 2]}, "defaults": {"task": "mnist"}})");
+  ASSERT_EQ(spec.points.size(), 2u);
+  EXPECT_EQ(spec.points[0].fingerprint.size(), 16u);
+  EXPECT_NE(spec.points[0].fingerprint, spec.points[1].fingerprint);
+  // Fingerprint is a pure function of the canonical string.
+  EXPECT_EQ(spec.points[0].fingerprint,
+            mach::sweep::fingerprint_config(spec.points[0].canonical));
+  // And the canonical string is insertion-order independent (sorted map).
+  mach::sweep::ConfigMap reordered;
+  reordered["task"] = "mnist";
+  reordered["seed"] = "1";
+  EXPECT_EQ(mach::sweep::canonical_config(reordered),
+            spec.points[0].canonical);
+}
+
+TEST(SweepSpec, DuplicatePointsCollapseByFingerprint) {
+  const auto spec = SweepSpec::parse(R"({
+    "grid": {"seed": [1, 2]},
+    "points": [{"seed": 2}, {"seed": 3}]
+  })");
+  // grid gives seeds {1,2}; the explicit seed=2 duplicates a grid point.
+  ASSERT_EQ(spec.points.size(), 3u);
+  EXPECT_EQ(spec.duplicates_dropped, 1u);
+  std::set<std::string> fingerprints;
+  for (const auto& point : spec.points) fingerprints.insert(point.fingerprint);
+  EXPECT_EQ(fingerprints.size(), 3u);
+}
+
+TEST(SweepSpec, IntegerValuedNumbersRenderWithoutFraction) {
+  const auto spec = SweepSpec::parse(
+      R"({"points": [{"steps": 40, "lr": 0.5, "participation": 1.0}]})");
+  ASSERT_EQ(spec.points.size(), 1u);
+  EXPECT_EQ(spec.points[0].config.at("steps"), "40");
+  EXPECT_EQ(spec.points[0].config.at("lr"), "0.5");
+  EXPECT_EQ(spec.points[0].config.at("participation"), "1");
+}
+
+TEST(SweepSpec, RejectsMalformedDocuments) {
+  EXPECT_THROW(SweepSpec::parse("not json"), SpecError);
+  EXPECT_THROW(SweepSpec::parse("[1,2,3]"), SpecError);
+  EXPECT_THROW(SweepSpec::parse("{}"), SpecError);  // no points at all
+  EXPECT_THROW(SweepSpec::parse(R"({"grid": []})"), SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"points": {"seed": 1}})"), SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"surprise": 1, "points": [{}]})"),
+               SpecError);
+}
+
+TEST(SweepSpec, RejectsDuplicateJsonKeys) {
+  // The lenient trace parser keeps the last duplicate; a config file that
+  // says "seed" twice is a human error and must not silently half-apply.
+  EXPECT_THROW(SweepSpec::parse(R"({
+    "grid": {"seed": [1], "seed": [2]}
+  })"),
+               SpecError);
+}
+
+TEST(SweepSpec, RejectsEmptyGridAxis) {
+  try {
+    SweepSpec::parse(R"({"grid": {"sampler": []}})");
+    FAIL() << "empty axis must throw";
+  } catch (const SpecError& error) {
+    EXPECT_NE(std::string(error.what()).find("empty"), std::string::npos);
+  }
+}
+
+TEST(SweepSpec, RejectsReservedAndInvalidKeys) {
+  for (const char* reserved :
+       {"status", "csv", "checkpoint_dir", "checkpoint_every", "resume"}) {
+    const std::string doc =
+        std::string(R"({"points": [{")") + reserved + R"(": "x"}]})";
+    EXPECT_THROW(SweepSpec::parse(doc), SpecError) << reserved;
+  }
+  EXPECT_THROW(SweepSpec::parse(R"({"points": [{"bad key": 1}]})"), SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"points": [{"9lives": 1}]})"), SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"points": [{"": 1}]})"), SpecError);
+}
+
+TEST(SweepSpec, RejectsNonScalarValuesAndControlCharacters) {
+  EXPECT_THROW(SweepSpec::parse(R"({"points": [{"seed": [1, 2]}]})"),
+               SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"points": [{"seed": {"a": 1}}]})"),
+               SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"points": [{"seed": null}]})"), SpecError);
+  EXPECT_THROW(SweepSpec::parse("{\"points\": [{\"task\": \"a\\nb\"}]}"),
+               SpecError);
+}
+
+TEST(SweepSpec, EnforcesMaxPointsOnGridProducts) {
+  // 40^3 = 64000 > default 4096 — rejected before expansion allocates.
+  std::string axis = "[";
+  for (int i = 0; i < 40; ++i) axis += (i ? "," : "") + std::to_string(i);
+  axis += "]";
+  const std::string doc = R"({"grid": {"a": )" + axis + R"(, "b": )" + axis +
+                          R"(, "c": )" + axis + "}}";
+  EXPECT_THROW(SweepSpec::parse(doc), SpecError);
+
+  // An explicit max_points raise admits it...
+  const std::string raised =
+      R"({"max_points": 100000, "grid": {"a": )" + axis + R"(, "b": )" + axis +
+      R"(, "c": )" + axis + "}}";
+  EXPECT_EQ(SweepSpec::parse(raised).points.size(), 64000u);
+
+  // ...but nothing gets past the hard cap.
+  EXPECT_THROW(SweepSpec::parse(R"({"max_points": 200000, "points": [{}]})"),
+               SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"max_points": 0, "points": [{}]})"),
+               SpecError);
+  EXPECT_THROW(SweepSpec::parse(R"({"max_points": 2.5, "points": [{}]})"),
+               SpecError);
+}
+
+TEST(SweepSpec, ValuesMayContainSpecSyntaxCharacters) {
+  // Scenario/fault/codec specs carry '=', ',', ';', ':' — all legal in
+  // values; the newline-separated canonical form keeps them unambiguous.
+  const auto spec = SweepSpec::parse(R"({
+    "points": [{
+      "scenario": "metro:stay=0.6,stations=80",
+      "faults": "dropout:p=0.1;straggler:p=0.2,timeout=1.5",
+      "codec": "up=topk:k=0.05,down=bf16"
+    }]
+  })");
+  ASSERT_EQ(spec.points.size(), 1u);
+  EXPECT_EQ(spec.points[0].config.at("faults"),
+            "dropout:p=0.1;straggler:p=0.2,timeout=1.5");
+}
+
+TEST(SweepSpec, ParseFileReportsMissingFile) {
+  EXPECT_THROW(SweepSpec::parse_file("/nonexistent/sweep.json"), SpecError);
+}
+
+}  // namespace

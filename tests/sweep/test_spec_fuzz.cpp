@@ -1,0 +1,157 @@
+// Fuzz the sweep-spec parser: whatever bytes arrive, parse() must either
+// return a well-formed expansion or throw SpecError — never crash, hang, or
+// expand beyond the point cap. Iteration count scales with
+// MACH_SWEEP_FUZZ_ITERS (CI cranks it up; the default keeps `ctest` quick).
+#include "sweep/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace {
+
+using mach::sweep::SpecError;
+using mach::sweep::SweepSpec;
+
+std::size_t fuzz_iterations(std::size_t fallback) {
+  const char* env = std::getenv("MACH_SWEEP_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+// xorshift64*: the same tiny deterministic generator the other fuzz suites
+// use — failures reproduce from the logged iteration index alone.
+struct Xorshift {
+  std::uint64_t state;
+  explicit Xorshift(std::uint64_t seed) : state(seed ? seed : 0x9e3779b9ull) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+/// Checks the invariants every successful parse must satisfy.
+void check_expansion(const SweepSpec& spec) {
+  ASSERT_FALSE(spec.points.empty());
+  ASSERT_LE(spec.points.size(), 100000u);
+  std::vector<std::string> fingerprints;
+  for (const auto& point : spec.points) {
+    ASSERT_EQ(point.fingerprint.size(), 16u);
+    ASSERT_EQ(point.canonical,
+              mach::sweep::canonical_config(point.config));
+    ASSERT_EQ(point.fingerprint,
+              mach::sweep::fingerprint_config(point.canonical));
+    fingerprints.push_back(point.fingerprint);
+  }
+  std::sort(fingerprints.begin(), fingerprints.end());
+  ASSERT_TRUE(std::adjacent_find(fingerprints.begin(), fingerprints.end()) ==
+              fingerprints.end())
+      << "expansion emitted a duplicate fingerprint";
+}
+
+void must_not_crash(const std::string& document) {
+  try {
+    check_expansion(SweepSpec::parse(document));
+  } catch (const SpecError&) {
+    // Rejection is a fine outcome; crashing or std::bad_alloc is not.
+  }
+}
+
+TEST(SweepSpecFuzz, RandomBytesNeverCrashTheParser) {
+  Xorshift rng(0xC0FFEEull);
+  const std::size_t iterations = fuzz_iterations(300);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    std::string document;
+    const std::size_t length = rng.below(200);
+    for (std::size_t j = 0; j < length; ++j) {
+      document.push_back(static_cast<char>(rng.below(256)));
+    }
+    must_not_crash(document);
+  }
+}
+
+TEST(SweepSpecFuzz, StructuredJsonNeverCrashesTheParser) {
+  // JSON-shaped input exercises the validation layers below the tokenizer:
+  // wrong kinds in the wrong places, hostile key names, giant products.
+  Xorshift rng(0xBADC0DEull);
+  const char* fragments[] = {
+      "{", "}", "[", "]", ":", ",", "\"grid\"", "\"points\"", "\"defaults\"",
+      "\"name\"", "\"max_points\"", "\"seed\"", "\"sampler\"", "\"csv\"",
+      "\"a b\"", "\"\"", "1", "2.5", "-7", "1e300", "true", "false", "null",
+      "\"mach\"", "[1,2,3]", "{\"seed\":[1]}", "100000", "0",
+      "\"metro:stay=0.6\"",
+  };
+  const std::size_t iterations = fuzz_iterations(300);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    std::string document;
+    const std::size_t pieces = 1 + rng.below(40);
+    for (std::size_t j = 0; j < pieces; ++j) {
+      document += fragments[rng.below(std::size(fragments))];
+    }
+    must_not_crash(document);
+  }
+}
+
+TEST(SweepSpecFuzz, MutatedValidSpecsNeverCrashTheParser) {
+  const std::string seed_document = R"({
+    "name": "fuzz_seed",
+    "defaults": {"task": "mnist", "steps": 40},
+    "grid": {"sampler": ["mach", "uniform"], "seed": [1, 2, 3]},
+    "points": [{"sampler": "oort", "lr": 0.05}],
+    "max_points": 64
+  })";
+  // The pristine document must parse; mutants may do anything but crash.
+  check_expansion(SweepSpec::parse(seed_document));
+
+  Xorshift rng(0xFEEDull);
+  const std::size_t iterations = fuzz_iterations(400);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    std::string document = seed_document;
+    const std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(document.size());
+      switch (rng.below(3)) {
+        case 0:  // flip a byte
+          document[pos] = static_cast<char>(rng.below(256));
+          break;
+        case 1:  // delete a byte
+          document.erase(pos, 1);
+          break;
+        default:  // duplicate a slice (breeds duplicate keys, nested junk)
+          document.insert(pos, document.substr(pos, rng.below(16)));
+          break;
+      }
+      if (document.empty()) document = "{";
+    }
+    must_not_crash(document);
+  }
+}
+
+TEST(SweepSpecFuzz, HugeCartesianProductsAreRejectedQuickly) {
+  // Five axes of 64 values each would be 64^5 ≈ 1.07e9 points; the parser
+  // must reject from the running product, before any expansion allocates.
+  std::string axis = "[";
+  for (int i = 0; i < 64; ++i) axis += (i ? "," : "") + std::to_string(i);
+  axis += "]";
+  std::string document = "{\"grid\": {";
+  for (char key = 'a'; key <= 'e'; ++key) {
+    if (key != 'a') document += ",";
+    document += std::string("\"") + key + "\": " + axis;
+  }
+  document += "}}";
+  EXPECT_THROW(SweepSpec::parse(document), SpecError);
+}
+
+}  // namespace

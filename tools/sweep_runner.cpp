@@ -1,0 +1,161 @@
+// Self-healing sweep front-end: expand a JSON sweep spec (see sweep/spec.h)
+// and supervise one experiment_runner child per point — watchdog on the
+// status.json heartbeat, retry with backoff resuming from snapshots,
+// quarantine after repeated failures, crash-safe journal, deterministic
+// aggregated report.
+//
+//   ./sweep_runner --spec fig3.json --out /tmp/fig3 --parallel 4
+//   ./trace_summary /tmp/fig3/report.json
+//
+// SIGINT/SIGTERM drain gracefully: children checkpoint and exit, the journal
+// stays resumable, and rerunning the same command finishes the sweep without
+// redoing completed points.
+//
+// Exit codes: 0 all points completed; 1 completed but some quarantined;
+// 2 bad spec/usage; 3 drained (rerun to continue); 4 internal error.
+#include <csignal>
+#include <filesystem>
+#include <iostream>
+
+#include "common/cli.h"
+#include "sweep/orchestrator.h"
+#include "sweep/spec.h"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitQuarantined = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDrained = 3;
+constexpr int kExitInternal = 4;
+
+volatile std::sig_atomic_t g_drain_requested = 0;
+extern "C" void request_drain(int) { g_drain_requested = 1; }
+
+/// Default runner: the experiment_runner built next to this binary
+/// (build/tools/sweep_runner -> build/examples/experiment_runner).
+std::string default_runner(const char* argv0) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path self = fs::weakly_canonical(fs::path(argv0), ec);
+  if (ec) return "";
+  const fs::path candidate =
+      self.parent_path().parent_path() / "examples" / "experiment_runner";
+  return fs::exists(candidate, ec) ? candidate.string() : "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mach::common::CliParser cli(
+      "Run a sweep spec under supervision: watchdog, retry/backoff with "
+      "snapshot resume, quarantine, crash-safe journal, aggregated report.");
+  cli.add_flag("spec", std::string(""), "sweep spec JSON file (required)");
+  cli.add_flag("out", std::string(""),
+               "sweep output directory: journal.machswj, runs/<fingerprint>/, "
+               "report.json (required; reuse it to resume)");
+  cli.add_flag("runner", std::string(""),
+               "experiment_runner binary (default: found next to this one)");
+  cli.add_flag("parallel", static_cast<std::int64_t>(1),
+               "concurrent supervised runs");
+  cli.add_flag("max_attempts", static_cast<std::int64_t>(3),
+               "failures per point before quarantine");
+  cli.add_flag("watchdog", 30.0,
+               "SIGKILL a run whose heartbeat shows no progress for this many "
+               "seconds");
+  cli.add_flag("poll", 0.05, "supervision loop period in seconds");
+  cli.add_flag("backoff_base", 0.25, "first retry delay in seconds");
+  cli.add_flag("backoff_cap", 5.0, "retry delay ceiling in seconds");
+  cli.add_flag("checkpoint_every", static_cast<std::int64_t>(5),
+               "snapshot cadence passed to every child");
+  cli.add_flag("dry_run", false,
+               "print the expanded points (fingerprint + config) and exit");
+  cli.add_flag("kill_after_points", static_cast<std::int64_t>(0),
+               "crash-test harness: SIGKILL this orchestrator after N points "
+               "complete (0 = off); children die with it");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? kExitOk : kExitUsage;
+
+  const std::string spec_path = cli.get_string("spec");
+  if (spec_path.empty()) {
+    std::cerr << "--spec is required (see --help)\n";
+    return kExitUsage;
+  }
+
+  mach::sweep::SweepSpec spec;
+  try {
+    spec = mach::sweep::SweepSpec::parse_file(spec_path);
+  } catch (const mach::sweep::SpecError& error) {
+    std::cerr << error.what() << '\n';
+    return kExitUsage;
+  }
+  if (spec.duplicates_dropped > 0) {
+    std::cout << "note: " << spec.duplicates_dropped
+              << " duplicate point(s) collapsed by fingerprint\n";
+  }
+
+  if (cli.get_bool("dry_run")) {
+    std::cout << "sweep \"" << spec.name << "\": " << spec.points.size()
+              << " point(s)\n";
+    for (const auto& point : spec.points) {
+      std::cout << point.fingerprint << "  ";
+      bool first = true;
+      for (const auto& [key, value] : point.config) {
+        std::cout << (first ? "" : " ") << "--" << key << '=' << value;
+        first = false;
+      }
+      std::cout << '\n';
+    }
+    return kExitOk;
+  }
+
+  mach::sweep::OrchestratorOptions options;
+  options.out_dir = cli.get_string("out");
+  if (options.out_dir.empty()) {
+    std::cerr << "--out is required (see --help)\n";
+    return kExitUsage;
+  }
+  options.runner_binary = cli.get_string("runner");
+  if (options.runner_binary.empty()) {
+    options.runner_binary = default_runner(argv[0]);
+  }
+  if (options.runner_binary.empty()) {
+    std::cerr << "cannot locate experiment_runner — pass --runner\n";
+    return kExitUsage;
+  }
+  options.parallel = static_cast<std::size_t>(cli.get_int("parallel"));
+  options.max_attempts =
+      static_cast<std::uint32_t>(cli.get_int("max_attempts"));
+  options.watchdog_seconds = cli.get_double("watchdog");
+  options.poll_seconds = cli.get_double("poll");
+  options.backoff_base_seconds = cli.get_double("backoff_base");
+  options.backoff_cap_seconds = cli.get_double("backoff_cap");
+  options.checkpoint_every = cli.get_int("checkpoint_every");
+  options.kill_after_points =
+      static_cast<std::size_t>(cli.get_int("kill_after_points"));
+  options.drain_flag = &g_drain_requested;
+
+  std::signal(SIGINT, request_drain);
+  std::signal(SIGTERM, request_drain);
+
+  mach::sweep::SweepResult result;
+  try {
+    result = mach::sweep::run_sweep(spec, options);
+  } catch (const std::exception& error) {
+    std::cerr << "sweep failed: " << error.what() << '\n';
+    return kExitInternal;
+  }
+
+  std::cout << "sweep \"" << spec.name << "\": " << result.done << " / "
+            << result.total << " done (" << result.ran_here
+            << " in this invocation), " << result.quarantined
+            << " quarantined, " << result.pending << " pending\n";
+  if (result.drained) {
+    std::cout << "drained: rerun the same command to finish the sweep\n";
+    return kExitDrained;
+  }
+  if (!result.report_path.empty()) {
+    std::cout << "report: " << result.report_path
+              << " (render with trace_summary)\n";
+  }
+  return result.quarantined > 0 ? kExitQuarantined : kExitOk;
+}

@@ -265,7 +265,18 @@ int summarize_status(const JsonValue& doc, const std::string& path) {
     std::cout << " (" << mach::common::format_double(step / total * 100.0, 1)
               << "%)";
   }
-  std::cout << (finished ? ", finished" : ", running") << '\n'
+  std::cout << (finished ? ", finished" : ", running");
+  if (doc["aborted"].is_bool() && doc["aborted"].as_bool()) {
+    std::cout << " (ABORTED: the writer unwound without finishing)";
+  }
+  const auto pid = static_cast<std::int64_t>(doc.number_or("pid", 0));
+  if (pid > 0) {
+    std::cout << "\nwriter: pid " << pid << ", up "
+              << mach::common::format_double(
+                     doc.number_or("uptime_ms", 0) / 1000.0, 1)
+              << " s at last write";
+  }
+  std::cout << '\n'
             << "cloud rounds: "
             << static_cast<std::size_t>(doc.number_or("cloud_rounds", 0))
             << ", devices trained: "
@@ -301,6 +312,61 @@ int summarize_status(const JsonValue& doc, const std::string& path) {
     if (!finished && age > 30.0) {
       std::cout << "WARNING: heartbeat is stale for an unfinished run — the "
                    "process crashed, hung, or stopped without a final write\n";
+    }
+  }
+  return 0;
+}
+
+/// Summary of a sweep_runner report.json: one line per point in expansion
+/// order, with accuracy metrics for completed points and the journaled
+/// failure history for quarantined ones.
+int summarize_sweep_report(const JsonValue& doc, const std::string& path) {
+  std::cout << "=== sweep report: " << path << " (sweep \""
+            << doc.string_or("name", "?") << "\") ===\n"
+            << "points: " << static_cast<std::size_t>(doc.number_or("points", 0))
+            << ", done: " << static_cast<std::size_t>(doc.number_or("done", 0))
+            << ", quarantined: "
+            << static_cast<std::size_t>(doc.number_or("quarantined", 0))
+            << '\n';
+  if (!doc["results"].is_array()) return 0;
+  for (const auto& entry : doc["results"].as_array()) {
+    const std::string outcome = entry.string_or("outcome", "?");
+    std::cout << entry.string_or("fingerprint", "????????????????") << "  "
+              << outcome;
+    if (outcome == "done" && entry["final_accuracy"].is_number()) {
+      std::cout << "  acc " << mach::common::format_double(
+                       entry.number_or("final_accuracy", 0) * 100.0, 2)
+                << "% (best " << mach::common::format_double(
+                       entry.number_or("best_accuracy", 0) * 100.0, 2)
+                << "%, " << static_cast<std::size_t>(entry.number_or("last_step", 0))
+                << " steps)";
+    }
+    // A compact config echo: the interesting axes are whatever varies, so
+    // print everything — sweep configs are small by construction.
+    if (entry["config"].is_object()) {
+      std::cout << "  [";
+      bool first = true;
+      for (const auto& [key, value] : entry["config"].as_object()) {
+        if (!value.is_string()) continue;
+        std::cout << (first ? "" : " ") << key << '=' << value.as_string();
+        first = false;
+      }
+      std::cout << ']';
+    }
+    std::cout << '\n';
+    if (outcome == "quarantined" && entry["failures"].is_array()) {
+      for (const auto& failure : entry["failures"].as_array()) {
+        std::cout << "    attempt "
+                  << static_cast<std::size_t>(failure.number_or("attempt", 0))
+                  << ": " << failure.string_or("reason", "?");
+        const auto signal =
+            static_cast<std::int64_t>(failure.number_or("signal", 0));
+        if (signal > 0) std::cout << " (signal " << signal << ')';
+        const auto code =
+            static_cast<std::int64_t>(failure.number_or("exit_code", -1));
+        if (code >= 0) std::cout << " (exit " << code << ')';
+        std::cout << '\n';
+      }
     }
   }
   return 0;
@@ -504,6 +570,9 @@ int main(int argc, char** argv) {
         }
         if (doc->string_or("kind", "") == "mach_status") {
           return summarize_status(*doc, path);
+        }
+        if (doc->string_or("kind", "") == "mach_sweep_report") {
+          return summarize_sweep_report(*doc, path);
         }
         if (!doc->string_or("bench", "").empty() &&
             (*doc)["results"].is_array()) {
